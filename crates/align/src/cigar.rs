@@ -1,0 +1,229 @@
+//! Alignment edit transcripts (CIGAR strings).
+
+use std::fmt;
+
+/// One CIGAR operation kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CigarOp {
+    /// Exact base match (`=`). Consumes query and target.
+    Match,
+    /// Substitution (`X`). Consumes query and target.
+    Subst,
+    /// Insertion relative to the target (`I`). Consumes query only.
+    Ins,
+    /// Deletion relative to the target (`D`). Consumes target only.
+    Del,
+}
+
+impl CigarOp {
+    /// The SAM character for this op.
+    pub fn to_char(self) -> char {
+        match self {
+            CigarOp::Match => '=',
+            CigarOp::Subst => 'X',
+            CigarOp::Ins => 'I',
+            CigarOp::Del => 'D',
+        }
+    }
+
+    /// Whether the op consumes a query base.
+    pub fn consumes_query(self) -> bool {
+        matches!(self, CigarOp::Match | CigarOp::Subst | CigarOp::Ins)
+    }
+
+    /// Whether the op consumes a target base.
+    pub fn consumes_target(self) -> bool {
+        matches!(self, CigarOp::Match | CigarOp::Subst | CigarOp::Del)
+    }
+}
+
+/// A run-length-encoded edit transcript.
+///
+/// # Examples
+///
+/// ```
+/// use nvwa_align::{Cigar, CigarOp};
+/// let mut c = Cigar::new();
+/// c.push(CigarOp::Match, 10);
+/// c.push(CigarOp::Match, 2); // merges with the previous run
+/// c.push(CigarOp::Ins, 1);
+/// assert_eq!(c.to_string(), "12=1I");
+/// assert_eq!(c.query_len(), 13);
+/// assert_eq!(c.target_len(), 12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cigar {
+    runs: Vec<(CigarOp, u32)>,
+}
+
+impl Cigar {
+    /// An empty transcript.
+    pub fn new() -> Cigar {
+        Cigar::default()
+    }
+
+    /// Appends `len` copies of `op`, merging with the last run when equal.
+    pub fn push(&mut self, op: CigarOp, len: u32) {
+        if len == 0 {
+            return;
+        }
+        if let Some(last) = self.runs.last_mut() {
+            if last.0 == op {
+                last.1 += len;
+                return;
+            }
+        }
+        self.runs.push((op, len));
+    }
+
+    /// The run-length-encoded operations.
+    pub fn runs(&self) -> &[(CigarOp, u32)] {
+        &self.runs
+    }
+
+    /// Whether the transcript is empty.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Number of query bases consumed.
+    pub fn query_len(&self) -> usize {
+        self.runs
+            .iter()
+            .filter(|(op, _)| op.consumes_query())
+            .map(|&(_, len)| len as usize)
+            .sum()
+    }
+
+    /// Number of target bases consumed.
+    pub fn target_len(&self) -> usize {
+        self.runs
+            .iter()
+            .filter(|(op, _)| op.consumes_target())
+            .map(|&(_, len)| len as usize)
+            .sum()
+    }
+
+    /// Number of exactly matching bases.
+    pub fn matches(&self) -> usize {
+        self.runs
+            .iter()
+            .filter(|(op, _)| *op == CigarOp::Match)
+            .map(|&(_, len)| len as usize)
+            .sum()
+    }
+
+    /// Edit distance implied by the transcript (substitutions + indel bases).
+    pub fn edit_distance(&self) -> usize {
+        self.runs
+            .iter()
+            .filter(|(op, _)| *op != CigarOp::Match)
+            .map(|&(_, len)| len as usize)
+            .sum()
+    }
+
+    /// Appends all runs of `other`.
+    pub fn concat(&mut self, other: &Cigar) {
+        for &(op, len) in &other.runs {
+            self.push(op, len);
+        }
+    }
+
+    /// Reverses the transcript in place (for tail-to-head tracebacks).
+    pub fn reverse(&mut self) {
+        self.runs.reverse();
+    }
+
+    /// Recomputes the alignment score of this transcript under `scoring`.
+    pub fn score(&self, scoring: &crate::scoring::Scoring) -> i32 {
+        self.runs
+            .iter()
+            .map(|&(op, len)| match op {
+                CigarOp::Match => scoring.match_score * len as i32,
+                CigarOp::Subst => -scoring.mismatch_penalty * len as i32,
+                CigarOp::Ins | CigarOp::Del => -scoring.gap_cost(len),
+            })
+            .sum()
+    }
+}
+
+impl fmt::Display for Cigar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.runs.is_empty() {
+            return write!(f, "*");
+        }
+        for &(op, len) in &self.runs {
+            write!(f, "{}{}", len, op.to_char())?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<(CigarOp, u32)> for Cigar {
+    fn from_iter<I: IntoIterator<Item = (CigarOp, u32)>>(iter: I) -> Cigar {
+        let mut c = Cigar::new();
+        for (op, len) in iter {
+            c.push(op, len);
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scoring::Scoring;
+
+    #[test]
+    fn push_merges_adjacent_runs() {
+        let mut c = Cigar::new();
+        c.push(CigarOp::Match, 5);
+        c.push(CigarOp::Match, 3);
+        c.push(CigarOp::Del, 2);
+        c.push(CigarOp::Match, 0); // no-op
+        assert_eq!(c.runs().len(), 2);
+        assert_eq!(c.to_string(), "8=2D");
+    }
+
+    #[test]
+    fn lengths_and_edits() {
+        let c: Cigar = [
+            (CigarOp::Match, 10),
+            (CigarOp::Subst, 1),
+            (CigarOp::Ins, 2),
+            (CigarOp::Del, 3),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(c.query_len(), 13);
+        assert_eq!(c.target_len(), 14);
+        assert_eq!(c.matches(), 10);
+        assert_eq!(c.edit_distance(), 6);
+    }
+
+    #[test]
+    fn score_recomputation() {
+        let s = Scoring::bwa_mem();
+        let c: Cigar = [(CigarOp::Match, 20), (CigarOp::Subst, 1), (CigarOp::Del, 2)]
+            .into_iter()
+            .collect();
+        assert_eq!(c.score(&s), 20 - 4 - (6 + 2));
+    }
+
+    #[test]
+    fn empty_displays_star() {
+        assert_eq!(Cigar::new().to_string(), "*");
+    }
+
+    #[test]
+    fn concat_and_reverse() {
+        let mut a: Cigar = [(CigarOp::Match, 4)].into_iter().collect();
+        let b: Cigar = [(CigarOp::Match, 2), (CigarOp::Ins, 1)]
+            .into_iter()
+            .collect();
+        a.concat(&b);
+        assert_eq!(a.to_string(), "6=1I");
+        a.reverse();
+        assert_eq!(a.to_string(), "1I6=");
+    }
+}

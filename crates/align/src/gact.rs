@@ -1,0 +1,263 @@
+//! GACT tiling (Darwin).
+//!
+//! Darwin's GACT aligns arbitrarily long sequences with *constant* hardware
+//! resources by filling fixed-size tiles and committing the traceback prefix
+//! of each tile before sliding the window forward by `tile_size - overlap`.
+//! The paper applies NvWa to long reads "by using the iterative scheme of
+//! GACT" (Sec. V-F); this module is that scheme.
+
+use crate::cigar::Cigar;
+#[cfg(test)]
+use crate::cigar::CigarOp;
+use crate::scoring::Scoring;
+use crate::sw::{extend_align, ExtensionAlignment};
+
+/// GACT tiling parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GactConfig {
+    /// Tile edge length (Darwin uses 512 in hardware, 300 in software).
+    pub tile_size: usize,
+    /// Overlap retained between consecutive tiles.
+    pub overlap: usize,
+}
+
+impl Default for GactConfig {
+    fn default() -> GactConfig {
+        GactConfig {
+            tile_size: 256,
+            overlap: 64,
+        }
+    }
+}
+
+impl GactConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `overlap >= tile_size` or `tile_size == 0`.
+    pub fn validate(&self) {
+        assert!(self.tile_size > 0, "tile size must be positive");
+        assert!(
+            self.overlap < self.tile_size,
+            "overlap must be smaller than the tile"
+        );
+    }
+}
+
+/// Statistics of a GACT run (tile count drives the long-read EU workload).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GactStats {
+    /// Number of tiles filled.
+    pub tiles: u64,
+    /// Total DP cells filled across tiles.
+    pub dp_cells: u64,
+}
+
+/// Extends `query` against `target` from the anchored origin using GACT
+/// tiling. Returns the committed alignment and tiling statistics.
+///
+/// The result approximates [`extend_align`] (exact when each tile's optimal
+/// path stays within the committed prefix — Darwin's empirical observation)
+/// while only ever holding one `tile_size²` matrix.
+pub fn gact_extend(
+    query: &[u8],
+    target: &[u8],
+    scoring: &Scoring,
+    config: &GactConfig,
+) -> (ExtensionAlignment, GactStats) {
+    config.validate();
+    let mut stats = GactStats::default();
+    let mut cigar = Cigar::new();
+    let mut q_pos = 0usize;
+    let mut t_pos = 0usize;
+
+    loop {
+        let q_tile = &query[q_pos..(q_pos + config.tile_size).min(query.len())];
+        let t_tile = &target[t_pos..(t_pos + config.tile_size).min(target.len())];
+        if q_tile.is_empty() || t_tile.is_empty() {
+            break;
+        }
+        let tile = extend_align(q_tile, t_tile, scoring);
+        stats.tiles += 1;
+        stats.dp_cells += q_tile.len() as u64 * t_tile.len() as u64;
+        if tile.cigar.is_empty() {
+            break; // nothing extended in this tile
+        }
+
+        let last_tile = q_pos + q_tile.len() >= query.len() || t_pos + t_tile.len() >= target.len();
+        if last_tile {
+            cigar.concat(&tile.cigar);
+            q_pos += tile.query_len;
+            t_pos += tile.target_len;
+            break;
+        }
+
+        // Commit the tile's prefix up to `tile_size - overlap` consumed
+        // query bases; the overlap region is re-aligned by the next tile.
+        let commit_q = config.tile_size - config.overlap;
+        let (committed, dq, dt) = cigar_prefix(&tile.cigar, commit_q);
+        if dq == 0 && dt == 0 {
+            // The tile alignment never reached the commit horizon; keep what
+            // we have and stop (no forward progress possible).
+            cigar.concat(&tile.cigar);
+            q_pos += tile.query_len;
+            t_pos += tile.target_len;
+            break;
+        }
+        cigar.concat(&committed);
+        q_pos += dq;
+        t_pos += dt;
+    }
+
+    let score = cigar.score(scoring);
+    (
+        ExtensionAlignment {
+            score,
+            query_len: q_pos,
+            target_len: t_pos,
+            cigar,
+        },
+        stats,
+    )
+}
+
+/// Splits a CIGAR at the point where `max_query` query bases have been
+/// consumed; returns the prefix and the (query, target) bases it consumes.
+fn cigar_prefix(cigar: &Cigar, max_query: usize) -> (Cigar, usize, usize) {
+    let mut out = Cigar::new();
+    let mut dq = 0usize;
+    let mut dt = 0usize;
+    for &(op, len) in cigar.runs() {
+        if dq >= max_query {
+            break;
+        }
+        let take = if op.consumes_query() {
+            (max_query - dq).min(len as usize) as u32
+        } else {
+            len
+        };
+        if take == 0 {
+            break;
+        }
+        out.push(op, take);
+        if op.consumes_query() {
+            dq += take as usize;
+        }
+        if op.consumes_target() {
+            dt += take as usize;
+        }
+        if take < len {
+            break;
+        }
+    }
+    (out, dq, dt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_codes(len: usize, mut state: u64) -> Vec<u8> {
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) & 0b11) as u8
+            })
+            .collect()
+    }
+
+    fn mutate(seq: &[u8], mut state: u64) -> Vec<u8> {
+        let mut out = Vec::with_capacity(seq.len());
+        for &c in seq {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let r = (state >> 33) % 100;
+            if r < 3 {
+                out.push((c + 1) % 4);
+            } else if r < 4 {
+                // deletion
+            } else if r < 5 {
+                out.push(c);
+                out.push((c + 2) % 4);
+            } else {
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn identical_long_sequences() {
+        let s = rand_codes(2000, 1);
+        let (a, stats) = gact_extend(&s, &s, &Scoring::bwa_mem(), &GactConfig::default());
+        assert_eq!(a.score, 2000);
+        assert_eq!(a.cigar.to_string(), "2000=");
+        // ceil((2000-256)/192)+1 tiles
+        assert!(stats.tiles >= 2000 / 256);
+    }
+
+    #[test]
+    fn approximates_full_extension_on_noisy_long_reads() {
+        let target = rand_codes(3000, 5);
+        let query = mutate(&target, 17);
+        let scoring = Scoring::bwa_mem();
+        let (gact, stats) = gact_extend(&query, &target, &scoring, &GactConfig::default());
+        let full = extend_align(&query, &target, &scoring);
+        assert!(stats.tiles > 5);
+        // GACT is a heuristic; it must reach at least 95% of the optimum on
+        // this error profile (Darwin reports near-exact behaviour).
+        assert!(
+            gact.score as f64 >= full.score as f64 * 0.95,
+            "gact {} vs full {}",
+            gact.score,
+            full.score
+        );
+        assert_eq!(gact.cigar.score(&scoring), gact.score);
+    }
+
+    #[test]
+    fn constant_tile_memory_means_tile_cells_bounded() {
+        let target = rand_codes(4000, 9);
+        let query = mutate(&target, 3);
+        let config = GactConfig {
+            tile_size: 128,
+            overlap: 32,
+        };
+        let (_, stats) = gact_extend(&query, &target, &Scoring::bwa_mem(), &config);
+        // Average cells per tile never exceeds tile_size².
+        assert!(stats.dp_cells <= stats.tiles * (128 * 128));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let (a, stats) = gact_extend(&[], &[0, 1], &Scoring::bwa_mem(), &GactConfig::default());
+        assert_eq!(a.score, 0);
+        assert_eq!(stats.tiles, 0);
+    }
+
+    #[test]
+    fn cigar_prefix_splits_runs() {
+        let mut c = Cigar::new();
+        c.push(CigarOp::Match, 10);
+        c.push(CigarOp::Del, 2);
+        c.push(CigarOp::Match, 10);
+        let (prefix, dq, dt) = cigar_prefix(&c, 15);
+        assert_eq!(prefix.to_string(), "10=2D5=");
+        assert_eq!(dq, 15);
+        assert_eq!(dt, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap must be smaller")]
+    fn invalid_config_panics() {
+        let config = GactConfig {
+            tile_size: 64,
+            overlap: 64,
+        };
+        let _ = gact_extend(&[0], &[0], &Scoring::bwa_mem(), &config);
+    }
+}

@@ -1,0 +1,222 @@
+//! Myers bit-parallel approximate string matching.
+//!
+//! GenASM (and the Bitap lineage the paper cites for the seed-extension
+//! phase) accelerate extension with *edit-distance* automata rather than
+//! scored dynamic programming. This module implements Myers' 1999
+//! bit-vector algorithm — the software equivalent of those units — so the
+//! loosely coupled extension interface can be exercised with a second
+//! algorithm family, as the paper's flexibility discussion requires.
+
+/// Result of a Myers semi-global search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EditMatch {
+    /// Edit distance of the best match.
+    pub distance: u32,
+    /// Exclusive end position of the best match in the target.
+    pub target_end: usize,
+}
+
+/// Computes the edit distance between `pattern` and `text` (global, both
+/// consumed) with Myers' bit-parallel recurrence.
+///
+/// # Panics
+///
+/// Panics if `pattern` is empty or longer than 64 symbols (one machine
+/// word; the hardware designs tile longer patterns).
+pub fn edit_distance(pattern: &[u8], text: &[u8]) -> u32 {
+    let (mut state, eq) = init(pattern);
+    let mut score = pattern.len() as u32;
+    for &c in text {
+        score = state.step(eq[c as usize], score);
+    }
+    // Global: remaining vertical moves are already accounted for because
+    // the score tracks the last row; deletions of trailing text columns are
+    // folded into the column steps.
+    score
+}
+
+/// Semi-global search: the whole `pattern` against any substring of `text`
+/// ending anywhere (free leading/trailing text). Returns the best match.
+///
+/// # Panics
+///
+/// Panics if `pattern` is empty or longer than 64 symbols.
+pub fn best_match(pattern: &[u8], text: &[u8]) -> EditMatch {
+    let (mut state, eq) = init(pattern);
+    let mut score = pattern.len() as u32;
+    let mut best = EditMatch {
+        distance: score,
+        target_end: 0,
+    };
+    for (j, &c) in text.iter().enumerate() {
+        score = state.step_semiglobal(eq[c as usize], score);
+        if score < best.distance {
+            best = EditMatch {
+                distance: score,
+                target_end: j + 1,
+            };
+        }
+    }
+    best
+}
+
+/// The two bit-vectors of Myers' algorithm.
+struct MyersState {
+    pv: u64,
+    mv: u64,
+    high_bit: u64,
+}
+
+fn init(pattern: &[u8]) -> (MyersState, [u64; 4]) {
+    assert!(!pattern.is_empty(), "pattern must be non-empty");
+    assert!(pattern.len() <= 64, "pattern longer than one word");
+    let mut eq = [0u64; 4];
+    for (i, &c) in pattern.iter().enumerate() {
+        assert!(c < 4, "codes must be in 0..4");
+        eq[c as usize] |= 1 << i;
+    }
+    (
+        MyersState {
+            pv: u64::MAX,
+            mv: 0,
+            high_bit: 1 << (pattern.len() - 1),
+        },
+        eq,
+    )
+}
+
+impl MyersState {
+    /// One column step with the global (column-anchored) recurrence.
+    fn step(&mut self, eq: u64, score: u32) -> u32 {
+        self.advance(eq, score, true)
+    }
+
+    /// One column step with free leading gaps in the text.
+    fn step_semiglobal(&mut self, eq: u64, score: u32) -> u32 {
+        self.advance(eq, score, false)
+    }
+
+    fn advance(&mut self, eq: u64, mut score: u32, carry_in: bool) -> u32 {
+        let xv = eq | self.mv;
+        let xh = (((eq & self.pv).wrapping_add(self.pv)) ^ self.pv) | eq;
+        let ph = self.mv | !(xh | self.pv);
+        let mh = self.pv & xh;
+        if ph & self.high_bit != 0 {
+            score += 1;
+        }
+        if mh & self.high_bit != 0 {
+            score -= 1;
+        }
+        let mut ph_shift = ph << 1;
+        let mh_shift = mh << 1;
+        if carry_in {
+            // Global alignment charges the text-consuming gap in row 0.
+            ph_shift |= 1;
+        }
+        self.pv = mh_shift | !(xv | ph_shift);
+        self.mv = ph_shift & xv;
+        score
+    }
+}
+
+/// Naive O(mn) edit distance for validation.
+pub fn edit_distance_naive(pattern: &[u8], text: &[u8]) -> u32 {
+    let m = pattern.len();
+    let n = text.len();
+    let mut prev: Vec<u32> = (0..=n as u32).collect();
+    let mut curr = vec![0u32; n + 1];
+    for i in 1..=m {
+        curr[0] = i as u32;
+        for j in 1..=n {
+            let sub = prev[j - 1] + u32::from(pattern[i - 1] != text[j - 1]);
+            curr[j] = sub.min(prev[j] + 1).min(curr[j - 1] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_codes(len: usize, mut state: u64) -> Vec<u8> {
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) & 0b11) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_strings_have_zero_distance() {
+        let s = rand_codes(40, 1);
+        assert_eq!(edit_distance(&s, &s), 0);
+    }
+
+    #[test]
+    fn matches_naive_on_random_pairs() {
+        for seed in 0..20u64 {
+            let m = 1 + (seed as usize * 7) % 60;
+            let n = 1 + (seed as usize * 11) % 70;
+            let p = rand_codes(m, seed);
+            let t = rand_codes(n, seed ^ 0xff);
+            assert_eq!(
+                edit_distance(&p, &t),
+                edit_distance_naive(&p, &t),
+                "seed {seed} m {m} n {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_edit_cases() {
+        // Substitution.
+        assert_eq!(edit_distance(&[0, 1, 2, 3], &[0, 1, 3, 3]), 1);
+        // Insertion in text.
+        assert_eq!(edit_distance(&[0, 1, 2], &[0, 1, 3, 2]), 1);
+        // Deletion from text.
+        assert_eq!(edit_distance(&[0, 1, 2, 3], &[0, 1, 3]), 1);
+    }
+
+    #[test]
+    fn semiglobal_finds_embedded_pattern() {
+        let pattern = rand_codes(24, 9);
+        let mut text = rand_codes(50, 3);
+        text.extend_from_slice(&pattern);
+        text.extend(rand_codes(30, 5));
+        let m = best_match(&pattern, &text);
+        assert_eq!(m.distance, 0);
+        assert_eq!(m.target_end, 50 + 24);
+    }
+
+    #[test]
+    fn semiglobal_tolerates_edits() {
+        let pattern = rand_codes(30, 21);
+        let mut noisy = pattern.clone();
+        noisy[10] = (noisy[10] + 1) % 4; // one substitution
+        noisy.remove(20); // one deletion
+        let mut text = rand_codes(40, 7);
+        let expect_end = text.len() + noisy.len();
+        text.extend_from_slice(&noisy);
+        text.extend(rand_codes(40, 11));
+        let m = best_match(&pattern, &text);
+        assert!(m.distance <= 2, "distance {}", m.distance);
+        assert!((m.target_end as i64 - expect_end as i64).abs() <= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern longer than one word")]
+    fn oversized_pattern_panics() {
+        let _ = edit_distance(&[0u8; 65], &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern must be non-empty")]
+    fn empty_pattern_panics() {
+        let _ = edit_distance(&[], &[0]);
+    }
+}

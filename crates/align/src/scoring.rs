@@ -1,0 +1,129 @@
+//! Scoring schemes.
+//!
+//! A typical scheme (Sec. II-B of the paper) has three parts: a substitution
+//! matrix, an open-gap penalty and an extension-gap penalty. NvWa's EUs are
+//! "faithful to de facto standard software BWA-MEM, e.g., the scoring
+//! scheme, the affine gap penalty"; [`Scoring::bwa_mem`] is that default.
+
+/// An affine-gap scoring scheme.
+///
+/// Penalties are stored as positive magnitudes; a gap of length `L` costs
+/// `gap_open + L * gap_extend`.
+///
+/// # Examples
+///
+/// ```
+/// use nvwa_align::Scoring;
+/// let s = Scoring::bwa_mem();
+/// assert_eq!(s.score(0, 0), 1);
+/// assert_eq!(s.score(0, 3), -4);
+/// assert_eq!(s.gap_cost(3), 9); // 6 + 3*1
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Scoring {
+    /// Score for a base match (positive).
+    pub match_score: i32,
+    /// Penalty for a mismatch (positive magnitude).
+    pub mismatch_penalty: i32,
+    /// Penalty for opening a gap (positive magnitude).
+    pub gap_open: i32,
+    /// Penalty per gap base (positive magnitude).
+    pub gap_extend: i32,
+}
+
+impl Scoring {
+    /// BWA-MEM's default scheme: match 1, mismatch 4, gap open 6,
+    /// gap extend 1.
+    pub fn bwa_mem() -> Scoring {
+        Scoring {
+            match_score: 1,
+            mismatch_penalty: 4,
+            gap_open: 6,
+            gap_extend: 1,
+        }
+    }
+
+    /// Creates a scheme, validating signs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `match_score <= 0` or any penalty is negative.
+    pub fn new(match_score: i32, mismatch_penalty: i32, gap_open: i32, gap_extend: i32) -> Scoring {
+        assert!(match_score > 0, "match score must be positive");
+        assert!(
+            mismatch_penalty >= 0 && gap_open >= 0 && gap_extend >= 0,
+            "penalties are positive magnitudes"
+        );
+        Scoring {
+            match_score,
+            mismatch_penalty,
+            gap_open,
+            gap_extend,
+        }
+    }
+
+    /// Substitution score between two 2-bit codes.
+    #[inline]
+    pub fn score(&self, a: u8, b: u8) -> i32 {
+        if a == b {
+            self.match_score
+        } else {
+            -self.mismatch_penalty
+        }
+    }
+
+    /// Total cost (positive) of a gap of `len` bases.
+    #[inline]
+    pub fn gap_cost(&self, len: u32) -> i32 {
+        if len == 0 {
+            0
+        } else {
+            self.gap_open + len as i32 * self.gap_extend
+        }
+    }
+}
+
+impl Default for Scoring {
+    fn default() -> Scoring {
+        Scoring::bwa_mem()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bwa_defaults() {
+        let s = Scoring::bwa_mem();
+        assert_eq!(
+            (s.match_score, s.mismatch_penalty, s.gap_open, s.gap_extend),
+            (1, 4, 6, 1)
+        );
+    }
+
+    #[test]
+    fn score_matrix() {
+        let s = Scoring::bwa_mem();
+        for a in 0..4u8 {
+            for b in 0..4u8 {
+                let v = s.score(a, b);
+                assert_eq!(v, if a == b { 1 } else { -4 });
+            }
+        }
+    }
+
+    #[test]
+    fn gap_costs() {
+        let s = Scoring::bwa_mem();
+        assert_eq!(s.gap_cost(0), 0);
+        assert_eq!(s.gap_cost(1), 7);
+        assert_eq!(s.gap_cost(10), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "match score must be positive")]
+    fn invalid_match_score_panics() {
+        let _ = Scoring::new(0, 4, 6, 1);
+    }
+}

@@ -1,0 +1,259 @@
+//! Pluggable seeding behind the unified interface.
+//!
+//! The paper's Sec. VI argues that NvWa's loose coupling lets "multifarious
+//! algorithms benefit ... if they follow the defined unified interface".
+//! This module is that boundary on the software side: a [`SeedingAlgorithm`]
+//! produces strand-resolved [`Seed`]s plus a memory-access trace, and the
+//! rest of the pipeline (chain → extend) is algorithm-agnostic. Two
+//! implementations are provided: the FMD/SMEM search BWA-MEM uses (NvWa's
+//! SUs) and Darwin-style k-mer hash seeding.
+
+use nvwa_index::fmd_index::FmdIndex;
+use nvwa_index::kmer_index::KmerIndex;
+use nvwa_index::sampled_sa::SampledSa;
+use nvwa_index::smem::{collect_smems, SmemConfig};
+use nvwa_index::trace::TraceSink;
+
+use crate::chain::Seed;
+
+/// A seeding algorithm: read codes in, strand-resolved seeds out.
+///
+/// Implementations must report their index-block accesses on `trace` — that
+/// trace is the seeding-unit workload of the hardware model.
+pub trait SeedingAlgorithm {
+    /// Human-readable name (for reports).
+    fn name(&self) -> &'static str;
+
+    /// Produces seeds for `read` (forward-strand 2-bit codes).
+    fn seed<T: TraceSink>(&self, read: &[u8], trace: &mut T) -> Vec<Seed>;
+}
+
+/// FMD-index SMEM seeding (what BWA-MEM and NvWa's SUs run).
+#[derive(Debug)]
+pub struct SmemSeeder<'i> {
+    fmd: &'i FmdIndex,
+    ssa: &'i SampledSa,
+    config: SmemConfig,
+    /// Locate at most this many positions per SMEM.
+    pub max_hits_per_smem: usize,
+    /// Skip SMEMs with more occurrences than this.
+    pub max_occ: u64,
+}
+
+impl<'i> SmemSeeder<'i> {
+    /// Creates a seeder over a prebuilt FMD-index and sampled SA.
+    pub fn new(fmd: &'i FmdIndex, ssa: &'i SampledSa, config: SmemConfig) -> SmemSeeder<'i> {
+        SmemSeeder {
+            fmd,
+            ssa,
+            config,
+            max_hits_per_smem: 16,
+            max_occ: 128,
+        }
+    }
+}
+
+impl SeedingAlgorithm for SmemSeeder<'_> {
+    fn name(&self) -> &'static str {
+        "fmd-smem"
+    }
+
+    fn seed<T: TraceSink>(&self, read: &[u8], trace: &mut T) -> Vec<Seed> {
+        let mut seeds = Vec::new();
+        let read_len = read.len();
+        for smem in collect_smems(self.fmd, read, &self.config, trace) {
+            if smem.occ() > self.max_occ {
+                continue;
+            }
+            let take = (smem.occ() as usize).min(self.max_hits_per_smem);
+            for i in 0..take {
+                let rank = smem.interval.k + i as u64;
+                let pos = self.ssa.locate(self.fmd.fm(), rank, trace);
+                let Some(hit) = self.fmd.resolve_hit(pos as usize, smem.len()) else {
+                    continue;
+                };
+                let (qs, qe) = if hit.is_rc {
+                    (read_len - smem.query_end, read_len - smem.query_start)
+                } else {
+                    (smem.query_start, smem.query_end)
+                };
+                seeds.push(Seed {
+                    query_start: qs,
+                    query_end: qe,
+                    ref_pos: hit.pos as u64,
+                    is_rc: hit.is_rc,
+                });
+            }
+        }
+        seeds
+    }
+}
+
+/// Darwin-style k-mer hash seeding: fixed-length exact seeds from the
+/// pointer/position tables, both strands probed explicitly.
+#[derive(Debug)]
+pub struct KmerSeeder<'i> {
+    index: &'i KmerIndex,
+    /// Probe every `stride`-th read position (1 = every k-mer).
+    pub stride: usize,
+    /// Skip k-mers with more occurrences than this.
+    pub max_occ: usize,
+}
+
+impl<'i> KmerSeeder<'i> {
+    /// Creates a seeder over a prebuilt k-mer index.
+    pub fn new(index: &'i KmerIndex) -> KmerSeeder<'i> {
+        KmerSeeder {
+            index,
+            stride: 4,
+            max_occ: 64,
+        }
+    }
+}
+
+impl SeedingAlgorithm for KmerSeeder<'_> {
+    fn name(&self) -> &'static str {
+        "kmer-hash"
+    }
+
+    fn seed<T: TraceSink>(&self, read: &[u8], trace: &mut T) -> Vec<Seed> {
+        let k = self.index.k();
+        if read.len() < k {
+            return Vec::new();
+        }
+        let rc: Vec<u8> = read.iter().rev().map(|&c| 3 - c).collect();
+        let mut seeds = Vec::new();
+        for (codes, is_rc) in [(read, false), (rc.as_slice(), true)] {
+            for qs in (0..=codes.len() - k).step_by(self.stride.max(1)) {
+                let kmer = &codes[qs..qs + k];
+                let hits = self.index.lookup(kmer, trace);
+                if hits.is_empty() || hits.len() > self.max_occ {
+                    continue;
+                }
+                for &pos in hits {
+                    seeds.push(Seed {
+                        query_start: qs,
+                        query_end: qs + k,
+                        ref_pos: pos as u64,
+                        is_rc,
+                    });
+                }
+            }
+        }
+        seeds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvwa_index::suffix_array::build_suffix_array;
+    use nvwa_index::trace::{CountTrace, NullTrace};
+    use nvwa_index::{bwt::Bwt, fm_index::FmIndex};
+
+    fn rand_codes(len: usize, mut state: u64) -> Vec<u8> {
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) & 0b11) as u8
+            })
+            .collect()
+    }
+
+    struct Fixture {
+        reference: Vec<u8>,
+        fmd: FmdIndex,
+        ssa: SampledSa,
+        kmer: KmerIndex,
+    }
+
+    fn fixture() -> Fixture {
+        let reference = rand_codes(20_000, 12);
+        let doubled = FmdIndex::doubled_text(&reference);
+        let sa = build_suffix_array(&doubled);
+        let fm = FmIndex::from_bwt(Bwt::from_text_and_sa(&doubled, &sa));
+        let fmd = FmdIndex::from_parts(fm, reference.len());
+        let ssa = SampledSa::from_sa(&sa, 32);
+        let kmer = KmerIndex::build(&reference, 12);
+        Fixture {
+            reference,
+            fmd,
+            ssa,
+            kmer,
+        }
+    }
+
+    #[test]
+    fn both_seeders_anchor_an_exact_read() {
+        let fx = fixture();
+        let read = fx.reference[5_000..5_101].to_vec();
+        let smem = SmemSeeder::new(&fx.fmd, &fx.ssa, SmemConfig::default());
+        let kmer = KmerSeeder::new(&fx.kmer);
+        for (name, seeds) in [
+            ("smem", smem.seed(&read, &mut NullTrace)),
+            ("kmer", kmer.seed(&read, &mut NullTrace)),
+        ] {
+            let anchored = seeds
+                .iter()
+                .any(|s| !s.is_rc && s.ref_pos as usize == 5_000 + s.query_start);
+            assert!(anchored, "{name} failed to anchor the read: {seeds:?}");
+        }
+    }
+
+    #[test]
+    fn both_seeders_handle_reverse_strand() {
+        let fx = fixture();
+        let fwd = fx.reference[8_000..8_101].to_vec();
+        let read: Vec<u8> = fwd.iter().rev().map(|&c| 3 - c).collect();
+        let smem = SmemSeeder::new(&fx.fmd, &fx.ssa, SmemConfig::default());
+        let kmer = KmerSeeder::new(&fx.kmer);
+        for (name, seeds) in [
+            ("smem", smem.seed(&read, &mut NullTrace)),
+            ("kmer", kmer.seed(&read, &mut NullTrace)),
+        ] {
+            assert!(
+                seeds.iter().any(|s| s.is_rc),
+                "{name} found no reverse-strand seeds"
+            );
+        }
+    }
+
+    #[test]
+    fn seeders_emit_memory_traces() {
+        let fx = fixture();
+        let read = fx.reference[100..201].to_vec();
+        let smem = SmemSeeder::new(&fx.fmd, &fx.ssa, SmemConfig::default());
+        let mut t1 = CountTrace::default();
+        let _ = smem.seed(&read, &mut t1);
+        assert!(t1.0 > 100, "smem trace {}", t1.0);
+        let kmer = KmerSeeder::new(&fx.kmer);
+        let mut t2 = CountTrace::default();
+        let _ = kmer.seed(&read, &mut t2);
+        assert!(t2.0 > 10, "kmer trace {}", t2.0);
+    }
+
+    #[test]
+    fn kmer_seed_spans_are_k_long() {
+        let fx = fixture();
+        let read = fx.reference[300..401].to_vec();
+        let kmer = KmerSeeder::new(&fx.kmer);
+        for s in kmer.seed(&read, &mut NullTrace) {
+            assert_eq!(s.query_end - s.query_start, 12);
+        }
+    }
+
+    #[test]
+    fn seeds_feed_the_shared_chainer() {
+        use crate::chain::{chain_seeds, ChainConfig};
+        let fx = fixture();
+        let read = fx.reference[2_000..2_101].to_vec();
+        let kmer = KmerSeeder::new(&fx.kmer);
+        let seeds = kmer.seed(&read, &mut NullTrace);
+        let chains = chain_seeds(&seeds, &ChainConfig::default());
+        assert!(!chains.is_empty());
+        let (rs, _) = chains[0].ref_span();
+        assert!((rs as i64 - 2_000).abs() <= 101);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests on the alignment substrates.
+
+use proptest::prelude::*;
+
+use nvwa_align::banded::banded_extend;
+use nvwa_align::cigar::CigarOp;
+use nvwa_align::gact::{gact_extend, GactConfig};
+use nvwa_align::myers::{best_match, edit_distance, edit_distance_naive};
+use nvwa_align::scoring::Scoring;
+use nvwa_align::sw::{extend_align, local_align};
+
+fn codes(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..4, 1..=max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// A full-width band is exactly the unbanded extension.
+    #[test]
+    fn banded_with_full_band_equals_full(q in codes(30), t in codes(30)) {
+        let scoring = Scoring::bwa_mem();
+        let full = extend_align(&q, &t, &scoring);
+        let band = q.len().max(t.len()) + 1;
+        let banded = banded_extend(&q, &t, &scoring, band);
+        prop_assert_eq!(banded.score, full.score);
+    }
+
+    /// Narrowing the band can only lower the score.
+    #[test]
+    fn band_narrowing_is_monotone(q in codes(30), t in codes(30)) {
+        let scoring = Scoring::bwa_mem();
+        let wide = banded_extend(&q, &t, &scoring, 24);
+        let narrow = banded_extend(&q, &t, &scoring, 4);
+        prop_assert!(narrow.score <= wide.score);
+    }
+
+    /// Myers' bit-parallel distance equals the DP oracle.
+    #[test]
+    fn myers_equals_naive(p in codes(60), t in codes(80)) {
+        prop_assert_eq!(edit_distance(&p, &t), edit_distance_naive(&p, &t));
+    }
+
+    /// Semi-global never reports more edits than global, and the distance
+    /// is bounded by the pattern length.
+    #[test]
+    fn semiglobal_bounds(p in codes(50), t in codes(80)) {
+        let global = edit_distance(&p, &t);
+        let semi = best_match(&p, &t);
+        prop_assert!(semi.distance <= global.max(p.len() as u32));
+        prop_assert!(semi.distance <= p.len() as u32);
+        prop_assert!(semi.target_end <= t.len());
+    }
+
+    /// GACT's committed transcript is always internally consistent and its
+    /// consumed spans never exceed the inputs.
+    #[test]
+    fn gact_consistency(q in codes(600), t in codes(600)) {
+        let scoring = Scoring::bwa_mem();
+        let config = GactConfig { tile_size: 96, overlap: 24 };
+        let (a, stats) = gact_extend(&q, &t, &scoring, &config);
+        prop_assert_eq!(a.cigar.score(&scoring), a.score);
+        prop_assert_eq!(a.cigar.query_len(), a.query_len);
+        prop_assert_eq!(a.cigar.target_len(), a.target_len);
+        prop_assert!(a.query_len <= q.len());
+        prop_assert!(a.target_len <= t.len());
+        prop_assert!(stats.dp_cells <= stats.tiles.max(1) * (96 * 96));
+    }
+
+    /// Local alignment is symmetric up to swapping insertion/deletion
+    /// roles: score(q, t) == score(t, q).
+    #[test]
+    fn local_alignment_is_symmetric(q in codes(25), t in codes(25)) {
+        let scoring = Scoring::bwa_mem();
+        prop_assert_eq!(
+            local_align(&q, &t, &scoring).score,
+            local_align(&t, &q, &scoring).score
+        );
+    }
+
+    /// Appending characters to the target never lowers the local score.
+    #[test]
+    fn local_score_monotone_in_target(q in codes(20), t in codes(20), extra in codes(5)) {
+        let scoring = Scoring::bwa_mem();
+        let base = local_align(&q, &t, &scoring).score;
+        let mut longer = t.clone();
+        longer.extend_from_slice(&extra);
+        prop_assert!(local_align(&q, &longer, &scoring).score >= base);
+    }
+
+    /// The traceback's op usage matches the sequences: Match ops only on
+    /// equal bases, Subst only on unequal.
+    #[test]
+    fn traceback_ops_match_bases(q in codes(25), t in codes(25)) {
+        let scoring = Scoring::bwa_mem();
+        let a = local_align(&q, &t, &scoring);
+        let (mut qi, mut tj) = (a.query_start, a.target_start);
+        for &(op, len) in a.cigar.runs() {
+            for _ in 0..len {
+                match op {
+                    CigarOp::Match => {
+                        prop_assert_eq!(q[qi], t[tj]);
+                        qi += 1;
+                        tj += 1;
+                    }
+                    CigarOp::Subst => {
+                        prop_assert_ne!(q[qi], t[tj]);
+                        qi += 1;
+                        tj += 1;
+                    }
+                    CigarOp::Ins => qi += 1,
+                    CigarOp::Del => tj += 1,
+                }
+            }
+        }
+        prop_assert_eq!((qi, tj), (a.query_end, a.target_end));
+    }
+}

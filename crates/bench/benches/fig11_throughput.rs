@@ -1,0 +1,27 @@
+//! Fig. 11 — regenerates the end-to-end throughput comparison (reported
+//! platforms + measured ablations) and times a full-system simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvwa_core::config::NvwaConfig;
+use nvwa_core::experiments::{fig11, Scale};
+use nvwa_core::system::simulate;
+use nvwa_core::units::workload::SyntheticWorkloadParams;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig11::run(Scale::Quick));
+    let works = SyntheticWorkloadParams {
+        reads: 500,
+        ..SyntheticWorkloadParams::default()
+    }
+    .generate(11);
+    let config = NvwaConfig::paper();
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(10);
+    group.bench_function("simulate_nvwa_500_reads", |b| {
+        b.iter(|| std::hint::black_box(simulate(&config, &works)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Fig. 12 — regenerates the utilization traces and allocation-correctness
+//! analysis and times the paired NvWa/baseline runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvwa_core::experiments::{fig12, Scale};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig12::run(Scale::Quick));
+    let mut group = c.benchmark_group("fig12");
+    group.sample_size(10);
+    group.bench_function("utilization_pair_quick", |b| {
+        b.iter(|| std::hint::black_box(fig12::run(Scale::Quick)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

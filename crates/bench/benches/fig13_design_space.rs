@@ -1,0 +1,32 @@
+//! Fig. 13 — regenerates the buffer-depth and interval-count design-space
+//! sweeps and times one sweep point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvwa_core::config::NvwaConfig;
+use nvwa_core::experiments::{fig13, Scale};
+use nvwa_core::system::simulate;
+use nvwa_core::units::workload::SyntheticWorkloadParams;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig13::run(Scale::Quick));
+    let works = SyntheticWorkloadParams {
+        reads: 400,
+        ..SyntheticWorkloadParams::default()
+    }
+    .generate(13);
+    let mut group = c.benchmark_group("fig13");
+    group.sample_size(10);
+    for depth in [64usize, 1024, 8192] {
+        group.bench_function(format!("depth_{depth}"), |b| {
+            let config = NvwaConfig {
+                hits_buffer_depth: depth,
+                ..NvwaConfig::paper()
+            };
+            b.iter(|| std::hint::black_box(simulate(&config, &works)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Fig. 14 — regenerates the multi-species sensitivity study and times one
+//! species' end-to-end (align + simulate) pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvwa_core::experiments::{fig14, Scale};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig14::run(Scale::Quick));
+    let mut group = c.benchmark_group("fig14");
+    group.sample_size(10);
+    group.bench_function("six_species_quick", |b| {
+        b.iter(|| std::hint::black_box(fig14::run(Scale::Quick)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

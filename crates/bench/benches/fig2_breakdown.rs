@@ -1,0 +1,19 @@
+//! Fig. 2 — regenerates the per-read phase breakdown and times the
+//! software-profiling pipeline that produces it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvwa_core::experiments::{fig2, Scale};
+
+fn bench(c: &mut Criterion) {
+    let fig = fig2::run(Scale::Quick);
+    println!("{fig}");
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    group.bench_function("profile_breakdown_quick", |b| {
+        b.iter(|| std::hint::black_box(fig2::run(Scale::Quick)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Fig. 7/8 — regenerates the systolic latency curves and times the
+//! cycle-exact systolic model against the closed-form Formula 3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nvwa_align::scoring::Scoring;
+use nvwa_core::experiments::fig7;
+use nvwa_core::extension::systolic::{matrix_fill_latency, SystolicArray};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig7::run());
+    let query: Vec<u8> = (0..64).map(|i| (i % 4) as u8).collect();
+    let target: Vec<u8> = (0..64).map(|i| ((i / 2) % 4) as u8).collect();
+    let scoring = Scoring::bwa_mem();
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(20);
+    for pes in [8u32, 64] {
+        group.bench_with_input(BenchmarkId::new("cycle_exact", pes), &pes, |b, &pes| {
+            b.iter(|| SystolicArray::new(pes).run(&query, &target, &scoring))
+        });
+        group.bench_with_input(BenchmarkId::new("formula3", pes), &pes, |b, &pes| {
+            b.iter(|| matrix_fill_latency(64, 64, std::hint::black_box(pes)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Fig. 9/10 — regenerates the hybrid-vs-uniform toy (455 vs 257 cycles)
+//! and times the Coordinator allocation round.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvwa_core::config::EuClass;
+use nvwa_core::coordinator::allocator::{AllocPolicy, HitsAllocator, IdleEu};
+use nvwa_core::experiments::fig9;
+use nvwa_core::interface::Hit;
+
+fn hit(len: u32) -> Hit {
+    Hit {
+        read_idx: 0,
+        hit_idx: 0,
+        direction: false,
+        read_pos: (0, len),
+        ref_pos: 0,
+        query_len: len,
+        ref_len: len + 180,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig9::run());
+    let classes = vec![
+        EuClass::new(16, 28),
+        EuClass::new(32, 20),
+        EuClass::new(64, 16),
+        EuClass::new(128, 6),
+    ];
+    let allocator = HitsAllocator::new(&classes, AllocPolicy::GroupedGreedy);
+    let batch: Vec<Hit> = (0..32).map(|i| hit(1 + (i * 4) % 128)).collect();
+    let idle: Vec<IdleEu> = (0..70)
+        .map(|i| IdleEu {
+            unit_idx: i,
+            pes: [16, 32, 64, 128][i % 4],
+        })
+        .collect();
+    let mut group = c.benchmark_group("fig9");
+    group.bench_function("allocation_round_32x70", |b| {
+        b.iter(|| {
+            let mut idle = idle.clone();
+            std::hint::black_box(allocator.allocate(&batch, &mut idle))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Scheduling-policy ablations beyond the paper's headline chain: the
+//! Hits Allocator's grouped-greedy policy vs the two "basic methods"
+//! (strict per-class and fully shared) of Sec. IV-D, and OCRA vs
+//! Read-in-Batch across SU-pool sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvwa_core::config::EuClass;
+use nvwa_core::config::{NvwaConfig, SchedulingConfig};
+use nvwa_core::coordinator::allocator::{AllocPolicy, HitsAllocator, IdleEu};
+use nvwa_core::interface::Hit;
+use nvwa_core::system::simulate;
+use nvwa_core::units::workload::SyntheticWorkloadParams;
+
+fn hit(len: u32) -> Hit {
+    Hit {
+        read_idx: 0,
+        hit_idx: 0,
+        direction: false,
+        read_pos: (0, len),
+        ref_pos: 0,
+        query_len: len,
+        ref_len: len + 180,
+    }
+}
+
+fn allocated_count(policy: AllocPolicy) -> usize {
+    let classes = vec![
+        EuClass::new(16, 28),
+        EuClass::new(32, 20),
+        EuClass::new(64, 16),
+        EuClass::new(128, 6),
+    ];
+    let allocator = HitsAllocator::new(&classes, policy);
+    // A skewed batch: many short hits, scarce large units.
+    let batch: Vec<Hit> = (0..32).map(|i| hit(1 + (i * 7) % 128)).collect();
+    let mut idle: Vec<IdleEu> = (0..20)
+        .map(|i| IdleEu {
+            unit_idx: i,
+            pes: [16, 16, 32, 64][i % 4],
+        })
+        .collect();
+    let (flags, _) = allocator.allocate(&batch, &mut idle);
+    flags.iter().filter(|&&f| f).count()
+}
+
+fn bench(c: &mut Criterion) {
+    // Print the policy comparison (Sec. IV-D's two basic methods).
+    for policy in [
+        AllocPolicy::GroupedGreedy,
+        AllocPolicy::StrictPerClass,
+        AllocPolicy::FullyShared,
+    ] {
+        println!(
+            "allocation policy {:?}: {} of 32 hits placed on 20 idle units",
+            policy,
+            allocated_count(policy)
+        );
+    }
+    // OCRA vs batch across pool sizes.
+    let works = SyntheticWorkloadParams {
+        reads: 400,
+        ..SyntheticWorkloadParams::default()
+    }
+    .generate(7);
+    for su_count in [32u32, 128, 256] {
+        let mut line = format!("su_count {su_count:3}:");
+        for (name, ocra) in [("batch", false), ("ocra", true)] {
+            let config = NvwaConfig {
+                su_count,
+                scheduling: SchedulingConfig {
+                    ocra,
+                    ..SchedulingConfig::nvwa()
+                },
+                ..NvwaConfig::paper()
+            };
+            let r = simulate(&config, &works);
+            line.push_str(&format!(
+                "  {name} {:.0} Kreads/s (SU util {:.0}%)",
+                r.kreads_per_sec(),
+                r.su_utilization * 100.0
+            ));
+        }
+        println!("{line}");
+    }
+
+    let mut group = c.benchmark_group("sched_ablation");
+    group.sample_size(10);
+    let config = NvwaConfig::paper();
+    group.bench_function("nvwa_400_reads", |b| {
+        b.iter(|| std::hint::black_box(simulate(&config, &works)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

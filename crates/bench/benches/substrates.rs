@@ -1,0 +1,56 @@
+//! Substrate micro-benchmarks: FM-index search, SMEM collection, sampled-SA
+//! locate, Smith-Waterman variants and GACT — the building blocks whose
+//! costs the CPU model and the hardware model charge.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nvwa_align::banded::banded_extend;
+use nvwa_align::gact::{gact_extend, GactConfig};
+use nvwa_align::scoring::Scoring;
+use nvwa_align::sw::{extend_align, local_align};
+use nvwa_genome::reference::{ReferenceGenome, ReferenceParams};
+use nvwa_index::smem::{collect_smems, SmemConfig};
+use nvwa_index::trace::NullTrace;
+use nvwa_index::FmdIndex;
+
+fn bench(c: &mut Criterion) {
+    let genome = ReferenceGenome::synthesize(
+        &ReferenceParams {
+            total_len: 200_000,
+            ..ReferenceParams::default()
+        },
+        1,
+    );
+    let fmd = FmdIndex::from_forward(genome.flat().codes());
+    let query = genome.flat().codes()[5000..5101].to_vec();
+
+    let mut group = c.benchmark_group("substrates");
+    group.throughput(Throughput::Elements(query.len() as u64));
+    group.bench_function("smem_collect_101bp", |b| {
+        b.iter(|| collect_smems(&fmd, &query, &SmemConfig::default(), &mut NullTrace))
+    });
+    group.bench_function("fmd_search_101bp", |b| {
+        b.iter(|| fmd.search(&query, &mut NullTrace))
+    });
+
+    let q: Vec<u8> = (0..101).map(|i| (i % 4) as u8).collect();
+    let t: Vec<u8> = (0..160).map(|i| ((i / 3) % 4) as u8).collect();
+    let scoring = Scoring::bwa_mem();
+    group.bench_function("sw_local_101x160", |b| {
+        b.iter(|| local_align(&q, &t, &scoring))
+    });
+    group.bench_function("sw_extend_101x160", |b| {
+        b.iter(|| extend_align(&q, &t, &scoring))
+    });
+    group.bench_function("banded_extend_101x160_w32", |b| {
+        b.iter(|| banded_extend(&q, &t, &scoring, 32))
+    });
+
+    let long_q: Vec<u8> = (0..2000).map(|i| (i % 4) as u8).collect();
+    group.bench_function("gact_2000bp", |b| {
+        b.iter(|| gact_extend(&long_q, &long_q, &scoring, &GactConfig::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Regenerates every table and figure of the paper as text.
+//!
+//! ```text
+//! cargo run --release -p nvwa-bench --bin repro            # all, quick scale
+//! cargo run --release -p nvwa-bench --bin repro -- --full  # all, full scale
+//! cargo run --release -p nvwa-bench --bin repro -- fig11   # one experiment
+//! ```
+
+use nvwa_bench::{scale_from_args, EXPERIMENTS};
+use nvwa_core::experiments::{fig11, fig12, fig13, fig14, fig2, fig5, fig7, fig9, tables, Scale};
+
+fn run_one(name: &str, scale: Scale) {
+    println!("================================================================");
+    match name {
+        "fig2" => print!("{}", fig2::run(scale)),
+        "fig5" => print!("{}", fig5::run()),
+        "fig7" => print!("{}", fig7::run()),
+        "fig9" => print!("{}", fig9::run()),
+        "fig11" => print!("{}", fig11::run(scale)),
+        "fig12" => print!("{}", fig12::run(scale)),
+        "fig13" => print!("{}", fig13::run(scale)),
+        "fig14" => print!("{}", fig14::run(scale)),
+        "table1" => print!("{}", tables::table1()),
+        "table2" => print!("{}", tables::table2()),
+        "table3" => print!("{}", tables::table3()),
+        "headline" => print!("{}", tables::headline()),
+        other => eprintln!("unknown experiment {other:?}; known: {EXPERIMENTS:?}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    let requested: Vec<&str> = args
+        .iter()
+        .filter(|a| *a != "--full")
+        .map(String::as_str)
+        .collect();
+    let to_run: Vec<&str> = if requested.is_empty() {
+        EXPERIMENTS.to_vec()
+    } else {
+        requested
+    };
+    println!("NvWa reproduction — experiment suite ({scale:?} scale)");
+    for name in to_run {
+        run_one(name, scale);
+    }
+}

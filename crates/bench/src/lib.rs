@@ -1,0 +1,47 @@
+//! Benchmark harness for the NvWa reproduction.
+//!
+//! Two entry points:
+//!
+//! * the [`repro`](../repro/index.html) binary (`cargo run --release -p
+//!   nvwa-bench --bin repro [-- <experiment> [--full]]`) prints every table
+//!   and figure of the paper as text;
+//! * the Criterion benches (`cargo bench -p nvwa-bench`) time each
+//!   experiment driver and print the same series, one bench per
+//!   table/figure (see `benches/`).
+//!
+//! This library crate only hosts small shared helpers.
+
+use nvwa_core::experiments::Scale;
+
+/// Parses `--full` from a CLI argument list into a [`Scale`].
+pub fn scale_from_args(args: &[String]) -> Scale {
+    if args.iter().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    }
+}
+
+/// The experiment names the `repro` binary understands.
+pub const EXPERIMENTS: &[&str] = &[
+    "fig2", "fig5", "fig7", "fig9", "fig11", "fig12", "fig13", "fig14", "table1", "table2",
+    "table3", "headline",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(scale_from_args(&[]), Scale::Quick);
+        assert_eq!(scale_from_args(&["--full".into()]), Scale::Full);
+    }
+
+    #[test]
+    fn experiment_list_covers_all_figures() {
+        for name in ["fig2", "fig11", "fig14", "table2", "headline"] {
+            assert!(EXPERIMENTS.contains(&name));
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Comparison baselines (Fig. 11 / Table II companions).
+//!
+//! The paper compares NvWa against software (BWA-MEM on a 16-core Xeon,
+//! GASAL2 on an A100) and hardware (ERT+SeedEx FPGA, GenAx ASIC, GenCache
+//! PIM). For the hardware points the paper itself uses *numbers reported by
+//! the original work* on the same NA12878 dataset; we encode those reported
+//! points. For the CPU baseline we additionally provide an analytic cost
+//! model so the software/hardware gap emerges from modeled work rather than
+//! a single constant.
+
+use nvwa_align::pipeline::ReadProfile;
+
+/// A published comparison point: throughput and (effective) power.
+///
+/// Power values are derived from the paper's reported energy-reduction
+/// ratios (footnote 6 explains GenAx/GenCache exclude memory; CPU and GPU
+/// include it against NvWa's 7.685 W total).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlatformPoint {
+    /// Platform label as in Fig. 11.
+    pub name: &'static str,
+    /// Reads per second (thousands), as reported/derived by the paper.
+    pub kreads_per_sec: f64,
+    /// Effective power in watts.
+    pub power_w: f64,
+    /// Where the number comes from.
+    pub source: &'static str,
+}
+
+impl PlatformPoint {
+    /// Throughput per watt (K reads/s/W).
+    pub fn kreads_per_sec_per_watt(&self) -> f64 {
+        self.kreads_per_sec / self.power_w
+    }
+}
+
+/// NvWa's own published point (used for calibration checks; the simulator
+/// produces our measured equivalent).
+pub fn nvwa_reported() -> PlatformPoint {
+    PlatformPoint {
+        name: "NvWa",
+        kreads_per_sec: 49_150.0,
+        power_w: 5.693,
+        source: "paper Sec. V-C (power excl. HBM, per footnote 6)",
+    }
+}
+
+/// The reported baselines of Fig. 11, in presentation order.
+///
+/// Throughputs are back-derived from NvWa's 49 150 K reads/s and the
+/// published speedup ratios (493×, 200×, 151×, 12.11×, 2.30×); powers from
+/// the published energy-reduction ratios (14.21×, 5.60×, 4.34×, 5.85×).
+pub fn reported_baselines() -> Vec<PlatformPoint> {
+    let nvwa = nvwa_reported();
+    vec![
+        PlatformPoint {
+            name: "CPU-BWA-MEM",
+            kreads_per_sec: nvwa.kreads_per_sec / 493.0,
+            power_w: 7.685 * 14.21,
+            source: "measured by the paper on 2×E5-2620v4, 16 threads",
+        },
+        PlatformPoint {
+            name: "GPU-GASAL2",
+            kreads_per_sec: nvwa.kreads_per_sec / 200.0,
+            power_w: 7.685 * 5.60,
+            source: "measured by the paper on an NVIDIA A100",
+        },
+        PlatformPoint {
+            name: "FPGA-ERT+SeedEx",
+            kreads_per_sec: nvwa.kreads_per_sec / 151.0,
+            power_w: 75.0,
+            source: "reported by [24], [57] (power: typical FPGA board)",
+        },
+        PlatformPoint {
+            name: "ASIC-GenAx",
+            kreads_per_sec: nvwa.kreads_per_sec / 12.11,
+            power_w: 5.693 * 4.34,
+            source: "reported by [23]; power from the 4.34× energy ratio",
+        },
+        PlatformPoint {
+            name: "PIM-GenCache",
+            kreads_per_sec: nvwa.kreads_per_sec / 2.30,
+            power_w: 5.693 * 5.85,
+            source: "reported by [49]; power from the 5.85× energy ratio",
+        },
+    ]
+}
+
+/// The analytic CPU cost model for BWA-MEM on the baseline Xeon.
+///
+/// Cycle costs per operation are first-principles estimates for a 2.1 GHz
+/// Broadwell core running the BWA-MEM inner loops: an FM-index occ lookup
+/// is an LLC-missing pointer chase (~140 cycles amortized), a banded DP
+/// cell costs ~8 cycles (SSE-amortized arithmetic plus traceback and band
+/// bookkeeping), and each read carries fixed overheads (I/O, chaining, SAM
+/// formatting).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuCostModel {
+    /// Cycles per FM-index block access (cache-missing chase).
+    pub cycles_per_occ_access: f64,
+    /// Cycles per DP cell (SIMD-amortized).
+    pub cycles_per_dp_cell: f64,
+    /// Fixed per-read overhead cycles (chaining, mem mgmt, output).
+    pub overhead_per_read: f64,
+    /// Core clock in GHz.
+    pub freq_ghz: f64,
+    /// Thread count.
+    pub threads: u32,
+    /// Parallel efficiency (memory-bandwidth and locking losses).
+    pub efficiency: f64,
+}
+
+impl Default for CpuCostModel {
+    fn default() -> CpuCostModel {
+        CpuCostModel {
+            cycles_per_occ_access: 140.0,
+            cycles_per_dp_cell: 8.0,
+            overhead_per_read: 60_000.0,
+            freq_ghz: 2.1,
+            threads: 16,
+            efficiency: 0.80,
+        }
+    }
+}
+
+impl CpuCostModel {
+    /// Modeled cycles for one read given its workload profile.
+    pub fn cycles_for_read(&self, profile: &ReadProfile) -> f64 {
+        profile.seeding_trace.len() as f64 * self.cycles_per_occ_access
+            + profile.dp_cells as f64 * self.cycles_per_dp_cell
+            + self.overhead_per_read
+    }
+
+    /// Modeled multi-threaded throughput over a set of profiles, in
+    /// K reads/s.
+    pub fn kreads_per_sec(&self, profiles: &[ReadProfile]) -> f64 {
+        if profiles.is_empty() {
+            return 0.0;
+        }
+        let total_cycles: f64 = profiles.iter().map(|p| self.cycles_for_read(p)).sum();
+        let per_read = total_cycles / profiles.len() as f64;
+        self.freq_ghz * 1e9 * self.threads as f64 * self.efficiency / per_read / 1e3
+    }
+
+    /// Modeled throughput from average per-read operation counts (for
+    /// synthetic workloads), in K reads/s.
+    pub fn kreads_per_sec_from_counts(&self, mean_accesses: f64, mean_dp_cells: f64) -> f64 {
+        let per_read = mean_accesses * self.cycles_per_occ_access
+            + mean_dp_cells * self.cycles_per_dp_cell
+            + self.overhead_per_read;
+        self.freq_ghz * 1e9 * self.threads as f64 * self.efficiency / per_read / 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reported_ratios_round_trip() {
+        let nvwa = nvwa_reported();
+        let baselines = reported_baselines();
+        let ratio = |name: &str| {
+            nvwa.kreads_per_sec
+                / baselines
+                    .iter()
+                    .find(|b| b.name == name)
+                    .unwrap()
+                    .kreads_per_sec
+        };
+        assert!((ratio("CPU-BWA-MEM") - 493.0).abs() < 1e-9);
+        assert!((ratio("GPU-GASAL2") - 200.0).abs() < 1e-9);
+        assert!((ratio("ASIC-GenAx") - 12.11).abs() < 1e-9);
+        assert!((ratio("PIM-GenCache") - 2.30).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_per_watt_ratios_match_paper() {
+        // "the throughput per Watt of NvWa is 52.62× of GenAx, and 13.50×
+        // of GenCache".
+        let nvwa = nvwa_reported();
+        let baselines = reported_baselines();
+        let genax = baselines.iter().find(|b| b.name == "ASIC-GenAx").unwrap();
+        let gencache = baselines.iter().find(|b| b.name == "PIM-GenCache").unwrap();
+        let r1 = nvwa.kreads_per_sec_per_watt() / genax.kreads_per_sec_per_watt();
+        let r2 = nvwa.kreads_per_sec_per_watt() / gencache.kreads_per_sec_per_watt();
+        assert!((r1 - 52.62).abs() / 52.62 < 0.01, "GenAx T/W ratio {r1}");
+        assert!((r2 - 13.50).abs() / 13.50 < 0.01, "GenCache T/W ratio {r2}");
+    }
+
+    #[test]
+    fn cpu_model_lands_near_reported_throughput() {
+        // The paper's 16-thread BWA-MEM does ~99.7 K reads/s on 101 bp
+        // reads. With typical per-read operation counts (≈ 300 occ
+        // accesses, ≈ 15 K DP cells) the model should land within 2×.
+        let model = CpuCostModel::default();
+        let modeled = model.kreads_per_sec_from_counts(300.0, 15_000.0);
+        let reported = 49_150.0 / 493.0; // 99.7 K reads/s
+        assert!(
+            modeled / reported < 4.0 && reported / modeled < 4.0,
+            "modeled {modeled} vs reported {reported}"
+        );
+    }
+
+    #[test]
+    fn cpu_model_scales_with_work() {
+        let model = CpuCostModel::default();
+        let light = model.kreads_per_sec_from_counts(100.0, 1_000.0);
+        let heavy = model.kreads_per_sec_from_counts(1_000.0, 100_000.0);
+        assert!(light > heavy);
+    }
+
+    #[test]
+    fn empty_profiles_are_zero() {
+        assert_eq!(CpuCostModel::default().kreads_per_sec(&[]), 0.0);
+    }
+}

@@ -1,0 +1,18 @@
+//! The Coordinator (Sec. IV-D).
+//!
+//! Solves Challenge-③ (hit characteristics diversity): SUs produce hits at
+//! unpredictable rates with unpredictable lengths, and every valid hit must
+//! reach an EU — ideally one whose PE count matches the hit's length.
+//!
+//! * [`hits_buffer`] — the double-buffered Hits Buffer (Store Buffer +
+//!   Processing Buffer) with the offset/write-back fragmentation handling
+//!   of Fig. 10.
+//! * [`allocator`] — the nine-step greedy Hits Allocator plus the two
+//!   "basic methods" (strict per-class and fully shared) the paper argues
+//!   against, and the Allocate Judger debouncing scheduling requests.
+
+pub mod allocator;
+pub mod hits_buffer;
+
+pub use allocator::{AllocPolicy, AllocateJudger, HitsAllocator, IdleEu};
+pub use hits_buffer::HitsBuffer;

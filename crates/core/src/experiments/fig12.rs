@@ -1,0 +1,167 @@
+//! Fig. 12 — resource utilization and allocation-correctness analysis.
+//!
+//! The paper runs 4000 reads of 101 bp and shows: (a/b) SU utilization over
+//! time for NvWa (97.1 % average) vs SUs+EUs (23.51 %), (c/d) EU
+//! utilization (85.36 % vs 32.31 %), and (e/f) the fraction of hits
+//! assigned to their optimal EU class (87.7 %/64.1 %/56.9 %/87.6 % per
+//! class vs 14.5 % overall without the strategy).
+
+use std::fmt;
+
+use crate::config::{NvwaConfig, SchedulingConfig};
+use crate::system::{simulate, SimReport};
+use crate::units::workload::SyntheticWorkloadParams;
+
+use super::Scale;
+
+/// The Fig. 12 result: paired NvWa/baseline reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig12 {
+    /// Full NvWa run.
+    pub nvwa: SimReport,
+    /// SUs+EUs baseline run.
+    pub baseline: SimReport,
+}
+
+impl Fig12 {
+    /// Per-class correct-allocation fractions for NvWa (Fig. 12e).
+    pub fn nvwa_correctness(&self) -> Vec<Option<f64>> {
+        (0..self.nvwa.hit_class_bounds.len())
+            .map(|c| self.nvwa.correct_allocation_fraction(c))
+            .collect()
+    }
+}
+
+impl fmt::Display for Fig12 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fig. 12 — resource utilization ({} reads)",
+            self.nvwa.reads
+        )?;
+        writeln!(
+            f,
+            "  (a/b) SU utilization: NvWa {:.1}% (paper 97.1%) vs SUs+EUs {:.1}% (paper 23.5%)",
+            self.nvwa.su_utilization * 100.0,
+            self.baseline.su_utilization * 100.0
+        )?;
+        writeln!(
+            f,
+            "  (c/d) EU utilization: NvWa {:.1}% (paper 85.4%) vs SUs+EUs {:.1}% (paper 32.3%)",
+            self.nvwa.eu_utilization * 100.0,
+            self.baseline.eu_utilization * 100.0
+        )?;
+        writeln!(f, "  (e) NvWa allocation correctness per hit interval:")?;
+        for (c, frac) in self.nvwa_correctness().iter().enumerate() {
+            let bound = self.nvwa.hit_class_bounds[c];
+            match frac {
+                Some(v) => writeln!(f, "      ≤{bound:3}: {:.1}%", v * 100.0)?,
+                None => writeln!(f, "      ≤{bound:3}: –")?,
+            }
+        }
+        writeln!(
+            f,
+            "  (f) overall correct: NvWa {:.1}% vs SUs+EUs {:.1}% (paper: 14.5%)",
+            self.nvwa.overall_correct_allocation() * 100.0,
+            self.baseline.overall_correct_allocation() * 100.0
+        )?;
+        let series_preview = |s: &[f64]| -> String {
+            s.iter()
+                .take(12)
+                .map(|v| format!("{:.0}", v * 100.0))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        writeln!(
+            f,
+            "  SU series (first buckets, %): NvWa [{}] vs base [{}]",
+            series_preview(&self.nvwa.su_series),
+            series_preview(&self.baseline.su_series)
+        )?;
+        writeln!(
+            f,
+            "  EU series (first buckets, %): NvWa [{}] vs base [{}]",
+            series_preview(&self.nvwa.eu_series),
+            series_preview(&self.baseline.eu_series)
+        )
+    }
+}
+
+/// Runs the Fig. 12 experiment (4000 reads at full scale).
+pub fn run(scale: Scale) -> Fig12 {
+    let works = SyntheticWorkloadParams {
+        reads: scale.pick(800, 4_000),
+        ..SyntheticWorkloadParams::default()
+    }
+    .generate(0xf1612);
+    let nvwa = simulate(&NvwaConfig::paper(), &works);
+    let baseline = simulate(
+        &NvwaConfig {
+            scheduling: SchedulingConfig::baseline(),
+            ..NvwaConfig::paper()
+        },
+        &works,
+    );
+    Fig12 { nvwa, baseline }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_gaps_match_paper_direction() {
+        let fig = run(Scale::Quick);
+        // NvWa keeps SUs busy; the batch baseline cannot.
+        assert!(
+            fig.nvwa.su_utilization > 0.70,
+            "{}",
+            fig.nvwa.su_utilization
+        );
+        assert!(
+            fig.baseline.su_utilization < 0.55,
+            "{}",
+            fig.baseline.su_utilization
+        );
+        assert!(fig.nvwa.su_utilization > fig.baseline.su_utilization + 0.25);
+    }
+
+    #[test]
+    fn nvwa_assigns_most_hits_correctly() {
+        let fig = run(Scale::Quick);
+        let overall = fig.nvwa.overall_correct_allocation();
+        assert!(overall > 0.6, "overall correctness {overall}");
+        // The small classes are matched best; the 128-PE class is the most
+        // contended (its units are the scarcest), so its bound is looser.
+        let per_class = fig.nvwa_correctness();
+        assert!(per_class[0].unwrap_or(0.0) > 0.5);
+        assert!(per_class[3].unwrap_or(0.0) > 0.25);
+    }
+
+    #[test]
+    fn series_are_consistent_with_averages() {
+        let fig = run(Scale::Quick);
+        let mean: f64 =
+            fig.nvwa.su_series.iter().sum::<f64>() / fig.nvwa.su_series.len().max(1) as f64;
+        assert!((mean - fig.nvwa.su_utilization).abs() < 0.1);
+    }
+
+    #[test]
+    fn eu_loading_lags_behind_first_switch() {
+        // Fig. 12(c): the EUs only start after the first buffer switch.
+        let fig = run(Scale::Quick);
+        let first_nonzero = fig
+            .nvwa
+            .eu_series
+            .iter()
+            .position(|&v| v > 0.01)
+            .unwrap_or(0);
+        let su_first = fig
+            .nvwa
+            .su_series
+            .iter()
+            .position(|&v| v > 0.01)
+            .unwrap_or(0);
+        assert!(first_nonzero >= su_first);
+    }
+}

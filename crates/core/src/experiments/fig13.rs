@@ -1,0 +1,245 @@
+//! Fig. 13 — design-space exploration.
+//!
+//! (a) Hits Buffer depth sweep: small buffers couple the phases (blocking/
+//! starving); very large buffers delay the first switch, hurting EU
+//! utilization. The paper picks 1024. (b) Interval-count sweep: more EU
+//! classes improve matching but grow the Coordinator's allocation logic;
+//! the paper picks four.
+
+use std::fmt;
+
+use crate::config::{EuClass, NvwaConfig};
+use crate::extension::hybrid::solve_classes;
+use crate::power::PowerBreakdown;
+use crate::system::simulate;
+use crate::units::workload::SyntheticWorkloadParams;
+
+use super::Scale;
+
+/// One point of the buffer-depth sweep (Fig. 13a).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DepthPoint {
+    /// Buffer depth in entries.
+    pub depth: usize,
+    /// Throughput (K reads/s).
+    pub kreads_per_sec: f64,
+    /// Average SU utilization.
+    pub su_utilization: f64,
+    /// Average EU utilization.
+    pub eu_utilization: f64,
+    /// SU suspensions observed.
+    pub stalls: u64,
+}
+
+/// One point of the interval-count sweep (Fig. 13b).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalPoint {
+    /// Number of EU classes (intervals).
+    pub intervals: usize,
+    /// The solved classes.
+    pub classes: Vec<EuClass>,
+    /// Throughput (K reads/s).
+    pub kreads_per_sec: f64,
+    /// Coordinator power (W).
+    pub coordinator_power_w: f64,
+}
+
+/// The Fig. 13 result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig13 {
+    /// Buffer-depth sweep.
+    pub depths: Vec<DepthPoint>,
+    /// Interval-count sweep.
+    pub intervals: Vec<IntervalPoint>,
+}
+
+impl Fig13 {
+    /// The depth with the best throughput.
+    pub fn best_depth(&self) -> usize {
+        self.depths
+            .iter()
+            .max_by(|a, b| a.kreads_per_sec.total_cmp(&b.kreads_per_sec))
+            .map(|p| p.depth)
+            .unwrap_or(0)
+    }
+}
+
+impl fmt::Display for Fig13 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 13(a) — Hits Buffer depth sweep")?;
+        writeln!(f, "  depth   Kreads/s   SU util   EU util   stalls")?;
+        for p in &self.depths {
+            writeln!(
+                f,
+                "  {:5}  {:9.1}  {:7.1}%  {:7.1}%  {:7}",
+                p.depth,
+                p.kreads_per_sec,
+                p.su_utilization * 100.0,
+                p.eu_utilization * 100.0,
+                p.stalls
+            )?;
+        }
+        writeln!(f, "  best depth: {} (paper picks 1024)", self.best_depth())?;
+        writeln!(f, "Fig. 13(b) — interval-count sweep")?;
+        writeln!(f, "  n   Kreads/s   coordinator W   classes")?;
+        for p in &self.intervals {
+            let classes: Vec<String> = p
+                .classes
+                .iter()
+                .map(|c| format!("{}x{}", c.count, c.pes))
+                .collect();
+            writeln!(
+                f,
+                "  {:2}  {:9.1}  {:13.3}   {}",
+                p.intervals,
+                p.kreads_per_sec,
+                p.coordinator_power_w,
+                classes.join(" ")
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// PE sizes for an `n`-interval split of the 1–128 hit range (power-of-two
+/// friendly, strictly increasing).
+pub fn interval_pes(n: usize) -> Vec<u32> {
+    match n {
+        1 => vec![64],
+        2 => vec![32, 128],
+        4 => vec![16, 32, 64, 128],
+        8 => vec![8, 16, 24, 32, 48, 64, 96, 128],
+        16 => vec![
+            4, 8, 12, 16, 20, 24, 28, 32, 40, 48, 56, 64, 80, 96, 112, 128,
+        ],
+        _ => panic!("unsupported interval count {n}"),
+    }
+}
+
+/// Runs the Fig. 13 experiment.
+pub fn run(scale: Scale) -> Fig13 {
+    let params = SyntheticWorkloadParams {
+        reads: scale.pick(600, 4_000),
+        ..SyntheticWorkloadParams::default()
+    };
+    let works = params.generate(0xf1613);
+
+    let depth_values: Vec<usize> = scale.pick(
+        vec![64, 256, 1024, 4096],
+        vec![64, 128, 256, 512, 1024, 2048, 4096, 8192],
+    );
+    let depths = depth_values
+        .into_iter()
+        .map(|depth| {
+            let config = NvwaConfig {
+                hits_buffer_depth: depth,
+                ..NvwaConfig::paper()
+            };
+            let r = simulate(&config, &works);
+            DepthPoint {
+                depth,
+                kreads_per_sec: r.kreads_per_sec(),
+                su_utilization: r.su_utilization,
+                eu_utilization: r.eu_utilization,
+                stalls: r.su_stall_events,
+            }
+        })
+        .collect();
+
+    // Interval sweep: re-bucket the workload's hit distribution into the
+    // n-interval histogram and solve Formula 5 for each split.
+    let hist: nvwa_genome::distribution::LengthHistogram = works
+        .iter()
+        .flat_map(|w| w.hits.iter().map(|h| h.hit_len() as usize))
+        .collect();
+    let interval_counts: Vec<usize> = scale.pick(vec![1, 4, 16], vec![1, 2, 4, 8, 16]);
+    let intervals = interval_counts
+        .into_iter()
+        .map(|n| {
+            let pes = interval_pes(n);
+            let bounds: Vec<usize> = pes.iter().map(|&p| p as usize).collect();
+            let masses = hist.interval_masses(&bounds);
+            let classes = solve_classes(&masses, &pes, 2880);
+            // Degenerate splits can leave zero-count classes; drop them for
+            // simulation but keep them for the power model's class count.
+            let sim_classes: Vec<EuClass> =
+                classes.iter().copied().filter(|c| c.count > 0).collect();
+            let config = NvwaConfig {
+                eu_classes: sim_classes,
+                ..NvwaConfig::paper()
+            };
+            let r = simulate(&config, &works);
+            let power_config = NvwaConfig {
+                eu_classes: classes.clone(),
+                ..NvwaConfig::paper()
+            };
+            IntervalPoint {
+                intervals: n,
+                classes,
+                kreads_per_sec: r.kreads_per_sec(),
+                coordinator_power_w: PowerBreakdown::for_config(&power_config)
+                    .coordinator_power_w(),
+            }
+        })
+        .collect();
+    Fig13 { depths, intervals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_buffers_lose_throughput_and_stall() {
+        let fig = run(Scale::Quick);
+        let tiny = &fig.depths[0];
+        let chosen = fig.depths.iter().find(|p| p.depth == 1024).unwrap();
+        assert!(tiny.stalls > chosen.stalls);
+        assert!(chosen.kreads_per_sec >= tiny.kreads_per_sec * 0.99);
+    }
+
+    #[test]
+    fn huge_buffers_hurt_eu_utilization() {
+        let fig = run(Scale::Quick);
+        let chosen = fig.depths.iter().find(|p| p.depth == 1024).unwrap();
+        let huge = fig.depths.last().unwrap();
+        assert!(huge.depth > chosen.depth);
+        assert!(
+            huge.eu_utilization <= chosen.eu_utilization + 1e-9,
+            "huge {} vs chosen {}",
+            huge.eu_utilization,
+            chosen.eu_utilization
+        );
+    }
+
+    #[test]
+    fn coordinator_power_grows_with_intervals() {
+        let fig = run(Scale::Quick);
+        let first = fig.intervals.first().unwrap();
+        let last = fig.intervals.last().unwrap();
+        assert!(last.intervals > first.intervals);
+        assert!(last.coordinator_power_w > first.coordinator_power_w);
+    }
+
+    #[test]
+    fn more_intervals_beat_one_interval() {
+        let fig = run(Scale::Quick);
+        let one = fig.intervals.iter().find(|p| p.intervals == 1).unwrap();
+        let four = fig.intervals.iter().find(|p| p.intervals == 4).unwrap();
+        assert!(
+            four.kreads_per_sec > one.kreads_per_sec,
+            "4-interval {} vs 1-interval {}",
+            four.kreads_per_sec,
+            one.kreads_per_sec
+        );
+    }
+
+    #[test]
+    fn interval_pes_are_strictly_increasing() {
+        for n in [1usize, 2, 4, 8, 16] {
+            let pes = interval_pes(n);
+            assert_eq!(pes.len(), n);
+            assert!(pes.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

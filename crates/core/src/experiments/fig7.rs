@@ -1,0 +1,143 @@
+//! Fig. 7/8 — the systolic-array runtime example and the latency-vs-PEs
+//! curves.
+//!
+//! Fig. 7 runs a 9×9 alignment on a 3-PE array (33 cycles); Fig. 8 sweeps
+//! the PE count for sequence lengths 9 and 64, exhibiting the three
+//! observations that motivate the Hybrid Units Strategy.
+
+use std::fmt;
+
+use nvwa_align::scoring::Scoring;
+use nvwa_sim::Cycle;
+
+use crate::extension::systolic::{matrix_fill_latency, SystolicArray};
+
+/// One point of the Fig. 8 curves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyPoint {
+    /// Number of PEs.
+    pub pes: u32,
+    /// Matrix-fill latency for the length-9 case.
+    pub latency_len9: Cycle,
+    /// Matrix-fill latency for the length-64 case.
+    pub latency_len64: Cycle,
+}
+
+/// The Fig. 7/8 result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig7 {
+    /// The Fig. 7 example's cycle count (9×9 on 3 PEs).
+    pub example_cycles: Cycle,
+    /// The Fig. 7 example's computed alignment score (functional check).
+    pub example_score: i32,
+    /// The Fig. 8 sweep.
+    pub sweep: Vec<LatencyPoint>,
+}
+
+impl Fig7 {
+    /// PE count minimizing latency for length 9.
+    pub fn best_pes_len9(&self) -> u32 {
+        self.sweep
+            .iter()
+            .min_by_key(|p| p.latency_len9)
+            .map(|p| p.pes)
+            .unwrap_or(0)
+    }
+
+    /// PE count minimizing latency for length 64.
+    pub fn best_pes_len64(&self) -> u32 {
+        self.sweep
+            .iter()
+            .min_by_key(|p| p.latency_len64)
+            .map(|p| p.pes)
+            .unwrap_or(0)
+    }
+}
+
+impl fmt::Display for Fig7 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fig. 7 — systolic example: 9x9 on 3 PEs takes {} cycles (score {})",
+            self.example_cycles, self.example_score
+        )?;
+        writeln!(f, "Fig. 8 — matrix-fill latency vs PEs")?;
+        writeln!(f, "  PEs   len=9   len=64")?;
+        for p in &self.sweep {
+            writeln!(
+                f,
+                "  {:4}  {:6}  {:6}",
+                p.pes, p.latency_len9, p.latency_len64
+            )?;
+        }
+        writeln!(
+            f,
+            "  best PEs: len9 → {}, len64 → {}",
+            self.best_pes_len9(),
+            self.best_pes_len64()
+        )
+    }
+}
+
+/// Runs the Fig. 7/8 experiment.
+pub fn run() -> Fig7 {
+    // The paper's example sequences: query GCG|CAA|TGT vs a 9-long
+    // reference (Fig. 7a).
+    let query = [2u8, 1, 2, 1, 0, 0, 3, 2, 3]; // GCGCAATGT
+    let target = [2u8, 1, 2, 1, 0, 0, 3, 2, 3];
+    let run = SystolicArray::new(3).run(&query, &target, &Scoring::bwa_mem());
+    let sweep = [1u32, 2, 3, 4, 6, 8, 9, 12, 16, 24, 32, 48, 64, 96, 128]
+        .iter()
+        .map(|&pes| LatencyPoint {
+            pes,
+            latency_len9: matrix_fill_latency(9, 9, pes),
+            latency_len64: matrix_fill_latency(64, 64, pes),
+        })
+        .collect();
+    Fig7 {
+        example_cycles: run.cycles,
+        example_score: run.score,
+        sweep,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_takes_33_cycles() {
+        let fig = run();
+        assert_eq!(fig.example_cycles, 33);
+        assert_eq!(fig.example_score, 9); // identical sequences
+    }
+
+    #[test]
+    fn minima_sit_at_matching_pe_counts() {
+        let fig = run();
+        assert_eq!(fig.best_pes_len9(), 9);
+        assert_eq!(fig.best_pes_len64(), 64);
+    }
+
+    #[test]
+    fn suboptimal_neighbours_stay_close() {
+        // Observation (3): short-on-small and long-on-large are acceptable
+        // sub-optima.
+        let fig = run();
+        let at = |pes: u32| fig.sweep.iter().find(|p| p.pes == pes).unwrap();
+        let opt9 = at(9).latency_len9 as f64;
+        assert!((at(16).latency_len9 as f64) / opt9 < 1.5);
+        let opt64 = at(64).latency_len64 as f64;
+        assert!((at(128).latency_len64 as f64) / opt64 < 1.6);
+    }
+
+    #[test]
+    fn mismatch_penalties_are_visible() {
+        // Observation (2): short hit on a large array and long hit on a
+        // small array both pay heavily.
+        let fig = run();
+        let at = |pes: u32| fig.sweep.iter().find(|p| p.pes == pes).unwrap();
+        assert!(at(128).latency_len9 > 4 * at(9).latency_len9);
+        assert!(at(4).latency_len64 > 4 * at(64).latency_len64);
+    }
+}

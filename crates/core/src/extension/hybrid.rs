@@ -1,0 +1,235 @@
+//! The Hybrid Units Strategy (Fig. 9, Formulas 4–5).
+//!
+//! Given a hit-length distribution bucketed into `n` intervals with masses
+//! `s_i` and per-class PE counts `p_i`, provision `x_i` units of each class
+//! under a total PE budget `N` such that unit counts are proportional to
+//! demand:
+//!
+//! ```text
+//! x_i = s_i · N / Σ_j p_j · s_j        (Formula 5)
+//! ```
+//!
+//! The paper derives NvWa's Table I configuration (28/20/16/6 units of
+//! 16/32/64/128 PEs) from the NA12878 hit distribution with N = 2880.
+
+use crate::config::EuClass;
+use nvwa_sim::Cycle;
+
+use super::systolic::matrix_fill_latency;
+
+/// The NA12878-derived interval masses over the four power-of-two classes
+/// (16/32/64/128 PEs).
+///
+/// These are the masses implied by the paper's published solution of
+/// Formula 5 (x = 28, 20, 16, 6 with N = 2880): inverting the formula gives
+/// s ∝ x, normalized. Our synthetic read workload is calibrated against
+/// the same masses (see `nvwa-core::units::workload`).
+pub const NA12878_INTERVAL_MASSES: [f64; 4] = [0.40, 0.2857, 0.2286, 0.0857];
+
+/// Solves Formula 5: unit counts per class for the given interval masses,
+/// per-class PE sizes and total PE budget.
+///
+/// Counts are rounded down and leftover budget is spent greedily on the
+/// classes with the largest fractional remainder (never exceeding `N`).
+///
+/// # Examples
+///
+/// ```
+/// use nvwa_core::extension::{solve_classes, NA12878_INTERVAL_MASSES};
+/// let classes = solve_classes(&NA12878_INTERVAL_MASSES, &[16, 32, 64, 128], 2880);
+/// let counts: Vec<u32> = classes.iter().map(|c| c.count).collect();
+/// assert_eq!(counts, vec![28, 20, 16, 6]); // the paper's Table I
+/// ```
+///
+/// # Panics
+///
+/// Panics if the inputs are inconsistent (length mismatch, non-positive
+/// masses sum, zero PEs).
+pub fn solve_classes(masses: &[f64], pes_per_class: &[u32], total_pes: u32) -> Vec<EuClass> {
+    assert_eq!(
+        masses.len(),
+        pes_per_class.len(),
+        "one mass per class required"
+    );
+    assert!(!masses.is_empty(), "need at least one class");
+    assert!(
+        pes_per_class.iter().all(|&p| p > 0),
+        "PE counts must be positive"
+    );
+    let mass_sum: f64 = masses.iter().sum();
+    assert!(mass_sum > 0.0, "masses must have positive total");
+
+    let weighted: f64 = masses
+        .iter()
+        .zip(pes_per_class)
+        .map(|(&s, &p)| s * p as f64)
+        .sum();
+    let exact: Vec<f64> = masses
+        .iter()
+        .map(|&s| s * total_pes as f64 / weighted)
+        .collect();
+    let mut counts: Vec<u32> = exact.iter().map(|&x| x.floor() as u32).collect();
+
+    // Spend leftover budget on the largest remainders that still fit.
+    let mut used: u32 = counts.iter().zip(pes_per_class).map(|(&c, &p)| c * p).sum();
+    let mut order: Vec<usize> = (0..counts.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = exact[a] - exact[a].floor();
+        let fb = exact[b] - exact[b].floor();
+        fb.partial_cmp(&fa).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut progressed = true;
+    while progressed {
+        progressed = false;
+        for &i in &order {
+            if used + pes_per_class[i] <= total_pes {
+                counts[i] += 1;
+                used += pes_per_class[i];
+                progressed = true;
+            }
+        }
+        // One extra unit per class at most per sweep; stop once nothing fits.
+        if order.iter().all(|&i| used + pes_per_class[i] > total_pes) {
+            break;
+        }
+    }
+
+    masses
+        .iter()
+        .enumerate()
+        .map(|(i, _)| EuClass::new(pes_per_class[i], counts[i]))
+        .collect()
+}
+
+/// The uniform comparison pool: `units` identical units of `pes` PEs
+/// (Fig. 9b uses four units of 64 PEs).
+pub fn uniform_classes(pes: u32, units: u32) -> Vec<EuClass> {
+    vec![EuClass::new(pes, units)]
+}
+
+/// The interval upper bounds implied by a class list (a hit of length `l`
+/// belongs to the first class with `pes >= l`; longer hits go to the last).
+pub fn interval_bounds(classes: &[EuClass]) -> Vec<usize> {
+    classes.iter().map(|c| c.pes as usize).collect()
+}
+
+/// How hits are pulled from the queue in the Fig. 9 walkthrough.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueuePolicy {
+    /// Hits issue in arrival order to the first unit that frees up
+    /// (the uniform-units baseline behaviour).
+    InOrder,
+    /// Hits are sorted longest-first and each takes the idle unit with the
+    /// lowest Formula-3 latency (the hybrid strategy's scheduling).
+    BestFitLongestFirst,
+}
+
+/// Simulates a queue of square hits (`R = Q = len`) over a set of units,
+/// reproducing the Fig. 9(d) execution flow. Units load a hit one cycle
+/// after completing the previous one; the first loads happen at cycle 1.
+/// Returns the cycle at which the last hit completes.
+///
+/// # Panics
+///
+/// Panics if `units` is empty.
+pub fn queue_makespan(hit_lens: &[u32], units: &[u32], policy: QueuePolicy) -> Cycle {
+    assert!(!units.is_empty(), "need at least one unit");
+    // free_at[u]: the cycle unit u can *load* its next hit.
+    let mut free_at: Vec<Cycle> = vec![1; units.len()];
+    let mut order: Vec<u32> = hit_lens.to_vec();
+    if policy == QueuePolicy::BestFitLongestFirst {
+        order.sort_by(|a, b| b.cmp(a));
+    }
+    let mut makespan = 0;
+    for &len in &order {
+        // Earliest load time across units; among the earliest (or, for
+        // best-fit, among all units at that earliest time), pick minimal
+        // Formula-3 latency.
+        let earliest = *free_at.iter().min().expect("non-empty units");
+        let u = (0..units.len())
+            .filter(|&u| free_at[u] == earliest)
+            .min_by_key(|&u| match policy {
+                QueuePolicy::InOrder => u as u64, // first free unit
+                QueuePolicy::BestFitLongestFirst => {
+                    matrix_fill_latency(len as u64, len as u64, units[u])
+                }
+            })
+            .expect("at least one unit at the earliest time");
+        let latency = matrix_fill_latency(len as u64, len as u64, units[u]);
+        let done = earliest + latency; // completes (visible) at this cycle
+        free_at[u] = done + 1; // reload on the next cycle
+        makespan = makespan.max(done);
+    }
+    makespan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formula5_reproduces_table_one() {
+        let classes = solve_classes(&NA12878_INTERVAL_MASSES, &[16, 32, 64, 128], 2880);
+        let counts: Vec<(u32, u32)> = classes.iter().map(|c| (c.pes, c.count)).collect();
+        assert_eq!(counts, vec![(16, 28), (32, 20), (64, 16), (128, 6)]);
+        let total: u32 = classes.iter().map(|c| c.total_pes()).sum();
+        assert_eq!(total, 2880);
+    }
+
+    #[test]
+    fn budget_is_never_exceeded() {
+        for n in [100u32, 500, 1000, 2880, 3000] {
+            let classes = solve_classes(&[0.3, 0.3, 0.4], &[8, 32, 64], n);
+            let used: u32 = classes.iter().map(|c| c.total_pes()).sum();
+            assert!(used <= n, "budget {n} exceeded: {used}");
+            // At least 90% of the budget is spent (greedy fill).
+            assert!(used * 10 >= n * 9, "budget {n} underused: {used}");
+        }
+    }
+
+    #[test]
+    fn proportionality_to_masses() {
+        let classes = solve_classes(&[0.8, 0.2], &[16, 16], 1600);
+        // Same PE size → counts directly proportional to masses.
+        assert_eq!(classes[0].count, 80);
+        assert_eq!(classes[1].count, 20);
+    }
+
+    #[test]
+    fn fig9_uniform_units_take_455_cycles() {
+        // Hits (20, 40, 10, 65, 127) on four 64-PE units, in order.
+        let makespan = queue_makespan(&[20, 40, 10, 65, 127], &[64; 4], QueuePolicy::InOrder);
+        assert_eq!(makespan, 455);
+    }
+
+    #[test]
+    fn fig9_hybrid_units_take_257_cycles() {
+        // Same hits on (16, 16, 32, 64, 128): all load at once, best-fit.
+        let makespan = queue_makespan(
+            &[20, 40, 10, 65, 127],
+            &[16, 16, 32, 64, 128],
+            QueuePolicy::BestFitLongestFirst,
+        );
+        assert_eq!(makespan, 257);
+    }
+
+    #[test]
+    fn equal_split_51_pes_is_still_worse_than_hybrid() {
+        // The paper's footnote analysis: five uniform units of 51 PEs
+        // (255 total) cannot beat the hybrid split either.
+        let makespan = queue_makespan(&[20, 40, 10, 65, 127], &[51; 5], QueuePolicy::InOrder);
+        assert!(makespan > 257, "51-PE split took {makespan}");
+    }
+
+    #[test]
+    fn interval_bounds_follow_classes() {
+        let classes = vec![EuClass::new(16, 1), EuClass::new(64, 1)];
+        assert_eq!(interval_bounds(&classes), vec![16, 64]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one mass per class")]
+    fn mismatched_inputs_panic() {
+        let _ = solve_classes(&[1.0], &[16, 32], 100);
+    }
+}

@@ -1,0 +1,21 @@
+//! The Extension Scheduler (Sec. IV-C).
+//!
+//! Solves Challenge-② (extension-scale diversity): hit lengths vary wildly,
+//! and a fixed systolic-array size wastes either latency (short hit on a big
+//! array) or throughput (long hit iterating on a small array).
+//!
+//! * [`systolic`] — the systolic-array EU model: Formula 3 latency and a
+//!   cycle-exact functional simulation validating it (Figs. 7–8).
+//! * [`hybrid`] — the Hybrid Units Strategy: Formula 4/5 provisioning of EU
+//!   classes from a hit-length distribution, plus the Fig. 9 queue
+//!   comparison against uniform units.
+//! * [`trigger`] — the Allocate Trigger that requests a Coordinator
+//!   scheduling round when enough EUs sit idle.
+
+pub mod hybrid;
+pub mod systolic;
+pub mod trigger;
+
+pub use hybrid::{solve_classes, uniform_classes, NA12878_INTERVAL_MASSES};
+pub use systolic::{matrix_fill_latency, SystolicArray};
+pub use trigger::AllocateTrigger;

@@ -1,0 +1,281 @@
+//! The systolic-array extension unit (Figs. 7–8, Formula 3).
+//!
+//! The well-known linear systolic array for Smith-Waterman: each PE holds
+//! one query base of the current block, the reference streams through, and
+//! a block of `P` query rows completes in `R + P − 1` cycles; `⌈Q/P⌉`
+//! blocks give Formula 3:
+//!
+//! ```text
+//! L = (R + P − 1) × ⌈Q / P⌉
+//! ```
+//!
+//! [`SystolicArray::run`] is a cycle-exact functional simulation of that
+//! dataflow (affine-gap local alignment, boundary rows spilled to the block
+//! SRAM as in Fig. 7b); tests verify it computes the same score as the
+//! software Smith-Waterman *and* takes exactly Formula 3 cycles.
+
+use nvwa_align::scoring::Scoring;
+use nvwa_sim::Cycle;
+
+/// Matrix-fill latency of a systolic array (Formula 3).
+///
+/// # Examples
+///
+/// ```
+/// use nvwa_core::extension::matrix_fill_latency;
+/// // The Fig. 7 example: 9×9 alignment on 3 PEs takes 33 cycles.
+/// assert_eq!(matrix_fill_latency(9, 9, 3), 33);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `pes == 0`.
+pub fn matrix_fill_latency(ref_len: u64, query_len: u64, pes: u32) -> Cycle {
+    assert!(pes > 0, "need at least one PE");
+    if query_len == 0 || ref_len == 0 {
+        return 0;
+    }
+    let blocks = query_len.div_ceil(pes as u64);
+    (ref_len + pes as u64 - 1) * blocks
+}
+
+/// A cycle-exact functional model of the systolic array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystolicArray {
+    pes: u32,
+}
+
+/// Result of a systolic run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystolicRun {
+    /// Best local-alignment score found during the fill.
+    pub score: i32,
+    /// Matrix-fill cycles consumed (equals Formula 3).
+    pub cycles: Cycle,
+}
+
+impl SystolicArray {
+    /// Creates an array with `pes` processing elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pes == 0`.
+    pub fn new(pes: u32) -> SystolicArray {
+        assert!(pes > 0, "need at least one PE");
+        SystolicArray { pes }
+    }
+
+    /// Number of PEs.
+    pub fn pes(&self) -> u32 {
+        self.pes
+    }
+
+    /// Runs the matrix-fill for `query` against `target` (2-bit codes),
+    /// stepping the array cycle by cycle exactly as the hardware does.
+    ///
+    /// Returns the best local score and the cycle count.
+    pub fn run(&self, query: &[u8], target: &[u8], scoring: &Scoring) -> SystolicRun {
+        let p = self.pes as usize;
+        let q = query.len();
+        let r = target.len();
+        if q == 0 || r == 0 {
+            return SystolicRun {
+                score: 0,
+                cycles: 0,
+            };
+        }
+        const NEG: i32 = i32::MIN / 4;
+        let blocks = q.div_ceil(p);
+        let mut best = 0i32;
+        let mut cycles: Cycle = 0;
+
+        // Block-boundary SRAM: H and F of the last row of the previous
+        // block, per reference column (the "SRAM cache below" of Fig. 7b).
+        let mut boundary_h = vec![0i32; r + 1];
+        let mut boundary_f = vec![NEG; r + 1];
+
+        for b in 0..blocks {
+            let rows = (q - b * p).min(p);
+            // Per-PE state: H/E of the PE's own row at its current column.
+            let mut h_row = vec![0i32; rows]; // H[row][j-1]
+            let mut e_row = vec![NEG; rows];
+            // Values flowing downward between PEs: H[row-1][j] and
+            // F[row-1][j] arrive one cycle later at the next PE; H diag is
+            // the previous h_above.
+            let mut h_above = vec![0i32; rows]; // latest H[row-1][j] seen
+            let mut h_diag = vec![0i32; rows]; // H[row-1][j-1]
+            let mut f_above = vec![NEG; rows];
+            let mut next_boundary_h = vec![0i32; r + 1];
+            let mut next_boundary_f = vec![NEG; r + 1];
+
+            // Cycle-exact wavefront: at cycle t, PE `pe` works on column
+            // t - pe (0-based); the block finishes after r + rows - 1
+            // cycles (we still charge the full r + p - 1 the hardware
+            // takes, since idle tail PEs do not shorten the pipeline).
+            for t in 0..(r + rows - 1) {
+                // Descending PE order within a cycle: each PE must read the
+                // value its upstream neighbour forwarded on the *previous*
+                // cycle, before that neighbour overwrites it this cycle.
+                for pe in (0..rows).rev() {
+                    let Some(j) = t.checked_sub(pe) else { continue };
+                    if j >= r {
+                        continue;
+                    }
+                    // Inputs from above: PE 0 reads the block boundary SRAM.
+                    let (above, diag, f_up) = if pe == 0 {
+                        let diag = if j == 0 { boundary_h[0] } else { boundary_h[j] };
+                        (boundary_h[j + 1], diag, boundary_f[j + 1])
+                    } else {
+                        (h_above[pe], h_diag[pe], f_above[pe])
+                    };
+                    let qi = b * p + pe;
+                    let e = (h_row[pe] - scoring.gap_cost(1)).max(e_row[pe] - scoring.gap_extend);
+                    let f = (above - scoring.gap_cost(1)).max(f_up - scoring.gap_extend);
+                    let h = 0i32
+                        .max(diag + scoring.score(query[qi], target[j]))
+                        .max(e)
+                        .max(f);
+                    best = best.max(h);
+                    // Update own state.
+                    h_row[pe] = h;
+                    e_row[pe] = e;
+                    // Forward to the PE below (consumed next cycle).
+                    if pe + 1 < rows {
+                        h_diag[pe + 1] = h_above[pe + 1];
+                        h_above[pe + 1] = h;
+                        f_above[pe + 1] = f;
+                    } else {
+                        // Last row of the block: spill to SRAM.
+                        next_boundary_h[j + 1] = h;
+                        next_boundary_f[j + 1] = f;
+                    }
+                }
+            }
+            // The hardware pipeline is P deep regardless of the tail block's
+            // occupancy (Formula 3 uses P, not `rows`).
+            cycles += (r + p - 1) as Cycle;
+            // Local alignment: paths may start anywhere, so the first block
+            // boundary row enters as score 0 — but *continuing* paths use
+            // the spilled row.
+            boundary_h = next_boundary_h;
+            boundary_f = next_boundary_f;
+        }
+        SystolicRun {
+            score: best,
+            cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvwa_align::sw::local_align;
+
+    fn rand_codes(len: usize, mut state: u64) -> Vec<u8> {
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) & 0b11) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fig7_example_latency() {
+        // Query GCGCAATGT (9) vs reference of 9 on 3 PEs: 3 blocks × 11
+        // cycles = 33 cycles.
+        assert_eq!(matrix_fill_latency(9, 9, 3), 33);
+    }
+
+    #[test]
+    fn fig8_observations_hold() {
+        // (1) Latency is minimized when PEs ≈ hit length.
+        let lat9: Vec<Cycle> = (1..=32).map(|p| matrix_fill_latency(9, 9, p)).collect();
+        let best_p = lat9
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &l)| l)
+            .map(|(i, _)| i + 1)
+            .unwrap();
+        assert_eq!(best_p, 9);
+        // (2) Short hit on large array pays idle-unit latency.
+        assert!(matrix_fill_latency(9, 9, 64) > matrix_fill_latency(9, 9, 9));
+        // (2') Long hit on small array pays iteration latency.
+        assert!(matrix_fill_latency(64, 64, 4) > matrix_fill_latency(64, 64, 64));
+        // (3) Sub-optimal choices stay close: 9 on 16 PEs vs 9 on 9 PEs.
+        let opt = matrix_fill_latency(9, 9, 9) as f64;
+        let sub = matrix_fill_latency(9, 9, 16) as f64;
+        assert!(sub / opt < 1.5);
+    }
+
+    #[test]
+    fn formula_boundary_cases() {
+        assert_eq!(matrix_fill_latency(0, 9, 4), 0);
+        assert_eq!(matrix_fill_latency(9, 0, 4), 0);
+        assert_eq!(matrix_fill_latency(1, 1, 1), 1);
+        // Q a multiple of P.
+        assert_eq!(matrix_fill_latency(64, 64, 64), 127);
+        assert_eq!(matrix_fill_latency(64, 64, 32), (64 + 31) * 2);
+    }
+
+    #[test]
+    fn systolic_score_matches_software_sw() {
+        let scoring = Scoring::bwa_mem();
+        for seed in [1u64, 2, 3] {
+            let q = rand_codes(23, seed);
+            let t = rand_codes(31, seed ^ 7);
+            let want = local_align(&q, &t, &scoring).score;
+            for pes in [1u32, 3, 8, 23, 64] {
+                let run = SystolicArray::new(pes).run(&q, &t, &scoring);
+                assert_eq!(run.score, want, "seed {seed} pes {pes}");
+            }
+        }
+    }
+
+    #[test]
+    fn systolic_cycles_match_formula() {
+        for (q, r, p) in [
+            (9usize, 9usize, 3u32),
+            (20, 25, 16),
+            (65, 70, 64),
+            (5, 100, 8),
+        ] {
+            let query = rand_codes(q, 11);
+            let target = rand_codes(r, 13);
+            let run = SystolicArray::new(p).run(&query, &target, &Scoring::bwa_mem());
+            assert_eq!(
+                run.cycles,
+                matrix_fill_latency(r as u64, q as u64, p),
+                "q={q} r={r} p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn identical_sequences_score_full_match() {
+        let s = rand_codes(40, 5);
+        let run = SystolicArray::new(16).run(&s, &s, &Scoring::bwa_mem());
+        assert_eq!(run.score, 40);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let run = SystolicArray::new(8).run(&[], &[0, 1], &Scoring::bwa_mem());
+        assert_eq!(
+            run,
+            SystolicRun {
+                score: 0,
+                cycles: 0
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one PE")]
+    fn zero_pes_panics() {
+        let _ = matrix_fill_latency(1, 1, 0);
+    }
+}

@@ -1,0 +1,105 @@
+//! The Read-in-Batch baseline scheduler (Fig. 5a).
+//!
+//! "Read-in-Batch is a typical approach adopted by state-of-the-art seeding
+//! accelerators such as GenAx and ERT": a new batch of reads is issued only
+//! when *every* unit in the pool has finished the previous batch, so early
+//! finishers idle until the batch straggler completes.
+
+/// The Read-in-Batch scheduler.
+///
+/// # Examples
+///
+/// ```
+/// use nvwa_core::seeding::BatchScheduler;
+/// let sched = BatchScheduler::new(4);
+/// // One unit still busy: nobody gets a read.
+/// let (a, next) = sched.allocate(&[false, true, false, false], 0, u64::MAX);
+/// assert!(a.iter().all(|x| x.is_none()));
+/// assert_eq!(next, 0);
+/// // All idle: the whole batch issues at once.
+/// let (a, next) = sched.allocate(&[false; 4], 0, u64::MAX);
+/// assert_eq!(a, vec![Some(0), Some(1), Some(2), Some(3)]);
+/// assert_eq!(next, 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchScheduler {
+    units: usize,
+}
+
+impl BatchScheduler {
+    /// Creates a scheduler for `units` seeding units (the batch size equals
+    /// the pool size, as in the prior designs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units == 0`.
+    pub fn new(units: usize) -> BatchScheduler {
+        assert!(units > 0, "need at least one unit");
+        BatchScheduler { units }
+    }
+
+    /// Number of managed units.
+    pub fn units(&self) -> usize {
+        self.units
+    }
+
+    /// Issues a full batch when every unit is idle; otherwise issues
+    /// nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `busy.len() != units`.
+    pub fn allocate(
+        &self,
+        busy: &[bool],
+        next_read: u64,
+        remaining: u64,
+    ) -> (Vec<Option<u64>>, u64) {
+        assert_eq!(busy.len(), self.units, "status width mismatch");
+        if busy.iter().any(|&b| b) {
+            return (vec![None; self.units], next_read);
+        }
+        let issue = (self.units as u64).min(remaining);
+        let assigned = (0..self.units as u64)
+            .map(|i| (i < issue).then_some(next_read + i))
+            .collect();
+        (assigned, next_read + issue)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waits_for_stragglers() {
+        let sched = BatchScheduler::new(4);
+        let (a, next) = sched.allocate(&[false, false, false, true], 8, u64::MAX);
+        assert_eq!(a, vec![None; 4]);
+        assert_eq!(next, 8);
+    }
+
+    #[test]
+    fn issues_batch_when_all_idle() {
+        let sched = BatchScheduler::new(3);
+        let (a, next) = sched.allocate(&[false; 3], 9, u64::MAX);
+        assert_eq!(a, vec![Some(9), Some(10), Some(11)]);
+        assert_eq!(next, 12);
+    }
+
+    #[test]
+    fn partial_final_batch() {
+        let sched = BatchScheduler::new(4);
+        let (a, next) = sched.allocate(&[false; 4], 100, 2);
+        assert_eq!(a, vec![Some(100), Some(101), None, None]);
+        assert_eq!(next, 102);
+    }
+
+    #[test]
+    fn no_reads_left_issues_nothing() {
+        let sched = BatchScheduler::new(2);
+        let (a, next) = sched.allocate(&[false; 2], 5, 0);
+        assert_eq!(a, vec![None, None]);
+        assert_eq!(next, 5);
+    }
+}

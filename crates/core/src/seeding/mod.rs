@@ -1,0 +1,17 @@
+//! The Seeding Scheduler (Sec. IV-B).
+//!
+//! Solves Challenge-① (seeding termination diversity): SUs finish at
+//! unpredictable times, and any idle SU is a wasted producer. The
+//! [`ocra::OneCycleReadAllocator`] refills *every* idle SU in a single
+//! cycle; [`batch::BatchScheduler`] is the Read-in-Batch strategy of prior
+//! accelerators (GenAx, ERT) used as the baseline; [`read_spm::ReadSpm`]
+//! prefetches upcoming reads so a refill costs one cycle instead of a DRAM
+//! round-trip.
+
+pub mod batch;
+pub mod ocra;
+pub mod read_spm;
+
+pub use batch::BatchScheduler;
+pub use ocra::{OneCycleReadAllocator, PopcountTree};
+pub use read_spm::ReadSpm;

@@ -1,0 +1,116 @@
+//! The Read SPM prefetcher.
+//!
+//! "The Read SPM is used to prefetch the reads that are to be processed,
+//! hiding the access latency of DRAM" (Sec. IV-A). Reads are consumed in
+//! almost-sequential order (the One-Cycle Read Allocator hands out
+//! monotonically increasing indices), so a simple lookahead prefetcher
+//! keeps the next `depth` reads resident; a resident read loads in one
+//! cycle (Fig. 12a: "the loading time is only one cycle").
+
+use nvwa_sim::Cycle;
+
+/// The Read SPM model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadSpm {
+    depth: usize,
+    hit_latency: Cycle,
+    miss_latency: Cycle,
+    hits: u64,
+    misses: u64,
+}
+
+impl ReadSpm {
+    /// Creates a prefetcher holding `depth` upcoming reads.
+    ///
+    /// `miss_latency` is the DRAM round-trip paid when a read was not
+    /// prefetched (cold start or a jump in the sequence).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0`.
+    pub fn new(depth: usize, hit_latency: Cycle, miss_latency: Cycle) -> ReadSpm {
+        assert!(depth > 0, "prefetch depth must be positive");
+        ReadSpm {
+            depth,
+            hit_latency,
+            miss_latency,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Prefetcher sized for a paper-scale SU pool: lookahead of twice the
+    /// pool so a full refill round never misses.
+    pub fn for_su_pool(su_count: u32) -> ReadSpm {
+        ReadSpm::new(su_count as usize * 2, 1, 100)
+    }
+
+    /// The latency to load `read_idx` when the global offset is
+    /// `next_unissued` (the prefetcher tracks the offset, keeping
+    /// `[next_unissued, next_unissued + depth)` resident).
+    pub fn load_latency(&mut self, read_idx: u64, next_unissued: u64) -> Cycle {
+        // A read already handed out is behind the horizon: it was resident
+        // when prefetched. Only reads far ahead of the stream miss.
+        if read_idx < next_unissued + self.depth as u64 {
+            self.hits += 1;
+            self.hit_latency
+        } else {
+            self.misses += 1;
+            self.miss_latency
+        }
+    }
+
+    /// Prefetch hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Prefetch misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// SPM capacity in bytes given a read length (2-bit packed).
+    pub fn footprint_bytes(&self, read_len: usize) -> usize {
+        self.depth * read_len.div_ceil(4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_stream_always_hits() {
+        let mut spm = ReadSpm::new(16, 1, 100);
+        for i in 0..1000u64 {
+            assert_eq!(spm.load_latency(i, i), 1);
+        }
+        assert_eq!(spm.hits(), 1000);
+        assert_eq!(spm.misses(), 0);
+    }
+
+    #[test]
+    fn far_jump_misses() {
+        let mut spm = ReadSpm::new(16, 1, 100);
+        assert_eq!(spm.load_latency(1000, 0), 100);
+        assert_eq!(spm.misses(), 1);
+    }
+
+    #[test]
+    fn pool_sizing_covers_refill_round() {
+        let mut spm = ReadSpm::for_su_pool(128);
+        // A full 128-unit refill starting at offset 0 touches reads 0..128,
+        // all within the 256-read horizon.
+        for i in 0..128u64 {
+            assert_eq!(spm.load_latency(i, 0), 1);
+        }
+    }
+
+    #[test]
+    fn footprint_accounts_packed_reads() {
+        let spm = ReadSpm::new(256, 1, 100);
+        // 101 bp packs to 26 bytes.
+        assert_eq!(spm.footprint_bytes(101), 256 * 26);
+    }
+}

@@ -1,0 +1,703 @@
+//! The event-driven full-system simulation.
+//!
+//! Units are busy until a completion event; all scheduling decisions
+//! (read refills, buffer switches, allocation rounds, FIFO dispatch) are
+//! re-evaluated at every event boundary, which is exactly when unit status
+//! bits change — so the cycle-level scheduling semantics of the paper are
+//! preserved without stepping empty cycles.
+
+use std::collections::VecDeque;
+
+use nvwa_sim::event::EventQueue;
+use nvwa_sim::hbm::Hbm;
+use nvwa_sim::stats::UtilizationTracker;
+use nvwa_sim::Cycle;
+
+use crate::config::{EuClass, NvwaConfig};
+use crate::coordinator::allocator::{AllocPolicy, AllocateJudger, HitsAllocator, IdleEu};
+use crate::coordinator::hits_buffer::HitsBuffer;
+use crate::extension::trigger::AllocateTrigger;
+use crate::interface::Hit;
+use crate::seeding::batch::BatchScheduler;
+use crate::seeding::ocra::OneCycleReadAllocator;
+use crate::seeding::read_spm::ReadSpm;
+use crate::units::eu::EuModel;
+use crate::units::su::SuModel;
+use crate::units::workload::ReadWork;
+
+use super::report::SimReport;
+
+/// The four hit intervals used for assignment-correctness accounting
+/// (Fig. 12e/f), independent of the instantiated EU classes.
+const HIT_INTERVALS: [usize; 4] = [16, 32, 64, 128];
+
+#[derive(Debug, Clone, Copy)]
+#[allow(clippy::enum_variant_names)] // the *Done suffix is the semantics
+enum Event {
+    SuDone { su: usize },
+    EuDone { eu: usize },
+    AllocDone,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct EuState {
+    pes: u32,
+    class_idx: usize,
+    busy: bool,
+}
+
+enum HitPath {
+    /// The Coordinator path: double buffer + greedy allocator.
+    Coordinator {
+        buffer: HitsBuffer<Hit>,
+        allocator: HitsAllocator,
+        judger: AllocateJudger,
+        trigger: AllocateTrigger,
+        /// Set after a zero-progress round; cleared when EU/buffer state
+        /// changes, preventing same-cycle re-trigger livelock.
+        blocked: bool,
+    },
+    /// The baseline path: a bounded FIFO dispatched head-first.
+    Fifo {
+        queue: VecDeque<Hit>,
+        capacity: usize,
+        /// With hybrid units but no Hits Allocator, the minimal hardware
+        /// matches the head hit strictly to its own class (and blocks on
+        /// it — the paper's "basic method (1)"); with uniform units the
+        /// head takes the first idle unit.
+        strict_class: bool,
+    },
+}
+
+struct SimState<'w> {
+    config: NvwaConfig,
+    works: &'w [ReadWork],
+    now: Cycle,
+    events: EventQueue<Event>,
+    // Seeding side.
+    su_busy: Vec<bool>,
+    su_read: Vec<Option<usize>>,
+    su_stalled: Vec<Option<Vec<Hit>>>,
+    next_read: u64,
+    ocra: OneCycleReadAllocator,
+    batch: BatchScheduler,
+    su_model: SuModel,
+    read_spm: ReadSpm,
+    hbm: Hbm,
+    // Extension side.
+    eus: Vec<EuState>,
+    traceback: Cycle,
+    path: HitPath,
+    // Statistics.
+    su_util: UtilizationTracker,
+    eu_util: UtilizationTracker,
+    matrix: Vec<Vec<u64>>,
+    hits_dispatched: u64,
+    alloc_rounds: u64,
+    fragmented: u64,
+    stall_events: u64,
+    switches_seen: u64,
+}
+
+/// Runs the full-system simulation of `works` under `config`.
+///
+/// Deterministic: identical inputs give identical reports.
+///
+/// # Panics
+///
+/// Panics if `config` is invalid (see [`NvwaConfig::validate`]) or `works`
+/// is empty.
+pub fn simulate(config: &NvwaConfig, works: &[ReadWork]) -> SimReport {
+    config.validate();
+    assert!(!works.is_empty(), "workload must be non-empty");
+
+    let eu_classes = config.effective_eu_classes();
+    let mut eus = Vec::new();
+    for (class_idx, c) in eu_classes.iter().enumerate() {
+        for _ in 0..c.count {
+            eus.push(EuState {
+                pes: c.pes,
+                class_idx,
+                busy: false,
+            });
+        }
+    }
+    let path = if config.scheduling.hits_allocator {
+        HitPath::Coordinator {
+            buffer: HitsBuffer::new(config.hits_buffer_depth, config.store_switch_threshold),
+            allocator: HitsAllocator::new(&eu_classes, AllocPolicy::GroupedGreedy),
+            judger: AllocateJudger::new(),
+            trigger: AllocateTrigger::new(config.idle_eu_threshold),
+            blocked: false,
+        }
+    } else {
+        HitPath::Fifo {
+            queue: VecDeque::new(),
+            capacity: config.baseline_fifo_capacity,
+            strict_class: config.scheduling.hybrid_units,
+        }
+    };
+
+    let total_eus = eus.len() as u32;
+    let mut state = SimState {
+        works,
+        now: 0,
+        events: EventQueue::new(),
+        su_busy: vec![false; config.su_count as usize],
+        su_read: vec![None; config.su_count as usize],
+        su_stalled: vec![None; config.su_count as usize],
+        next_read: 0,
+        ocra: OneCycleReadAllocator::new(config.su_count as usize),
+        batch: BatchScheduler::new(config.su_count as usize),
+        su_model: SuModel::new(config.su_cache_blocks, config.su_cache_latency),
+        read_spm: ReadSpm::for_su_pool(config.su_count),
+        hbm: Hbm::new(config.hbm),
+        eus,
+        traceback: config.traceback_cycles,
+        path,
+        su_util: UtilizationTracker::new(config.su_count, config.stats_bucket),
+        eu_util: UtilizationTracker::new(total_eus, config.stats_bucket),
+        matrix: vec![vec![0; eu_classes.len()]; HIT_INTERVALS.len()],
+        hits_dispatched: 0,
+        alloc_rounds: 0,
+        fragmented: 0,
+        stall_events: 0,
+        switches_seen: 0,
+        config: config.clone(),
+    };
+
+    state.schedule_reads();
+    while let Some((t, ev)) = state.events.pop() {
+        debug_assert!(t >= state.now, "time must advance");
+        state.now = t;
+        match ev {
+            Event::SuDone { su } => state.on_su_done(su),
+            Event::EuDone { eu } => state.on_eu_done(eu),
+            Event::AllocDone => state.on_alloc_done(),
+        }
+        state.maintenance();
+    }
+    state.into_report(&eu_classes)
+}
+
+impl SimState<'_> {
+    /// SUs actively seeding (busy and not suspended on a full buffer).
+    fn running_su_count(&self) -> u32 {
+        self.su_busy
+            .iter()
+            .zip(&self.su_stalled)
+            .filter(|(&b, s)| b && s.is_none())
+            .count() as u32
+    }
+
+    fn seeding_finished(&self) -> bool {
+        self.next_read as usize >= self.works.len()
+            && self.su_busy.iter().all(|&b| !b)
+            && self.su_stalled.iter().all(|s| s.is_none())
+    }
+
+    /// Refills idle SUs with new reads via the active read scheduler.
+    fn schedule_reads(&mut self) {
+        let remaining = self.works.len() as u64 - self.next_read;
+        if remaining == 0 {
+            return;
+        }
+        // A stalled SU is not schedulable: report it busy.
+        let busy: Vec<bool> = self
+            .su_busy
+            .iter()
+            .zip(&self.su_stalled)
+            .map(|(&b, s)| b || s.is_some())
+            .collect();
+        let (assigned, new_next) = if self.config.scheduling.ocra {
+            self.ocra.allocate(&busy, self.next_read, remaining)
+        } else {
+            self.batch.allocate(&busy, self.next_read, remaining)
+        };
+        let offset_before = self.next_read;
+        self.next_read = new_next;
+        let mut newly_busy = 0u32;
+        for (su, read) in assigned.into_iter().enumerate() {
+            let Some(read_idx) = read else { continue };
+            let work = &self.works[read_idx as usize];
+            // One cycle for the allocator itself, then the read load.
+            let load = self.read_spm.load_latency(read_idx, offset_before);
+            let start = self.now + 1 + load;
+            let done = self
+                .su_model
+                .seeding_latency(start, work, &mut self.hbm)
+                .max(self.now + 1);
+            self.su_busy[su] = true;
+            self.su_read[su] = Some(read_idx as usize);
+            newly_busy += 1;
+            if std::env::var("NVWA_DEBUG").is_ok() {
+                eprintln!(
+                    "su={su} read={read_idx} now={} start={start} done={done} lat={}",
+                    self.now,
+                    done - self.now
+                );
+            }
+            self.events.push(done, Event::SuDone { su });
+        }
+        if newly_busy > 0 {
+            let busy_now = self.running_su_count();
+            self.su_util.set_busy(self.now, busy_now);
+        }
+    }
+
+    fn on_su_done(&mut self, su: usize) {
+        let read_idx = self.su_read[su].expect("SU completion without a read");
+        let hits: Vec<Hit> = self.works[read_idx].hits.clone();
+        self.finish_or_stall(su, hits);
+    }
+
+    /// Pushes a SU's hits toward the extension side; suspends the SU when
+    /// the buffer is full (the blocking state of Fig. 13a).
+    fn finish_or_stall(&mut self, su: usize, hits: Vec<Hit>) {
+        let mut pending = hits;
+        while let Some(hit) = pending.first().copied() {
+            let accepted = match &mut self.path {
+                HitPath::Coordinator { buffer, .. } => buffer.push(hit).is_ok(),
+                HitPath::Fifo {
+                    queue, capacity, ..
+                } => {
+                    if queue.len() < *capacity {
+                        queue.push_back(hit);
+                        true
+                    } else {
+                        false
+                    }
+                }
+            };
+            if accepted {
+                pending.remove(0);
+            } else {
+                break;
+            }
+        }
+        if pending.is_empty() {
+            self.su_stalled[su] = None;
+            self.su_busy[su] = false;
+            self.su_read[su] = None;
+            self.su_util.set_busy(self.now, self.running_su_count());
+            self.schedule_reads();
+        } else {
+            if self.su_stalled[su].is_none() {
+                self.stall_events += 1;
+            }
+            // A suspended SU holds its read but is not doing useful work:
+            // it counts as unutilized (the paper's Fig. 13a "suspending
+            // state").
+            self.su_stalled[su] = Some(pending);
+            self.su_util.set_busy(self.now, self.running_su_count());
+        }
+    }
+
+    fn on_eu_done(&mut self, eu: usize) {
+        self.eus[eu].busy = false;
+        let busy_now = self.eus.iter().filter(|e| e.busy).count() as u32;
+        self.eu_util.set_busy(self.now, busy_now);
+        if let HitPath::Coordinator { blocked, .. } = &mut self.path {
+            *blocked = false;
+        }
+    }
+
+    fn on_alloc_done(&mut self) {
+        let HitPath::Coordinator {
+            buffer,
+            allocator,
+            judger,
+            blocked,
+            ..
+        } = &mut self.path
+        else {
+            unreachable!("AllocDone only fires on the Coordinator path");
+        };
+        let batch = buffer.peek_batch(self.config.alloc_batch_size).to_vec();
+        let mut idle: Vec<IdleEu> = self
+            .eus
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| !e.busy)
+            .map(|(unit_idx, e)| IdleEu {
+                unit_idx,
+                pes: e.pes,
+            })
+            .collect();
+        let (flags, assignments) = allocator.allocate(&batch, &mut idle);
+        let stats = buffer.complete_round(&flags);
+        judger.complete();
+        self.alloc_rounds += 1;
+        self.fragmented += stats.unallocated as u64;
+        if stats.allocated == 0 {
+            *blocked = true;
+        }
+        let dispatches: Vec<(usize, Hit)> = assignments
+            .iter()
+            .map(|a| (a.unit.unit_idx, batch[a.batch_slot]))
+            .collect();
+        for (unit_idx, hit) in dispatches {
+            self.dispatch(unit_idx, &hit);
+        }
+    }
+
+    /// Occupies EU `unit_idx` with `hit` and records the assignment.
+    fn dispatch(&mut self, unit_idx: usize, hit: &Hit) {
+        let eu = &mut self.eus[unit_idx];
+        debug_assert!(!eu.busy, "dispatch to a busy EU");
+        eu.busy = true;
+        let model = EuModel::with_algorithm(eu.pes, self.traceback, self.config.eu_algorithm);
+        let done = self.now + model.task_latency(hit);
+        let class_idx = eu.class_idx;
+        self.events.push(done, Event::EuDone { eu: unit_idx });
+        let busy_now = self.eus.iter().filter(|e| e.busy).count() as u32;
+        self.eu_util.set_busy(self.now, busy_now);
+        let interval = HIT_INTERVALS
+            .iter()
+            .position(|&b| hit.hit_len() as usize <= b)
+            .unwrap_or(HIT_INTERVALS.len() - 1);
+        self.matrix[interval][class_idx] += 1;
+        self.hits_dispatched += 1;
+    }
+
+    /// Re-evaluates buffer switches, stall resolution, allocation triggers
+    /// and FIFO dispatch until nothing changes at the current cycle.
+    fn maintenance(&mut self) {
+        loop {
+            let draining = self.seeding_finished();
+            let mut progressed = self.try_switch(draining);
+            progressed |= self.try_trigger(draining);
+            progressed |= self.try_fifo_dispatch();
+            progressed |= self.resume_stalled();
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    /// Buffer switch: threshold reached, or forced when the producers are
+    /// done (or every active SU is suspended on a full Store Buffer).
+    fn try_switch(&mut self, draining: bool) -> bool {
+        let all_stalled = self.su_stalled.iter().any(|s| s.is_some())
+            && self
+                .su_stalled
+                .iter()
+                .zip(&self.su_busy)
+                .all(|(s, &b)| s.is_some() || !b);
+        let HitPath::Coordinator {
+            buffer, blocked, ..
+        } = &mut self.path
+        else {
+            return false;
+        };
+        if buffer.should_switch(draining || all_stalled) && buffer.switch() {
+            self.switches_seen += 1;
+            *blocked = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Allocate Trigger → Judger → scheduled round.
+    fn try_trigger(&mut self, draining: bool) -> bool {
+        let idle = self.eus.iter().filter(|e| !e.busy).count();
+        let total = self.eus.len();
+        let HitPath::Coordinator {
+            buffer,
+            judger,
+            trigger,
+            blocked,
+            ..
+        } = &mut self.path
+        else {
+            return false;
+        };
+        let want = buffer.processing_remaining() > 0
+            && idle > 0
+            && !*blocked
+            && (draining || trigger.should_request(idle, total));
+        if want && judger.request() {
+            self.events
+                .push(self.now + self.config.alloc_latency, Event::AllocDone);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Baseline path: head-of-line dispatch to an idle EU.
+    fn try_fifo_dispatch(&mut self) -> bool {
+        let (hit, unit_idx) = {
+            let HitPath::Fifo {
+                queue,
+                strict_class,
+                ..
+            } = &self.path
+            else {
+                return false;
+            };
+            let Some(hit) = queue.front().copied() else {
+                return false;
+            };
+            let choice = if *strict_class {
+                // Head-of-line blocking on the hit's own class: the
+                // smallest class whose PE count covers the hit length.
+                let wanted = self
+                    .eus
+                    .iter()
+                    .map(|e| e.pes)
+                    .filter(|&p| hit.hit_len() <= p)
+                    .min()
+                    .unwrap_or_else(|| self.eus.iter().map(|e| e.pes).max().expect("EUs exist"));
+                self.eus.iter().position(|e| !e.busy && e.pes == wanted)
+            } else {
+                self.eus.iter().position(|e| !e.busy)
+            };
+            match choice {
+                Some(u) => (hit, u),
+                None => return false,
+            }
+        };
+        if let HitPath::Fifo { queue, .. } = &mut self.path {
+            queue.pop_front();
+        }
+        self.dispatch(unit_idx, &hit);
+        true
+    }
+
+    /// Resumes suspended SUs whose buffer space opened up.
+    fn resume_stalled(&mut self) -> bool {
+        let mut progressed = false;
+        for su in 0..self.su_stalled.len() {
+            if let Some(pending) = self.su_stalled[su].take() {
+                // Re-install before retrying so finish_or_stall does not
+                // count a fresh stall event.
+                self.su_stalled[su] = Some(pending.clone());
+                self.finish_or_stall(su, pending);
+                if self.su_stalled[su].is_none() {
+                    progressed = true;
+                }
+            }
+        }
+        progressed
+    }
+
+    fn into_report(mut self, eu_classes: &[EuClass]) -> SimReport {
+        let end = self.now.max(1);
+        SimReport {
+            total_cycles: end,
+            reads: self.works.len() as u64,
+            hits_dispatched: self.hits_dispatched,
+            su_utilization: self.su_util.average(end),
+            eu_utilization: self.eu_util.average(end),
+            su_series: self.su_util.series(end),
+            eu_series: self.eu_util.series(end),
+            stats_bucket: self.config.stats_bucket,
+            assignment_matrix: self.matrix,
+            hit_class_bounds: HIT_INTERVALS.to_vec(),
+            eu_class_pes: eu_classes.iter().map(|c| c.pes).collect(),
+            buffer_switches: self.switches_seen,
+            alloc_rounds: self.alloc_rounds,
+            fragmented_hits: self.fragmented,
+            su_stall_events: self.stall_events,
+            hbm_requests: self.hbm.requests(),
+            hbm_energy_j: self.hbm.energy_joules(),
+            su_cache_hit_rate: self.su_model.cache_hit_rate(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SchedulingConfig;
+    use crate::units::workload::SyntheticWorkloadParams;
+
+    fn small_workload(reads: usize) -> Vec<ReadWork> {
+        SyntheticWorkloadParams {
+            reads,
+            mean_accesses: 60.0,
+            ..SyntheticWorkloadParams::default()
+        }
+        .generate(42)
+    }
+
+    fn config() -> NvwaConfig {
+        NvwaConfig::small_test()
+    }
+
+    #[test]
+    fn simulation_terminates_and_processes_all_hits() {
+        let works = small_workload(200);
+        let total_hits: u64 = works.iter().map(|w| w.hits.len() as u64).sum();
+        let report = simulate(&config(), &works);
+        assert_eq!(report.reads, 200);
+        assert_eq!(report.hits_dispatched, total_hits);
+        assert!(report.total_cycles > 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let works = small_workload(100);
+        let a = simulate(&config(), &works);
+        let b = simulate(&config(), &works);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nvwa_beats_unscheduled_baseline() {
+        let works = small_workload(400);
+        let nvwa = simulate(&config(), &works);
+        let baseline_cfg = NvwaConfig {
+            scheduling: SchedulingConfig::baseline(),
+            ..config()
+        };
+        let base = simulate(&baseline_cfg, &works);
+        assert_eq!(base.hits_dispatched, nvwa.hits_dispatched);
+        assert!(
+            nvwa.total_cycles < base.total_cycles,
+            "nvwa {} vs baseline {}",
+            nvwa.total_cycles,
+            base.total_cycles
+        );
+    }
+
+    #[test]
+    fn ocra_improves_su_utilization() {
+        let works = small_workload(400);
+        let with = simulate(&config(), &works);
+        let without = simulate(
+            &NvwaConfig {
+                scheduling: SchedulingConfig {
+                    ocra: false,
+                    ..SchedulingConfig::nvwa()
+                },
+                ..config()
+            },
+            &works,
+        );
+        assert!(
+            with.su_utilization > without.su_utilization,
+            "with {} vs without {}",
+            with.su_utilization,
+            without.su_utilization
+        );
+    }
+
+    #[test]
+    fn allocator_beats_strict_blocking_fifo() {
+        // With hybrid units, the Hits Allocator (buffered, sorted, grouped
+        // with sub-optimal fallback) must outperform the minimal strict
+        // class-matched blocking FIFO it replaces. Run at paper scale so
+        // the EU pool has multiple units per class.
+        let works = SyntheticWorkloadParams {
+            reads: 800,
+            ..SyntheticWorkloadParams::default()
+        }
+        .generate(42);
+        let cfg = NvwaConfig {
+            stats_bucket: 4096,
+            ..NvwaConfig::paper()
+        };
+        let with = simulate(&cfg, &works);
+        let without = simulate(
+            &NvwaConfig {
+                scheduling: SchedulingConfig {
+                    hits_allocator: false,
+                    hybrid_units: true,
+                    ocra: true,
+                },
+                ..cfg
+            },
+            &works,
+        );
+        assert!(
+            with.total_cycles < without.total_cycles,
+            "with HA {} vs strict FIFO {}",
+            with.total_cycles,
+            without.total_cycles
+        );
+    }
+
+    #[test]
+    fn nvwa_allocation_correctness_beats_uniform_baseline() {
+        // Fig. 12(e/f): NvWa places most hits on their optimal class; the
+        // uniform SUs+EUs baseline cannot (it has only 64-PE units).
+        let works = small_workload(400);
+        let nvwa = simulate(&config(), &works);
+        let base = simulate(
+            &NvwaConfig {
+                scheduling: SchedulingConfig::baseline(),
+                ..config()
+            },
+            &works,
+        );
+        assert!(nvwa.overall_correct_allocation() > 0.5);
+        assert!(nvwa.overall_correct_allocation() > base.overall_correct_allocation());
+    }
+
+    #[test]
+    fn small_buffer_causes_stalls() {
+        let works = small_workload(300);
+        let tiny = simulate(
+            &NvwaConfig {
+                hits_buffer_depth: 8,
+                alloc_batch_size: 4,
+                ..config()
+            },
+            &works,
+        );
+        assert!(tiny.su_stall_events > 0);
+        let big = simulate(
+            &NvwaConfig {
+                hits_buffer_depth: 4096,
+                ..config()
+            },
+            &works,
+        );
+        assert_eq!(big.su_stall_events, 0);
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let works = small_workload(150);
+        let r = simulate(&config(), &works);
+        assert!(r.su_utilization > 0.0 && r.su_utilization <= 1.0);
+        assert!(r.eu_utilization > 0.0 && r.eu_utilization <= 1.0);
+    }
+
+    #[test]
+    fn scheduling_gains_hold_for_bit_parallel_units() {
+        // The paper's orthogonality claim: the schedulers improve GenASM-
+        // style units too, not just systolic arrays.
+        use crate::config::EuAlgorithm;
+        let works = SyntheticWorkloadParams {
+            reads: 600,
+            ..SyntheticWorkloadParams::default()
+        }
+        .generate(0x0b17);
+        let run = |sched: SchedulingConfig| {
+            simulate(
+                &NvwaConfig {
+                    eu_algorithm: EuAlgorithm::BitParallel,
+                    scheduling: sched,
+                    ..NvwaConfig::paper()
+                },
+                &works,
+            )
+            .total_cycles
+        };
+        let base = run(SchedulingConfig::baseline());
+        let nvwa = run(SchedulingConfig::nvwa());
+        assert!(nvwa < base, "bit-parallel: nvwa {nvwa} vs baseline {base}");
+    }
+
+    #[test]
+    fn single_read_workload_works() {
+        let works = small_workload(1);
+        let r = simulate(&config(), &works);
+        assert_eq!(r.reads, 1);
+        assert_eq!(r.buffer_switches, 1); // forced drain switch
+    }
+}

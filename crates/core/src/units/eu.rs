@@ -1,0 +1,152 @@
+//! The extension unit (EU) timing model.
+//!
+//! An EU is a systolic array of `pes` PEs: a dispatched hit occupies it for
+//! the Formula-3 matrix-fill latency plus the constant trace-back time
+//! (footnote 4 of the paper: trace-back latency is independent of the PE
+//! count, so it is a fixed adder).
+
+use nvwa_sim::Cycle;
+
+use crate::config::EuAlgorithm;
+use crate::extension::systolic::matrix_fill_latency;
+use crate::interface::Hit;
+
+/// Matrix-fill latency of a GenASM/Bitap-style bit-parallel unit: the text
+/// streams once per pattern word, so `R × ⌈Q / lanes⌉` cycles.
+pub fn bit_parallel_latency(ref_len: u64, query_len: u64, lanes: u32) -> Cycle {
+    assert!(lanes > 0, "need at least one bit lane");
+    if ref_len == 0 || query_len == 0 {
+        return 0;
+    }
+    ref_len * query_len.div_ceil(lanes as u64)
+}
+
+/// The EU timing model for one unit size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EuModel {
+    pes: u32,
+    traceback: Cycle,
+    algorithm: EuAlgorithm,
+}
+
+impl EuModel {
+    /// Creates a systolic-array model for a unit of `pes` PEs with the
+    /// given constant trace-back latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pes == 0`.
+    pub fn new(pes: u32, traceback: Cycle) -> EuModel {
+        EuModel::with_algorithm(pes, traceback, EuAlgorithm::Systolic)
+    }
+
+    /// Creates a model with an explicit algorithm family.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pes == 0`.
+    pub fn with_algorithm(pes: u32, traceback: Cycle, algorithm: EuAlgorithm) -> EuModel {
+        assert!(pes > 0, "need at least one PE");
+        EuModel {
+            pes,
+            traceback,
+            algorithm,
+        }
+    }
+
+    /// PE count (bit lanes for `BitParallel`).
+    pub fn pes(&self) -> u32 {
+        self.pes
+    }
+
+    /// Total occupancy of one hit: load (1 cycle) + matrix fill + trace
+    /// back.
+    pub fn task_latency(&self, hit: &Hit) -> Cycle {
+        let r = hit.ref_len.max(1) as u64;
+        let q = hit.query_len.max(1) as u64;
+        let fill = match self.algorithm {
+            EuAlgorithm::Systolic => matrix_fill_latency(r, q, self.pes),
+            EuAlgorithm::BitParallel => bit_parallel_latency(r, q, self.pes),
+        };
+        1 + fill + self.traceback
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hit(q: u32, r: u32) -> Hit {
+        Hit {
+            read_idx: 0,
+            hit_idx: 0,
+            direction: false,
+            read_pos: (0, q),
+            ref_pos: 0,
+            query_len: q,
+            ref_len: r,
+        }
+    }
+
+    #[test]
+    fn latency_includes_fill_and_traceback() {
+        let eu = EuModel::new(16, 32);
+        // (20 + 15) × ceil(10/16 = 1) = 35, +1 load +32 traceback.
+        assert_eq!(eu.task_latency(&hit(10, 20)), 1 + 35 + 32);
+    }
+
+    #[test]
+    fn matched_unit_is_fastest_for_its_class() {
+        let h = hit(20, 24);
+        let lat: Vec<Cycle> = [16u32, 32, 64, 128]
+            .iter()
+            .map(|&p| EuModel::new(p, 32).task_latency(&h))
+            .collect();
+        // 32-PE is optimal for a 20-long hit (one pass, minimal bubble).
+        let best = lat.iter().min().unwrap();
+        assert_eq!(lat[1], *best);
+    }
+
+    #[test]
+    fn long_hit_on_small_unit_iterates() {
+        let h = hit(127, 130);
+        let small = EuModel::new(16, 0).task_latency(&h);
+        let big = EuModel::new(128, 0).task_latency(&h);
+        assert!(small > big * 3, "small {small} vs big {big}");
+    }
+
+    #[test]
+    fn bit_parallel_latency_streams_text_once_per_word() {
+        // Q=20 on 64-lane unit: one word → R cycles.
+        assert_eq!(bit_parallel_latency(100, 20, 64), 100);
+        // Q=127 on 64 lanes: two words → 2R.
+        assert_eq!(bit_parallel_latency(100, 127, 64), 200);
+        assert_eq!(bit_parallel_latency(0, 5, 64), 0);
+    }
+
+    #[test]
+    fn algorithms_differ_but_scale_similarly() {
+        let h = hit(100, 150);
+        let sys = EuModel::with_algorithm(64, 0, crate::config::EuAlgorithm::Systolic);
+        let bit = EuModel::with_algorithm(64, 0, crate::config::EuAlgorithm::BitParallel);
+        // Both iterate twice for Q=100 on 64 lanes/PEs, with different
+        // constants.
+        assert_ne!(sys.task_latency(&h), bit.task_latency(&h));
+        // Both still prefer matched units for short hits.
+        let short = hit(10, 60);
+        for algo in [
+            crate::config::EuAlgorithm::Systolic,
+            crate::config::EuAlgorithm::BitParallel,
+        ] {
+            let small = EuModel::with_algorithm(16, 0, algo).task_latency(&short);
+            let large = EuModel::with_algorithm(128, 0, algo).task_latency(&short);
+            assert!(small <= large, "{algo:?}: {small} vs {large}");
+        }
+    }
+
+    #[test]
+    fn degenerate_hit_still_has_cost() {
+        let eu = EuModel::new(16, 8);
+        assert!(eu.task_latency(&hit(0, 0)) >= 9);
+    }
+}

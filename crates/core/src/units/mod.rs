@@ -1,0 +1,16 @@
+//! Execution-driven SU/EU hardware models and workload generation.
+//!
+//! The paper's simulator is execution-driven: real algorithm runs produce
+//! the work the hardware timing model replays. [`workload`] builds
+//! [`workload::ReadWork`] descriptors either from the software aligner's
+//! per-read profiles (faithful mode) or from a calibrated synthetic
+//! generator (sweep mode); [`su`] replays seeding memory traces through the
+//! SU cache + HBM; [`eu`] charges Formula-3 latency per extension task.
+
+pub mod eu;
+pub mod su;
+pub mod workload;
+
+pub use eu::EuModel;
+pub use su::SuModel;
+pub use workload::{ReadWork, SyntheticWorkloadParams};

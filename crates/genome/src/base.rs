@@ -1,0 +1,169 @@
+//! The DNA alphabet.
+//!
+//! Bases are stored throughout the workspace as 2-bit codes (`A=0, C=1, G=2,
+//! T=3`), matching the packed representation used by the FM-index and by the
+//! bit-parallel seeding units of the paper.
+
+use std::fmt;
+
+/// A single DNA base.
+///
+/// # Examples
+///
+/// ```
+/// use nvwa_genome::Base;
+/// assert_eq!(Base::A.complement(), Base::T);
+/// assert_eq!(Base::from_code(2), Some(Base::G));
+/// assert_eq!(Base::G.to_char(), 'G');
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Base {
+    /// Adenine (code 0).
+    A = 0,
+    /// Cytosine (code 1).
+    C = 1,
+    /// Guanine (code 2).
+    G = 2,
+    /// Thymine (code 3).
+    T = 3,
+}
+
+/// All four bases in code order.
+pub const BASES: [Base; 4] = [Base::A, Base::C, Base::G, Base::T];
+
+impl Base {
+    /// Constructs a base from its 2-bit code.
+    ///
+    /// Returns `None` if `code > 3`.
+    pub fn from_code(code: u8) -> Option<Base> {
+        match code {
+            0 => Some(Base::A),
+            1 => Some(Base::C),
+            2 => Some(Base::G),
+            3 => Some(Base::T),
+            _ => None,
+        }
+    }
+
+    /// The 2-bit code of this base.
+    #[inline]
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// The Watson-Crick complement.
+    #[inline]
+    pub fn complement(self) -> Base {
+        // Complement in 2-bit code space is `3 - code`.
+        match self {
+            Base::A => Base::T,
+            Base::C => Base::G,
+            Base::G => Base::C,
+            Base::T => Base::A,
+        }
+    }
+
+    /// Parses an upper- or lower-case IUPAC base character.
+    ///
+    /// Ambiguity codes (e.g. `N`) are rejected: the synthetic genomes in this
+    /// workspace are fully resolved, mirroring the paper's filtering of
+    /// unmapped/unlocalized contigs.
+    pub fn from_char(c: char) -> Option<Base> {
+        match c.to_ascii_uppercase() {
+            'A' => Some(Base::A),
+            'C' => Some(Base::C),
+            'G' => Some(Base::G),
+            'T' => Some(Base::T),
+            _ => None,
+        }
+    }
+
+    /// The upper-case character for this base.
+    pub fn to_char(self) -> char {
+        match self {
+            Base::A => 'A',
+            Base::C => 'C',
+            Base::G => 'G',
+            Base::T => 'T',
+        }
+    }
+}
+
+impl fmt::Display for Base {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+impl From<Base> for u8 {
+    fn from(b: Base) -> u8 {
+        b.code()
+    }
+}
+
+impl TryFrom<u8> for Base {
+    type Error = InvalidBaseCode;
+
+    fn try_from(code: u8) -> Result<Base, InvalidBaseCode> {
+        Base::from_code(code).ok_or(InvalidBaseCode(code))
+    }
+}
+
+/// Error returned when converting an out-of-range 2-bit code to a [`Base`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidBaseCode(pub u8);
+
+impl fmt::Display for InvalidBaseCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid 2-bit base code {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidBaseCode {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for code in 0..4u8 {
+            let b = Base::from_code(code).unwrap();
+            assert_eq!(b.code(), code);
+            assert_eq!(Base::try_from(code).unwrap(), b);
+        }
+        assert_eq!(Base::from_code(4), None);
+        assert_eq!(Base::try_from(7), Err(InvalidBaseCode(7)));
+    }
+
+    #[test]
+    fn complement_is_involution() {
+        for b in BASES {
+            assert_eq!(b.complement().complement(), b);
+        }
+    }
+
+    #[test]
+    fn complement_matches_code_arithmetic() {
+        for b in BASES {
+            assert_eq!(b.complement().code(), 3 - b.code());
+        }
+    }
+
+    #[test]
+    fn char_round_trip() {
+        for b in BASES {
+            assert_eq!(Base::from_char(b.to_char()), Some(b));
+            assert_eq!(Base::from_char(b.to_char().to_ascii_lowercase()), Some(b));
+        }
+        assert_eq!(Base::from_char('N'), None);
+        assert_eq!(Base::from_char('x'), None);
+    }
+
+    #[test]
+    fn display_is_char() {
+        assert_eq!(Base::C.to_string(), "C");
+        assert_eq!(format!("{:?}", Base::A), "A");
+    }
+}

@@ -1,0 +1,282 @@
+//! Minimal FASTA/FASTQ serialization.
+//!
+//! Enough I/O for the example binaries to emit and re-ingest datasets; not a
+//! general-purpose parser (no multi-line wrapping quirks, no ambiguity
+//! codes — consistent with the fully resolved synthetic genomes).
+
+use std::fmt::Write as _;
+
+use crate::reads::Read;
+use crate::reference::{Chromosome, ReferenceGenome};
+use crate::sequence::DnaSeq;
+
+/// Renders a reference genome as FASTA text.
+///
+/// # Examples
+///
+/// ```
+/// use nvwa_genome::{ReferenceGenome, ReferenceParams};
+/// use nvwa_genome::fasta::to_fasta;
+/// let g = ReferenceGenome::synthesize(&ReferenceParams::small_test(), 1);
+/// let text = to_fasta(&g, 80);
+/// assert!(text.starts_with(">chr1"));
+/// ```
+pub fn to_fasta(genome: &ReferenceGenome, line_width: usize) -> String {
+    let width = line_width.max(1);
+    let mut out = String::new();
+    for c in genome.chromosomes() {
+        let _ = writeln!(out, ">{}", c.name);
+        let s = c.seq.to_string();
+        for chunk in s.as_bytes().chunks(width) {
+            let _ = writeln!(out, "{}", std::str::from_utf8(chunk).expect("ascii"));
+        }
+    }
+    out
+}
+
+/// Parses FASTA text into a reference genome.
+///
+/// # Errors
+///
+/// Returns [`FastaError`] on malformed input (missing header, invalid base,
+/// empty record).
+pub fn from_fasta(name: &str, text: &str) -> Result<ReferenceGenome, FastaError> {
+    let mut chromosomes: Vec<Chromosome> = Vec::new();
+    let mut current: Option<(String, DnaSeq)> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('>') {
+            if let Some((n, seq)) = current.take() {
+                if seq.is_empty() {
+                    return Err(FastaError::EmptyRecord { name: n });
+                }
+                chromosomes.push(Chromosome { name: n, seq });
+            }
+            current = Some((
+                header.split_whitespace().next().unwrap_or("").to_string(),
+                DnaSeq::new(),
+            ));
+        } else {
+            let (_, seq) = current
+                .as_mut()
+                .ok_or(FastaError::MissingHeader { line: lineno + 1 })?;
+            for ch in line.chars() {
+                let b = crate::base::Base::from_char(ch).ok_or(FastaError::InvalidBase {
+                    line: lineno + 1,
+                    ch,
+                })?;
+                seq.push(b);
+            }
+        }
+    }
+    if let Some((n, seq)) = current.take() {
+        if seq.is_empty() {
+            return Err(FastaError::EmptyRecord { name: n });
+        }
+        chromosomes.push(Chromosome { name: n, seq });
+    }
+    if chromosomes.is_empty() {
+        return Err(FastaError::Empty);
+    }
+    Ok(ReferenceGenome::from_chromosomes(name, chromosomes))
+}
+
+/// Renders reads as FASTQ text with a constant quality line.
+pub fn reads_to_fastq(reads: &[Read]) -> String {
+    let mut out = String::new();
+    for r in reads {
+        let _ = writeln!(out, "@read{}", r.id);
+        let _ = writeln!(out, "{}", r.seq);
+        let _ = writeln!(out, "+");
+        let _ = writeln!(out, "{}", "I".repeat(r.seq.len()));
+    }
+    out
+}
+
+/// Parses FASTQ text into reads (sequence lines only; quality is ignored,
+/// matching the simulator's constant-quality output). Read ids are assigned
+/// sequentially; origins are zeroed (unknown for external data).
+///
+/// # Errors
+///
+/// Returns [`FastaError`] on malformed records or invalid bases.
+pub fn reads_from_fastq(text: &str) -> Result<Vec<Read>, FastaError> {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut reads = Vec::new();
+    let mut i = 0usize;
+    while i < lines.len() {
+        if lines[i].trim().is_empty() {
+            i += 1;
+            continue;
+        }
+        if !lines[i].starts_with('@') {
+            return Err(FastaError::MissingHeader { line: i + 1 });
+        }
+        let seq_line = lines.get(i + 1).ok_or(FastaError::EmptyRecord {
+            name: lines[i].to_string(),
+        })?;
+        let seq = seq_line
+            .trim()
+            .parse::<DnaSeq>()
+            .map_err(|e| FastaError::InvalidBase {
+                line: i + 2,
+                ch: e.ch,
+            })?;
+        if seq.is_empty() {
+            return Err(FastaError::EmptyRecord {
+                name: lines[i].to_string(),
+            });
+        }
+        reads.push(Read {
+            id: reads.len() as u64,
+            seq,
+            origin: crate::reads::ReadOrigin {
+                flat_pos: 0,
+                strand: crate::reads::Strand::Forward,
+                substitutions: 0,
+                insertions: 0,
+                deletions: 0,
+            },
+        });
+        // Skip the '+' separator and quality line when present.
+        i += if lines
+            .get(i + 2)
+            .map(|l| l.starts_with('+'))
+            .unwrap_or(false)
+        {
+            4
+        } else {
+            2
+        };
+    }
+    if reads.is_empty() {
+        return Err(FastaError::Empty);
+    }
+    Ok(reads)
+}
+
+/// Error from FASTA parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FastaError {
+    /// Sequence data appeared before any `>` header.
+    MissingHeader {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A character outside `ACGTacgt` was found.
+    InvalidBase {
+        /// 1-based line number.
+        line: usize,
+        /// The offending character.
+        ch: char,
+    },
+    /// A record had a header but no sequence.
+    EmptyRecord {
+        /// The record's name.
+        name: String,
+    },
+    /// The input contained no records at all.
+    Empty,
+}
+
+impl std::fmt::Display for FastaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FastaError::MissingHeader { line } => {
+                write!(f, "sequence before first header at line {line}")
+            }
+            FastaError::InvalidBase { line, ch } => {
+                write!(f, "invalid base {ch:?} at line {line}")
+            }
+            FastaError::EmptyRecord { name } => write!(f, "record {name:?} has no sequence"),
+            FastaError::Empty => write!(f, "no FASTA records found"),
+        }
+    }
+}
+
+impl std::error::Error for FastaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::ReferenceParams;
+
+    #[test]
+    fn fasta_round_trip() {
+        let g = ReferenceGenome::synthesize(
+            &ReferenceParams {
+                total_len: 5_000,
+                chromosomes: 2,
+                ..ReferenceParams::default()
+            },
+            3,
+        );
+        let text = to_fasta(&g, 70);
+        let g2 = from_fasta("rt", &text).unwrap();
+        assert_eq!(g2.chromosomes().len(), 2);
+        assert_eq!(g2.flat(), g.flat());
+        assert_eq!(g2.chromosomes()[0].name, "chr1");
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert_eq!(
+            from_fasta("x", "ACGT\n").unwrap_err(),
+            FastaError::MissingHeader { line: 1 }
+        );
+        assert_eq!(
+            from_fasta("x", ">a\nACGN\n").unwrap_err(),
+            FastaError::InvalidBase { line: 2, ch: 'N' }
+        );
+        assert!(matches!(
+            from_fasta("x", ">a\n"),
+            Err(FastaError::EmptyRecord { .. })
+        ));
+        assert_eq!(from_fasta("x", "").unwrap_err(), FastaError::Empty);
+    }
+
+    #[test]
+    fn fastq_round_trip() {
+        let g = ReferenceGenome::synthesize(&ReferenceParams::small_test(), 2);
+        let mut sim =
+            crate::reads::ReadSimulator::new(&g, crate::reads::ReadSimParams::illumina_101(), 4);
+        let reads = sim.simulate_reads(5);
+        let text = reads_to_fastq(&reads);
+        let parsed = reads_from_fastq(&text).unwrap();
+        assert_eq!(parsed.len(), 5);
+        for (a, b) in parsed.iter().zip(&reads) {
+            assert_eq!(a.seq, b.seq);
+        }
+    }
+
+    #[test]
+    fn fastq_parse_errors() {
+        assert!(matches!(
+            reads_from_fastq("ACGT\n"),
+            Err(FastaError::MissingHeader { line: 1 })
+        ));
+        assert!(matches!(
+            reads_from_fastq("@r0\nACGN\n+\nIIII\n"),
+            Err(FastaError::InvalidBase { line: 2, ch: 'N' })
+        ));
+        assert!(matches!(reads_from_fastq(""), Err(FastaError::Empty)));
+    }
+
+    #[test]
+    fn fastq_output_shape() {
+        let g = ReferenceGenome::synthesize(&ReferenceParams::small_test(), 1);
+        let mut sim =
+            crate::reads::ReadSimulator::new(&g, crate::reads::ReadSimParams::illumina_101(), 1);
+        let reads = sim.simulate_reads(3);
+        let text = reads_to_fastq(&reads);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 12);
+        assert!(lines[0].starts_with("@read0"));
+        assert_eq!(lines[1].len(), 101);
+        assert_eq!(lines[2], "+");
+        assert_eq!(lines[3].len(), 101);
+    }
+}

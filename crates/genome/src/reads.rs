@@ -1,0 +1,318 @@
+//! Read simulation (DWGSIM substitute).
+//!
+//! The paper samples 200 000 single-ended 101 bp reads from NA12878 and uses
+//! DWGSIM to generate reads for five further species (Sec. V-F). This module
+//! provides the equivalent: reads are sampled uniformly from a
+//! [`ReferenceGenome`], on either strand, with an Illumina-like error model
+//! (substitutions dominate, rare short indels) for short reads and a noisier
+//! long-read model for the ≥ 1 kbp experiments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::base::Base;
+use crate::reference::ReferenceGenome;
+use crate::sequence::DnaSeq;
+
+/// Strand of origin for a simulated read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strand {
+    /// Read matches the reference orientation.
+    Forward,
+    /// Read is the reverse complement of the reference.
+    Reverse,
+}
+
+/// Ground truth about where a simulated read came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadOrigin {
+    /// Flat reference offset of the first reference base covered.
+    pub flat_pos: usize,
+    /// Strand the read was drawn from.
+    pub strand: Strand,
+    /// Number of substitution errors introduced.
+    pub substitutions: u32,
+    /// Number of inserted bases introduced.
+    pub insertions: u32,
+    /// Number of deleted bases introduced.
+    pub deletions: u32,
+}
+
+/// A simulated read: sequence plus ground-truth origin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Read {
+    /// Sequential read id (`read_idx` in the paper's Table III interface).
+    pub id: u64,
+    /// The read sequence.
+    pub seq: DnaSeq,
+    /// Ground truth, for accuracy evaluation.
+    pub origin: ReadOrigin,
+}
+
+/// Error/length model for the simulator.
+///
+/// # Examples
+///
+/// ```
+/// use nvwa_genome::ReadSimParams;
+/// let p = ReadSimParams::illumina_101();
+/// assert_eq!(p.read_len, 101);
+/// let l = ReadSimParams::long_read(10_000);
+/// assert!(l.sub_rate > p.sub_rate);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadSimParams {
+    /// Read length in bases.
+    pub read_len: usize,
+    /// Per-base substitution probability.
+    pub sub_rate: f64,
+    /// Per-base insertion probability.
+    pub ins_rate: f64,
+    /// Per-base deletion probability.
+    pub del_rate: f64,
+}
+
+impl ReadSimParams {
+    /// 101 bp Illumina-like short reads (matches the NA12878 dataset shape:
+    /// ~1 % substitutions, rare indels).
+    pub fn illumina_101() -> ReadSimParams {
+        ReadSimParams {
+            read_len: 101,
+            sub_rate: 0.010,
+            ins_rate: 0.0004,
+            del_rate: 0.0004,
+        }
+    }
+
+    /// Long reads (≥ 1 kbp) with a third-generation error profile.
+    pub fn long_read(read_len: usize) -> ReadSimParams {
+        ReadSimParams {
+            read_len,
+            sub_rate: 0.04,
+            ins_rate: 0.02,
+            del_rate: 0.02,
+        }
+    }
+}
+
+/// Draws reads from a reference genome with an error model.
+///
+/// Deterministic in `(genome, params, seed)`.
+///
+/// # Examples
+///
+/// ```
+/// use nvwa_genome::{ReferenceGenome, ReferenceParams, ReadSimulator, ReadSimParams};
+/// let genome = ReferenceGenome::synthesize(&ReferenceParams::small_test(), 1);
+/// let mut sim = ReadSimulator::new(&genome, ReadSimParams::illumina_101(), 2);
+/// let reads = sim.simulate_reads(10);
+/// assert_eq!(reads.len(), 10);
+/// assert!(reads.iter().all(|r| r.seq.len() == 101));
+/// ```
+#[derive(Debug)]
+pub struct ReadSimulator<'g> {
+    genome: &'g ReferenceGenome,
+    params: ReadSimParams,
+    rng: StdRng,
+    next_id: u64,
+}
+
+impl<'g> ReadSimulator<'g> {
+    /// Creates a simulator over `genome`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the genome is shorter than twice the read length (there must
+    /// be room to sample reads including deletions).
+    pub fn new(genome: &'g ReferenceGenome, params: ReadSimParams, seed: u64) -> ReadSimulator<'g> {
+        assert!(
+            genome.total_len() >= params.read_len * 2,
+            "genome too short ({} bp) for {} bp reads",
+            genome.total_len(),
+            params.read_len
+        );
+        ReadSimulator {
+            genome,
+            params,
+            rng: StdRng::seed_from_u64(seed),
+            next_id: 0,
+        }
+    }
+
+    /// The simulation parameters.
+    pub fn params(&self) -> &ReadSimParams {
+        &self.params
+    }
+
+    /// Simulates a single read.
+    pub fn simulate_read(&mut self) -> Read {
+        let len = self.params.read_len;
+        // Reserve slack so deletions never run off the genome end.
+        let slack = (len / 4).max(8);
+        let max_start = self.genome.total_len() - len - slack;
+        let flat_pos = self.rng.gen_range(0..=max_start);
+        let strand = if self.rng.gen_bool(0.5) {
+            Strand::Forward
+        } else {
+            Strand::Reverse
+        };
+
+        let mut seq = DnaSeq::with_capacity(len);
+        let mut subs = 0u32;
+        let mut ins = 0u32;
+        let mut dels = 0u32;
+        let mut ref_cursor = flat_pos;
+        let flat = self.genome.flat();
+        while seq.len() < len && ref_cursor < flat.len() {
+            let r = self.rng.gen::<f64>();
+            if r < self.params.ins_rate {
+                // Insert a random base, do not consume reference.
+                seq.push(random_base(&mut self.rng));
+                ins += 1;
+            } else if r < self.params.ins_rate + self.params.del_rate {
+                // Skip a reference base.
+                ref_cursor += 1;
+                dels += 1;
+            } else if r < self.params.ins_rate + self.params.del_rate + self.params.sub_rate {
+                let orig = flat.base(ref_cursor);
+                seq.push(mutate_base(orig, &mut self.rng));
+                ref_cursor += 1;
+                subs += 1;
+            } else {
+                seq.push(flat.base(ref_cursor));
+                ref_cursor += 1;
+            }
+        }
+        // Pad in the (vanishingly rare) case we ran off the genome.
+        while seq.len() < len {
+            seq.push(random_base(&mut self.rng));
+        }
+
+        let seq = match strand {
+            Strand::Forward => seq,
+            Strand::Reverse => seq.revcomp(),
+        };
+        let id = self.next_id;
+        self.next_id += 1;
+        Read {
+            id,
+            seq,
+            origin: ReadOrigin {
+                flat_pos,
+                strand,
+                substitutions: subs,
+                insertions: ins,
+                deletions: dels,
+            },
+        }
+    }
+
+    /// Simulates `n` reads.
+    pub fn simulate_reads(&mut self, n: usize) -> Vec<Read> {
+        (0..n).map(|_| self.simulate_read()).collect()
+    }
+}
+
+fn random_base(rng: &mut StdRng) -> Base {
+    Base::from_code(rng.gen_range(0..4u8)).expect("code in range")
+}
+
+fn mutate_base(b: Base, rng: &mut StdRng) -> Base {
+    let shift = rng.gen_range(1..4u8);
+    Base::from_code((b.code() + shift) % 4).expect("code in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::ReferenceParams;
+
+    fn test_genome() -> ReferenceGenome {
+        ReferenceGenome::synthesize(&ReferenceParams::small_test(), 7)
+    }
+
+    #[test]
+    fn reads_have_requested_length_and_sequential_ids() {
+        let g = test_genome();
+        let mut sim = ReadSimulator::new(&g, ReadSimParams::illumina_101(), 1);
+        let reads = sim.simulate_reads(50);
+        for (i, r) in reads.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+            assert_eq!(r.seq.len(), 101);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = test_genome();
+        let a = ReadSimulator::new(&g, ReadSimParams::illumina_101(), 5).simulate_reads(20);
+        let b = ReadSimulator::new(&g, ReadSimParams::illumina_101(), 5).simulate_reads(20);
+        assert_eq!(a, b);
+        let c = ReadSimulator::new(&g, ReadSimParams::illumina_101(), 6).simulate_reads(20);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn error_free_forward_reads_match_reference() {
+        let g = test_genome();
+        let params = ReadSimParams {
+            read_len: 80,
+            sub_rate: 0.0,
+            ins_rate: 0.0,
+            del_rate: 0.0,
+        };
+        let mut sim = ReadSimulator::new(&g, params, 3);
+        for _ in 0..30 {
+            let r = sim.simulate_read();
+            let expected = g.flat().subseq(r.origin.flat_pos, r.origin.flat_pos + 80);
+            let observed = match r.origin.strand {
+                Strand::Forward => r.seq.clone(),
+                Strand::Reverse => r.seq.revcomp(),
+            };
+            assert_eq!(observed, expected);
+            assert_eq!(r.origin.substitutions, 0);
+        }
+    }
+
+    #[test]
+    fn error_rates_are_roughly_honoured() {
+        let g = ReferenceGenome::synthesize(
+            &ReferenceParams {
+                total_len: 200_000,
+                ..ReferenceParams::default()
+            },
+            2,
+        );
+        let mut sim = ReadSimulator::new(&g, ReadSimParams::illumina_101(), 9);
+        let reads = sim.simulate_reads(2000);
+        let total_bases: u64 = reads.iter().map(|r| r.seq.len() as u64).sum();
+        let total_subs: u64 = reads.iter().map(|r| r.origin.substitutions as u64).sum();
+        let rate = total_subs as f64 / total_bases as f64;
+        assert!(
+            (rate - 0.010).abs() < 0.002,
+            "substitution rate {rate} too far from 0.010"
+        );
+    }
+
+    #[test]
+    fn long_reads_supported() {
+        let g = ReferenceGenome::synthesize(
+            &ReferenceParams {
+                total_len: 100_000,
+                ..ReferenceParams::default()
+            },
+            4,
+        );
+        let mut sim = ReadSimulator::new(&g, ReadSimParams::long_read(5_000), 8);
+        let r = sim.simulate_read();
+        assert_eq!(r.seq.len(), 5_000);
+        assert!(r.origin.substitutions > 0 || r.origin.insertions > 0 || r.origin.deletions > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "genome too short")]
+    fn rejects_tiny_genome() {
+        let g = test_genome();
+        let _ = ReadSimulator::new(&g, ReadSimParams::long_read(50_000), 0);
+    }
+}

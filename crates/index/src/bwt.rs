@@ -1,0 +1,164 @@
+//! Burrows-Wheeler transform.
+//!
+//! The BWT is stored without the sentinel character: the rank at which the
+//! sentinel would appear is kept separately as `primary`, following the
+//! classic BWA layout. All FM-index rank queries adjust indices around
+//! `primary`.
+
+use crate::suffix_array::build_suffix_array;
+
+/// The BWT of a 2-bit coded text, with the sentinel position factored out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bwt {
+    /// BWT characters (2-bit codes), length = text length. The conceptual
+    /// BWT has length `text.len() + 1`; the sentinel (at rank [`Bwt::primary`])
+    /// is omitted.
+    pub data: Vec<u8>,
+    /// Rank of the sentinel in the conceptual BWT, i.e. the rank of the
+    /// suffix starting at text position 0.
+    pub primary: usize,
+    /// `counts[c]` = number of occurrences of code `c` in the text.
+    pub counts: [u64; 4],
+}
+
+impl Bwt {
+    /// Computes the BWT of `text` from its suffix array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any code in `text` is ≥ 4.
+    pub fn from_text(text: &[u8]) -> Bwt {
+        let sa = build_suffix_array(text);
+        Bwt::from_text_and_sa(text, &sa)
+    }
+
+    /// Computes the BWT given a prebuilt suffix array (must include the
+    /// sentinel entry; see [`build_suffix_array`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sa.len() != text.len() + 1`.
+    pub fn from_text_and_sa(text: &[u8], sa: &[u32]) -> Bwt {
+        assert_eq!(sa.len(), text.len() + 1, "suffix array length mismatch");
+        let mut data = Vec::with_capacity(text.len());
+        let mut primary = usize::MAX;
+        for (rank, &pos) in sa.iter().enumerate() {
+            if pos == 0 {
+                primary = rank;
+            } else {
+                data.push(text[pos as usize - 1]);
+            }
+        }
+        assert_ne!(primary, usize::MAX, "suffix array missing position 0");
+        let mut counts = [0u64; 4];
+        for &c in text {
+            counts[c as usize] += 1;
+        }
+        Bwt {
+            data,
+            primary,
+            counts,
+        }
+    }
+
+    /// Length of the conceptual BWT (text length + 1, counting the sentinel).
+    pub fn conceptual_len(&self) -> usize {
+        self.data.len() + 1
+    }
+
+    /// `C[c]`: number of conceptual-BWT characters strictly smaller than code
+    /// `c` (the sentinel counts as smallest). This is the start of the
+    /// `c`-bucket in suffix-array rank space.
+    pub fn c_of(&self, c: u8) -> u64 {
+        let mut acc = 1u64; // the sentinel
+        for b in 0..c {
+            acc += self.counts[b as usize];
+        }
+        acc
+    }
+
+    /// The conceptual BWT character at rank `i`: `None` for the sentinel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= conceptual_len()`.
+    pub fn char_at(&self, i: usize) -> Option<u8> {
+        assert!(i < self.conceptual_len(), "rank out of range");
+        if i == self.primary {
+            None
+        } else {
+            let j = if i > self.primary { i - 1 } else { i };
+            Some(self.data[j])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// mississippi-like test over DNA codes: reconstruct the text by LF walks
+    /// using a naive occ to prove the transform is invertible.
+    fn naive_occ(bwt: &Bwt, c: u8, i: usize) -> u64 {
+        (0..i).filter(|&r| bwt.char_at(r) == Some(c)).count() as u64
+    }
+
+    fn invert(bwt: &Bwt) -> Vec<u8> {
+        let n = bwt.data.len();
+        let mut out = vec![0u8; n];
+        // LF from the sentinel rank reconstructs the text right-to-left.
+        let mut i = 0usize; // rank 0 = sentinel suffix; bwt char there is text[n-1]
+        for k in (0..n).rev() {
+            let c = bwt.char_at(i).expect("non-sentinel during inversion");
+            out[k] = c;
+            i = (bwt.c_of(c) + naive_occ(bwt, c, i)) as usize;
+        }
+        out
+    }
+
+    #[test]
+    fn bwt_inverts_small() {
+        for text in [
+            vec![1u8, 0, 2, 0, 2, 0],
+            vec![0, 0, 0],
+            vec![3, 2, 1, 0, 3, 2, 1, 0],
+            vec![2],
+        ] {
+            let bwt = Bwt::from_text(&text);
+            assert_eq!(invert(&bwt), text, "inversion failed for {text:?}");
+        }
+    }
+
+    #[test]
+    fn counts_and_c() {
+        let text = vec![0u8, 1, 1, 2, 3, 3, 3];
+        let bwt = Bwt::from_text(&text);
+        assert_eq!(bwt.counts, [1, 2, 1, 3]);
+        assert_eq!(bwt.c_of(0), 1);
+        assert_eq!(bwt.c_of(1), 2);
+        assert_eq!(bwt.c_of(2), 4);
+        assert_eq!(bwt.c_of(3), 5);
+    }
+
+    #[test]
+    fn char_at_skips_primary() {
+        let text = vec![1u8, 0, 2];
+        let bwt = Bwt::from_text(&text);
+        assert_eq!(bwt.char_at(bwt.primary), None);
+        let mut non_sentinel = 0;
+        for i in 0..bwt.conceptual_len() {
+            if bwt.char_at(i).is_some() {
+                non_sentinel += 1;
+            }
+        }
+        assert_eq!(non_sentinel, text.len());
+    }
+
+    #[test]
+    fn empty_text_is_just_sentinel() {
+        let bwt = Bwt::from_text(&[]);
+        assert_eq!(bwt.data.len(), 0);
+        assert_eq!(bwt.primary, 0);
+        assert_eq!(bwt.conceptual_len(), 1);
+    }
+}

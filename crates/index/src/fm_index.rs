@@ -1,0 +1,403 @@
+//! Bit-packed FM-index with checkpointed occ counters.
+//!
+//! This mirrors the LFMapBit hardware layout the paper instantiates its SUs
+//! with: the BWT is packed 2 bits per symbol and occurrence counts are
+//! checkpointed every [`OCC_INTERVAL`] symbols. A rank query reads exactly
+//! one checkpoint block (counters + packed payload) and finishes with
+//! bit-parallel popcounts — one block read per query is what the hardware
+//! memory trace records.
+
+use crate::bwt::Bwt;
+use crate::suffix_array::build_suffix_array;
+use crate::trace::{MemAddr, TraceSink};
+
+/// Checkpoint interval of the occ structure, in BWT symbols. The paper sets
+/// "the FM-index interval ... to 128".
+pub const OCC_INTERVAL: usize = 128;
+
+const WORDS_PER_BLOCK: usize = OCC_INTERVAL / 32; // 32 2-bit codes per u64
+
+/// A half-open suffix-array rank interval `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interval {
+    /// Inclusive lower rank.
+    pub lo: u64,
+    /// Exclusive upper rank.
+    pub hi: u64,
+}
+
+impl Interval {
+    /// Number of occurrences represented.
+    pub fn len(&self) -> u64 {
+        self.hi.saturating_sub(self.lo)
+    }
+
+    /// Whether the interval is empty.
+    pub fn is_empty(&self) -> bool {
+        self.hi <= self.lo
+    }
+}
+
+/// One occ checkpoint block: cumulative counts then `OCC_INTERVAL` packed
+/// symbols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct OccBlock {
+    counts: [u64; 4],
+    words: [u64; WORDS_PER_BLOCK],
+}
+
+/// The FM-index.
+///
+/// # Examples
+///
+/// ```
+/// use nvwa_index::FmIndex;
+/// use nvwa_index::NullTrace;
+/// // Text "ACGTACGT" as codes.
+/// let fm = FmIndex::from_text(&[0, 1, 2, 3, 0, 1, 2, 3]);
+/// let hits = fm.search(&[0, 1, 2], &mut NullTrace); // "ACG"
+/// assert_eq!(hits.map(|i| i.len()), Some(2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FmIndex {
+    blocks: Vec<OccBlock>,
+    primary: usize,
+    c: [u64; 5],
+    text_len: usize,
+}
+
+impl FmIndex {
+    /// Builds the FM-index of `text` (2-bit codes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any code is ≥ 4.
+    pub fn from_text(text: &[u8]) -> FmIndex {
+        let sa = build_suffix_array(text);
+        FmIndex::from_bwt(Bwt::from_text_and_sa(text, &sa))
+    }
+
+    /// Builds the FM-index from a precomputed [`Bwt`].
+    pub fn from_bwt(bwt: Bwt) -> FmIndex {
+        let n = bwt.data.len();
+        let n_blocks = n.div_ceil(OCC_INTERVAL).max(1);
+        let mut blocks = Vec::with_capacity(n_blocks);
+        let mut running = [0u64; 4];
+        for b in 0..n_blocks {
+            let mut words = [0u64; WORDS_PER_BLOCK];
+            let counts = running;
+            let start = b * OCC_INTERVAL;
+            for off in 0..OCC_INTERVAL {
+                let i = start + off;
+                if i >= n {
+                    break;
+                }
+                let code = bwt.data[i];
+                running[code as usize] += 1;
+                words[off / 32] |= (code as u64) << ((off % 32) * 2);
+            }
+            blocks.push(OccBlock { counts, words });
+        }
+        let mut c = [0u64; 5];
+        for code in 0..4usize {
+            c[code + 1] = c[code] + bwt.counts[code];
+        }
+        // Shift by 1 for the sentinel bucket.
+        let c = [c[0] + 1, c[1] + 1, c[2] + 1, c[3] + 1, c[4] + 1];
+        FmIndex {
+            blocks,
+            primary: bwt.primary,
+            c,
+            text_len: n,
+        }
+    }
+
+    /// Length of the indexed text (without sentinel).
+    pub fn text_len(&self) -> usize {
+        self.text_len
+    }
+
+    /// Conceptual BWT length (text + sentinel); ranks live in `0..seq_len()`.
+    pub fn seq_len(&self) -> u64 {
+        self.text_len as u64 + 1
+    }
+
+    /// Rank of the sentinel in the conceptual BWT.
+    pub fn primary(&self) -> usize {
+        self.primary
+    }
+
+    /// `C[c]`: start of the `c`-bucket in rank space (sentinel bucket is
+    /// rank 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c > 3`.
+    #[inline]
+    pub fn c_of(&self, c: u8) -> u64 {
+        self.c[c as usize]
+    }
+
+    /// End of the `c`-bucket (== `C[c+1]`, or total length for `c == 3`).
+    #[inline]
+    pub fn c_end(&self, c: u8) -> u64 {
+        self.c[c as usize + 1]
+    }
+
+    /// Number of occ blocks (used for footprint/power accounting).
+    pub fn occ_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Approximate index footprint in bytes (checkpoints + packed BWT).
+    pub fn footprint_bytes(&self) -> usize {
+        self.blocks.len() * (4 * 8 + WORDS_PER_BLOCK * 8)
+    }
+
+    /// occ(c, i): occurrences of code `c` in the conceptual BWT prefix
+    /// `[0, i)`. Records exactly one block access on `trace`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > seq_len()` or `c > 3`.
+    pub fn occ<T: TraceSink>(&self, c: u8, i: u64, trace: &mut T) -> u64 {
+        assert!(c < 4, "code out of range");
+        assert!(i <= self.seq_len(), "rank out of range");
+        // Convert conceptual rank to stored-BWT index by skipping the
+        // sentinel slot.
+        let j = if i as usize > self.primary { i - 1 } else { i } as usize;
+        let block_idx = (j / OCC_INTERVAL).min(self.blocks.len() - 1);
+        trace.record(MemAddr::occ_block(block_idx as u64));
+        let block = &self.blocks[block_idx];
+        let mut count = block.counts[c as usize];
+        let within = j - block_idx * OCC_INTERVAL;
+        count += rank_in_words(&block.words, c, within);
+        count
+    }
+
+    /// One backward-search step: maps the interval of pattern `P` to the
+    /// interval of `cP`.
+    pub fn backward_ext<T: TraceSink>(&self, interval: Interval, c: u8, trace: &mut T) -> Interval {
+        let lo = self.c_of(c) + self.occ(c, interval.lo, trace);
+        let hi = self.c_of(c) + self.occ(c, interval.hi, trace);
+        Interval { lo, hi }
+    }
+
+    /// The full-range interval (all suffixes).
+    pub fn full_interval(&self) -> Interval {
+        Interval {
+            lo: 0,
+            hi: self.seq_len(),
+        }
+    }
+
+    /// Backward search of `pattern`; returns the match interval or `None` if
+    /// the pattern does not occur.
+    pub fn search<T: TraceSink>(&self, pattern: &[u8], trace: &mut T) -> Option<Interval> {
+        let mut interval = self.full_interval();
+        for &c in pattern.iter().rev() {
+            interval = self.backward_ext(interval, c, trace);
+            if interval.is_empty() {
+                return None;
+            }
+        }
+        Some(interval)
+    }
+
+    /// LF-mapping of rank `i`: the rank of the suffix one position earlier in
+    /// the text. Returns `None` when `i` is the sentinel rank (text start).
+    pub fn lf<T: TraceSink>(&self, i: u64, trace: &mut T) -> Option<u64> {
+        if i as usize == self.primary {
+            return None;
+        }
+        let c = self.bwt_char(i)?;
+        Some(self.c_of(c) + self.occ(c, i, trace))
+    }
+
+    /// The conceptual BWT character at rank `i` (`None` for the sentinel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= seq_len()`.
+    pub fn bwt_char(&self, i: u64) -> Option<u8> {
+        assert!(i < self.seq_len(), "rank out of range");
+        if i as usize == self.primary {
+            return None;
+        }
+        let j = if i as usize > self.primary { i - 1 } else { i } as usize;
+        let block = &self.blocks[j / OCC_INTERVAL];
+        let within = j % OCC_INTERVAL;
+        let word = block.words[within / 32];
+        Some(((word >> ((within % 32) * 2)) & 0b11) as u8)
+    }
+}
+
+/// Counts occurrences of 2-bit code `c` among the first `count` codes packed
+/// in `words`, using the bit-parallel comparison the hardware performs.
+#[inline]
+fn rank_in_words(words: &[u64; WORDS_PER_BLOCK], c: u8, count: usize) -> u64 {
+    debug_assert!(count <= OCC_INTERVAL);
+    // Replicate the 2-bit code into all 32 lanes.
+    let rep = {
+        let mut r = c as u64;
+        r |= r << 2;
+        r |= r << 4;
+        r |= r << 8;
+        r |= r << 16;
+        r |= r << 32;
+        r
+    };
+    let mut total = 0u64;
+    let mut remaining = count;
+    for &w in words.iter() {
+        if remaining == 0 {
+            break;
+        }
+        let lanes = remaining.min(32);
+        let x = w ^ rep; // lanes equal to c become 00
+        let neq = (x | (x >> 1)) & 0x5555_5555_5555_5555; // 1 per non-equal lane
+        let eq = !neq & 0x5555_5555_5555_5555; // 1 per equal lane
+        let mask = if lanes == 32 {
+            u64::MAX
+        } else {
+            (1u64 << (lanes * 2)) - 1
+        };
+        total += (eq & mask).count_ones() as u64;
+        remaining -= lanes;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{CountTrace, NullTrace};
+
+    fn naive_count(text: &[u8], pattern: &[u8]) -> u64 {
+        if pattern.is_empty() || pattern.len() > text.len() {
+            return 0;
+        }
+        text.windows(pattern.len())
+            .filter(|w| *w == pattern)
+            .count() as u64
+    }
+
+    fn rand_codes(len: usize, mut state: u64) -> Vec<u8> {
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) & 0b11) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn search_counts_match_naive() {
+        let text = rand_codes(600, 42);
+        let fm = FmIndex::from_text(&text);
+        for plen in [1usize, 2, 3, 5, 8, 13] {
+            for start in (0..text.len() - plen).step_by(37) {
+                let pattern = &text[start..start + plen];
+                let expected = naive_count(&text, pattern);
+                let got = fm
+                    .search(pattern, &mut NullTrace)
+                    .map(|i| i.len())
+                    .unwrap_or(0);
+                assert_eq!(got, expected, "pattern at {start} len {plen}");
+            }
+        }
+    }
+
+    #[test]
+    fn absent_pattern_returns_none() {
+        // Text of all A's cannot contain a C.
+        let fm = FmIndex::from_text(&[0u8; 100]);
+        assert_eq!(fm.search(&[1], &mut NullTrace), None);
+        assert_eq!(fm.search(&[0, 1, 0], &mut NullTrace), None);
+    }
+
+    #[test]
+    fn occ_is_monotone_and_bounded() {
+        let text = rand_codes(300, 7);
+        let fm = FmIndex::from_text(&text);
+        for c in 0..4u8 {
+            let mut prev = 0;
+            for i in 0..=fm.seq_len() {
+                let o = fm.occ(c, i, &mut NullTrace);
+                assert!(o >= prev, "occ must be monotone");
+                assert!(o - prev <= 1, "occ can grow by at most one per rank");
+                prev = o;
+            }
+            let total: u64 = fm.occ(c, fm.seq_len(), &mut NullTrace);
+            assert_eq!(
+                total,
+                text.iter().filter(|&&x| x == c).count() as u64,
+                "total occ of {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn occ_traces_one_block_per_query() {
+        let text = rand_codes(500, 3);
+        let fm = FmIndex::from_text(&text);
+        let mut trace = CountTrace::default();
+        fm.occ(2, 137, &mut trace);
+        assert_eq!(trace.0, 1);
+        let mut trace = CountTrace::default();
+        fm.backward_ext(fm.full_interval(), 1, &mut trace);
+        assert_eq!(trace.0, 2); // lo and hi boundaries
+    }
+
+    #[test]
+    fn lf_walk_reconstructs_text() {
+        let text = rand_codes(257, 99); // crosses a block boundary
+        let fm = FmIndex::from_text(&text);
+        // Start from rank 0 (the sentinel suffix): its BWT char is the last
+        // text char; repeatedly applying LF walks the text right to left.
+        let mut i = 0u64;
+        let mut recovered = Vec::with_capacity(text.len());
+        loop {
+            match fm.bwt_char(i) {
+                None => break,
+                Some(c) => {
+                    recovered.push(c);
+                    i = fm.lf(i, &mut NullTrace).expect("lf defined off-sentinel");
+                }
+            }
+        }
+        recovered.reverse();
+        assert_eq!(recovered, text);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_consistent() {
+        let text = rand_codes(1000, 5);
+        let fm = FmIndex::from_text(&text);
+        assert_eq!(fm.c_of(0), 1);
+        assert_eq!(fm.c_end(3), fm.seq_len());
+        for c in 0..3u8 {
+            assert_eq!(fm.c_end(c), fm.c_of(c + 1));
+        }
+    }
+
+    #[test]
+    fn single_base_interval_sizes() {
+        let text = vec![0u8, 0, 1, 2, 2, 2, 3];
+        let fm = FmIndex::from_text(&text);
+        for c in 0..4u8 {
+            let int = fm.search(&[c], &mut NullTrace);
+            let expected = text.iter().filter(|&&x| x == c).count() as u64;
+            assert_eq!(int.map(|i| i.len()).unwrap_or(0), expected);
+        }
+    }
+
+    #[test]
+    fn footprint_scales_with_blocks() {
+        let fm = FmIndex::from_text(&rand_codes(1000, 1));
+        assert_eq!(fm.occ_blocks(), 1000usize.div_ceil(OCC_INTERVAL));
+        assert_eq!(fm.footprint_bytes(), fm.occ_blocks() * 64);
+    }
+}

@@ -1,0 +1,365 @@
+//! Bidirectional FMD-index.
+//!
+//! BWA-MEM's SMEM search requires extending a match in *both* directions.
+//! The FMD-index achieves this with a single FM-index over the text
+//! `T = S · revcomp(S)`: because `T` is its own reverse complement, the
+//! suffix-array interval of a pattern `W` and the interval of `revcomp(W)`
+//! always have the same size, and a backward extension of one is a forward
+//! extension of the other. A bi-interval tracks both.
+
+use crate::fm_index::FmIndex;
+use crate::trace::{MemAddr, TraceSink};
+
+/// A bidirectional suffix-array interval.
+///
+/// `k` is the start of the interval of the current pattern `W`, `l` the start
+/// of the interval of `revcomp(W)`, and `s` the (shared) size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BiInterval {
+    /// Start of the interval of `W`.
+    pub k: u64,
+    /// Start of the interval of `revcomp(W)`.
+    pub l: u64,
+    /// Interval size (number of occurrences of `W` in `T`, counting both
+    /// strands of `S`).
+    pub s: u64,
+}
+
+impl BiInterval {
+    /// Whether the interval is empty.
+    pub fn is_empty(&self) -> bool {
+        self.s == 0
+    }
+
+    /// The bi-interval of `revcomp(W)` (swap directions).
+    pub fn swapped(&self) -> BiInterval {
+        BiInterval {
+            k: self.l,
+            l: self.k,
+            s: self.s,
+        }
+    }
+}
+
+/// A strand-resolved occurrence of a pattern on the forward reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StrandHit {
+    /// 0-based position on the forward reference sequence.
+    pub pos: usize,
+    /// `true` if the *reverse complement* of the query matches at `pos`.
+    pub is_rc: bool,
+}
+
+/// Bidirectional FM-index over `S · revcomp(S)`.
+///
+/// # Examples
+///
+/// ```
+/// use nvwa_index::FmdIndex;
+/// use nvwa_index::NullTrace;
+/// let fmd = FmdIndex::from_forward(&[0, 1, 2, 3, 0, 0, 1]); // ACGTAAC
+/// let bi = fmd.search(&[0, 1], &mut NullTrace).unwrap(); // "AC"
+/// assert_eq!(bi.s, 3); // 2 forward occurrences + 1 "GT" on the reverse strand
+/// ```
+#[derive(Debug, Clone)]
+pub struct FmdIndex {
+    fm: FmIndex,
+    forward_len: usize,
+}
+
+impl FmdIndex {
+    /// Builds the FMD-index of a forward text (2-bit codes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any code is ≥ 4.
+    pub fn from_forward(forward: &[u8]) -> FmdIndex {
+        let text = FmdIndex::doubled_text(forward);
+        FmdIndex {
+            fm: FmIndex::from_text(&text),
+            forward_len: forward.len(),
+        }
+    }
+
+    /// Assembles an FMD-index from a prebuilt FM-index.
+    ///
+    /// The caller must guarantee that `fm` indexes exactly
+    /// `forward · revcomp(forward)` for a forward text of length
+    /// `forward_len`; this exists so a shared suffix array can also feed a
+    /// [`crate::sampled_sa::SampledSa`] without being rebuilt.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fm.text_len() != 2 * forward_len`.
+    pub fn from_parts(fm: FmIndex, forward_len: usize) -> FmdIndex {
+        assert_eq!(
+            fm.text_len(),
+            2 * forward_len,
+            "FM-index must cover the doubled text"
+        );
+        FmdIndex { fm, forward_len }
+    }
+
+    /// Builds the doubled text `forward · revcomp(forward)` that an FMD
+    /// index is constructed over.
+    pub fn doubled_text(forward: &[u8]) -> Vec<u8> {
+        let mut text = Vec::with_capacity(forward.len() * 2);
+        text.extend_from_slice(forward);
+        text.extend(forward.iter().rev().map(|&c| 3 - c));
+        text
+    }
+
+    /// Length of the forward text.
+    pub fn forward_len(&self) -> usize {
+        self.forward_len
+    }
+
+    /// The doubled text (forward + reverse complement), as indexed.
+    pub fn doubled_text_len(&self) -> usize {
+        self.forward_len * 2
+    }
+
+    /// The underlying unidirectional FM-index.
+    pub fn fm(&self) -> &FmIndex {
+        &self.fm
+    }
+
+    /// The bi-interval of a single base.
+    pub fn base_interval(&self, c: u8) -> BiInterval {
+        BiInterval {
+            k: self.fm.c_of(c),
+            l: self.fm.c_of(3 - c),
+            s: self.fm.c_end(c) - self.fm.c_of(c),
+        }
+    }
+
+    /// occ for all four bases at rank `i`, reading one checkpoint block.
+    fn occ4<T: TraceSink>(&self, i: u64, trace: &mut T) -> [u64; 4] {
+        // The four counters live in the same checkpoint block: the hardware
+        // reads it once. Record one access here and use untraced reads.
+        let mut first = TraceOnce {
+            inner: trace,
+            done: false,
+        };
+        let mut out = [0u64; 4];
+        for c in 0..4u8 {
+            out[c as usize] = self.fm.occ(c, i, &mut first);
+        }
+        out
+    }
+
+    /// Extends `W` to `cW` for every possible `c`, returning the four
+    /// candidate bi-intervals indexed by base code.
+    ///
+    /// Two checkpoint-block reads are recorded on `trace` (interval start and
+    /// end boundaries), matching the hardware cost of one extension step.
+    pub fn backward_ext_all<T: TraceSink>(&self, ik: BiInterval, trace: &mut T) -> [BiInterval; 4] {
+        let tk = self.occ4(ik.k, trace);
+        let tl = self.occ4(ik.k + ik.s, trace);
+        let mut cnt = [0u64; 4];
+        for c in 0..4 {
+            cnt[c] = tl[c] - tk[c];
+        }
+        let primary = self.fm.primary() as u64;
+        let sentinel_in_window = u64::from(ik.k <= primary && primary < ik.k + ik.s);
+        // The l-intervals tile the revcomp side in complement order: the
+        // sentinel first, then T, G, C, A.
+        let l3 = ik.l + sentinel_in_window;
+        let l2 = l3 + cnt[3];
+        let l1 = l2 + cnt[2];
+        let l0 = l1 + cnt[1];
+        let ls = [l0, l1, l2, l3];
+        std::array::from_fn(|c| BiInterval {
+            k: self.fm.c_of(c as u8) + tk[c],
+            l: ls[c],
+            s: cnt[c],
+        })
+    }
+
+    /// Extends `W` to `cW` (backward extension by one base).
+    pub fn backward_ext<T: TraceSink>(&self, ik: BiInterval, c: u8, trace: &mut T) -> BiInterval {
+        self.backward_ext_all(ik, trace)[c as usize]
+    }
+
+    /// Extends `W` to `Wc` (forward extension by one base), using the FMD
+    /// symmetry: forward-extend `W` ⇔ backward-extend `revcomp(W)` by the
+    /// complement base.
+    pub fn forward_ext<T: TraceSink>(&self, ik: BiInterval, c: u8, trace: &mut T) -> BiInterval {
+        self.backward_ext(ik.swapped(), 3 - c, trace).swapped()
+    }
+
+    /// Searches `pattern` (backward), returning its bi-interval or `None`.
+    pub fn search<T: TraceSink>(&self, pattern: &[u8], trace: &mut T) -> Option<BiInterval> {
+        let (&last, rest) = pattern.split_last()?;
+        let mut ik = self.base_interval(last);
+        for &c in rest.iter().rev() {
+            if ik.is_empty() {
+                return None;
+            }
+            ik = self.backward_ext(ik, c, trace);
+        }
+        if ik.is_empty() {
+            None
+        } else {
+            Some(ik)
+        }
+    }
+
+    /// Maps an occurrence position in the doubled text to a strand-resolved
+    /// hit on the forward reference, given the pattern length.
+    ///
+    /// Returns `None` for occurrences spanning the forward/reverse seam
+    /// (an artifact of the doubled text, not a real match).
+    pub fn resolve_hit(&self, doubled_pos: usize, pattern_len: usize) -> Option<StrandHit> {
+        let n = self.forward_len;
+        if doubled_pos + pattern_len <= n {
+            Some(StrandHit {
+                pos: doubled_pos,
+                is_rc: false,
+            })
+        } else if doubled_pos >= n {
+            let pos = 2 * n - doubled_pos - pattern_len;
+            Some(StrandHit { pos, is_rc: true })
+        } else {
+            None
+        }
+    }
+}
+
+/// A trace adapter that forwards only the first access (used to merge the
+/// four per-base occ reads of a block into one recorded access).
+struct TraceOnce<'a, T: TraceSink> {
+    inner: &'a mut T,
+    done: bool,
+}
+
+impl<T: TraceSink> TraceSink for TraceOnce<'_, T> {
+    fn record(&mut self, addr: MemAddr) {
+        if !self.done {
+            self.inner.record(addr);
+            self.done = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{CountTrace, NullTrace};
+
+    fn rand_codes(len: usize, mut state: u64) -> Vec<u8> {
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) & 0b11) as u8
+            })
+            .collect()
+    }
+
+    /// Counts occurrences of `pattern` in the doubled text `S·revcomp(S)` —
+    /// exactly what the FMD interval size reports (including the rare
+    /// seam-spanning artifacts that `resolve_hit` later filters out).
+    fn naive_two_strand_count(forward: &[u8], pattern: &[u8]) -> u64 {
+        let mut doubled = forward.to_vec();
+        doubled.extend(forward.iter().rev().map(|&c| 3 - c));
+        if pattern.is_empty() || pattern.len() > doubled.len() {
+            return 0;
+        }
+        doubled
+            .windows(pattern.len())
+            .filter(|w| *w == pattern)
+            .count() as u64
+    }
+
+    #[test]
+    fn bi_interval_counts_both_strands() {
+        let forward = rand_codes(400, 11);
+        let fmd = FmdIndex::from_forward(&forward);
+        for plen in [1usize, 2, 4, 7, 12] {
+            for start in (0..forward.len() - plen).step_by(41) {
+                let pattern = &forward[start..start + plen];
+                let expected = naive_two_strand_count(&forward, pattern);
+                let got = fmd
+                    .search(pattern, &mut NullTrace)
+                    .map(|b| b.s)
+                    .unwrap_or(0);
+                assert_eq!(got, expected, "pattern at {start} len {plen}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_and_backward_extension_agree() {
+        // Building the interval of a pattern left-to-right (forward_ext) must
+        // equal building it right-to-left (backward_ext).
+        let forward = rand_codes(300, 23);
+        let fmd = FmdIndex::from_forward(&forward);
+        for start in (0..forward.len() - 8).step_by(29) {
+            let pattern = &forward[start..start + 8];
+            let back = fmd.search(pattern, &mut NullTrace);
+            let mut fwd = fmd.base_interval(pattern[0]);
+            for &c in &pattern[1..] {
+                fwd = fmd.forward_ext(fwd, c, &mut NullTrace);
+            }
+            assert_eq!(back, Some(fwd), "pattern at {start}");
+        }
+    }
+
+    #[test]
+    fn swapped_interval_matches_revcomp_search() {
+        let forward = rand_codes(300, 5);
+        let fmd = FmdIndex::from_forward(&forward);
+        let pattern = &forward[40..52];
+        let rc: Vec<u8> = pattern.iter().rev().map(|&c| 3 - c).collect();
+        let a = fmd.search(pattern, &mut NullTrace).unwrap();
+        let b = fmd.search(&rc, &mut NullTrace).unwrap();
+        assert_eq!(a.swapped(), b);
+    }
+
+    #[test]
+    fn extension_traces_two_block_reads() {
+        let forward = rand_codes(300, 9);
+        let fmd = FmdIndex::from_forward(&forward);
+        let ik = fmd.base_interval(2);
+        let mut trace = CountTrace::default();
+        let _ = fmd.backward_ext_all(ik, &mut trace);
+        assert_eq!(trace.0, 2);
+    }
+
+    #[test]
+    fn resolve_hit_maps_strands() {
+        let fmd = FmdIndex::from_forward(&[0, 1, 2, 3, 0, 1]); // n = 6
+        assert_eq!(
+            fmd.resolve_hit(2, 3),
+            Some(StrandHit {
+                pos: 2,
+                is_rc: false
+            })
+        );
+        // Doubled position 7 with len 3 lies fully in the RC half:
+        // maps to forward pos 2*6 - 7 - 3 = 2.
+        assert_eq!(
+            fmd.resolve_hit(7, 3),
+            Some(StrandHit {
+                pos: 2,
+                is_rc: true
+            })
+        );
+        // Position 5 with len 3 spans the seam.
+        assert_eq!(fmd.resolve_hit(5, 3), None);
+    }
+
+    #[test]
+    fn base_interval_sizes_are_symmetric() {
+        let forward = rand_codes(500, 77);
+        let fmd = FmdIndex::from_forward(&forward);
+        for c in 0..4u8 {
+            let a = fmd.base_interval(c);
+            let b = fmd.base_interval(3 - c);
+            assert_eq!(a.s, b.s, "base {c} vs complement");
+            assert_eq!(a.l, b.k);
+        }
+    }
+}

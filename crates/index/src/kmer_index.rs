@@ -1,0 +1,204 @@
+//! Darwin-style k-mer hash index.
+//!
+//! Darwin/Darwin-WGA (and GenAx) seed with a hash of reference k-mers rather
+//! than an FM-index: a *pointer table* indexed by the packed k-mer and a
+//! *position table* holding the occurrence lists (CSR layout). A lookup costs
+//! two pointer-table reads plus `P` position reads — the paper's footnote 3
+//! quotes exactly this `2 + P` DRAM access count. This module exists to
+//! exercise NvWa's loosely coupled seeding interface with a second algorithm.
+
+use crate::trace::{MemAddr, TraceSink};
+
+/// A k-mer hash index over a forward reference (2-bit codes).
+#[derive(Debug, Clone)]
+pub struct KmerIndex {
+    k: usize,
+    /// CSR row pointers: `4^k + 1` entries.
+    pointers: Vec<u32>,
+    /// Occurrence positions, grouped by k-mer.
+    positions: Vec<u32>,
+}
+
+impl KmerIndex {
+    /// Builds an index of all k-mers of `text`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `k > 15` (table would exceed memory), or
+    /// `text.len() < k`.
+    pub fn build(text: &[u8], k: usize) -> KmerIndex {
+        assert!(k > 0 && k <= 15, "k must be in 1..=15");
+        assert!(text.len() >= k, "text shorter than k");
+        assert!(text.iter().all(|&c| c < 4), "codes must be in 0..4");
+        let table_len = 1usize << (2 * k);
+        let n_kmers = text.len() - k + 1;
+
+        // Counting pass.
+        let mut counts = vec![0u32; table_len + 1];
+        let mask = (table_len - 1) as u64;
+        let mut key: u64 = 0;
+        for (i, &c) in text.iter().enumerate() {
+            key = ((key << 2) | c as u64) & mask;
+            if i + 1 >= k {
+                counts[key as usize + 1] += 1;
+            }
+        }
+        for i in 1..=table_len {
+            counts[i] += counts[i - 1];
+        }
+
+        // Fill pass.
+        let mut positions = vec![0u32; n_kmers];
+        let mut cursors = counts.clone();
+        let mut key: u64 = 0;
+        for (i, &c) in text.iter().enumerate() {
+            key = ((key << 2) | c as u64) & mask;
+            if i + 1 >= k {
+                let start = i + 1 - k;
+                let slot = &mut cursors[key as usize];
+                positions[*slot as usize] = start as u32;
+                *slot += 1;
+            }
+        }
+        KmerIndex {
+            k,
+            pointers: counts,
+            positions,
+        }
+    }
+
+    /// The k-mer length.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Approximate footprint in bytes (the `O(4^k)` memory cost the paper
+    /// notes as this algorithm's drawback).
+    pub fn footprint_bytes(&self) -> usize {
+        self.pointers.len() * 4 + self.positions.len() * 4
+    }
+
+    /// Packs a k-mer into its table key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kmer.len() != k` or any code is ≥ 4.
+    pub fn pack(&self, kmer: &[u8]) -> u64 {
+        assert_eq!(kmer.len(), self.k, "k-mer length mismatch");
+        kmer.iter().fold(0u64, |acc, &c| {
+            assert!(c < 4, "codes must be in 0..4");
+            (acc << 2) | c as u64
+        })
+    }
+
+    /// Looks up all occurrence positions of `kmer`.
+    ///
+    /// Records `2 + P` accesses on `trace`: two pointer-table reads and one
+    /// per returned position.
+    pub fn lookup<'a, T: TraceSink>(&'a self, kmer: &[u8], trace: &mut T) -> &'a [u32] {
+        let key = self.pack(kmer) as usize;
+        trace.record(MemAddr::kmer_entry(key as u64));
+        trace.record(MemAddr::kmer_entry(key as u64 + 1));
+        let (start, end) = (self.pointers[key] as usize, self.pointers[key + 1] as usize);
+        for p in start..end {
+            trace.record(MemAddr::kmer_entry((self.pointers.len() + p) as u64));
+        }
+        &self.positions[start..end]
+    }
+
+    /// Number of occurrences of `kmer` without touching the position table
+    /// (one pointer-table access pair).
+    pub fn count<T: TraceSink>(&self, kmer: &[u8], trace: &mut T) -> usize {
+        let key = self.pack(kmer) as usize;
+        trace.record(MemAddr::kmer_entry(key as u64));
+        trace.record(MemAddr::kmer_entry(key as u64 + 1));
+        (self.pointers[key + 1] - self.pointers[key]) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{CountTrace, NullTrace};
+
+    fn rand_codes(len: usize, mut state: u64) -> Vec<u8> {
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) & 0b11) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lookup_matches_naive_scan() {
+        let text = rand_codes(500, 31);
+        let k = 6;
+        let index = KmerIndex::build(&text, k);
+        for start in (0..text.len() - k).step_by(17) {
+            let kmer = &text[start..start + k];
+            let got = index.lookup(kmer, &mut NullTrace);
+            let want: Vec<u32> = text
+                .windows(k)
+                .enumerate()
+                .filter(|(_, w)| *w == kmer)
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(got, want.as_slice(), "k-mer at {start}");
+        }
+    }
+
+    #[test]
+    fn absent_kmer_is_empty() {
+        let text = vec![0u8; 100]; // all A
+        let index = KmerIndex::build(&text, 5);
+        assert!(index.lookup(&[0, 0, 0, 0, 1], &mut NullTrace).is_empty());
+        assert_eq!(index.count(&[1, 1, 1, 1, 1], &mut NullTrace), 0);
+    }
+
+    #[test]
+    fn trace_counts_two_plus_p() {
+        let text = vec![0u8; 50]; // "AAAA..." → k-mer AAAA occurs 47 times
+        let index = KmerIndex::build(&text, 4);
+        let mut trace = CountTrace::default();
+        let hits = index.lookup(&[0, 0, 0, 0], &mut trace);
+        assert_eq!(hits.len(), 47);
+        assert_eq!(trace.0, 2 + 47);
+        let mut trace = CountTrace::default();
+        let _ = index.count(&[0, 0, 0, 0], &mut trace);
+        assert_eq!(trace.0, 2);
+    }
+
+    #[test]
+    fn footprint_is_4k_dominated() {
+        let text = rand_codes(1000, 8);
+        let index = KmerIndex::build(&text, 8);
+        // Pointer table: (4^8 + 1) * 4 bytes dominates the 1000 positions.
+        assert!(index.footprint_bytes() > (1 << 16) * 4);
+    }
+
+    #[test]
+    fn all_positions_accounted_for() {
+        let text = rand_codes(256, 77);
+        let k = 5;
+        let index = KmerIndex::build(&text, k);
+        let mut total = 0usize;
+        let mut seen = std::collections::HashSet::new();
+        for start in 0..=(text.len() - k) {
+            let kmer = &text[start..start + k];
+            let key = index.pack(kmer);
+            if seen.insert(key) {
+                total += index.lookup(kmer, &mut NullTrace).len();
+            }
+        }
+        assert_eq!(total, text.len() - k + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be in 1..=15")]
+    fn oversized_k_panics() {
+        let _ = KmerIndex::build(&[0, 1, 2], 16);
+    }
+}

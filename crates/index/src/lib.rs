@@ -1,0 +1,39 @@
+//! Index substrates for the NvWa reproduction.
+//!
+//! The paper's seeding units (SUs) implement a *bitwise, vectorized FM-index
+//! search* (the LFMapBit design of Wang et al., checkpoint interval 128) and
+//! its discussion covers hash-based seeding (Darwin) as the main alternative.
+//! This crate provides both, built from scratch:
+//!
+//! * [`suffix_array`] — O(n log n) prefix-doubling suffix array construction.
+//! * [`bwt`] — Burrows-Wheeler transform derived from the suffix array.
+//! * [`fm_index`] — bit-packed FM-index with occ checkpoints every 128
+//!   symbols (one checkpoint block ≈ one memory beat, which is the unit of
+//!   the hardware memory-access trace).
+//! * [`fmd_index`] — bidirectional FMD-index over `S · revcomp(S)`, the
+//!   structure BWA-MEM uses for SMEM search.
+//! * [`smem`] — supermaximal exact match (SMEM) collection, faithful to
+//!   BWA-MEM's greedy forward/backward algorithm.
+//! * [`sampled_sa`] — sampled suffix array for locating hits (each locate
+//!   walk contributes the paper's "2 + P" style memory accesses).
+//! * [`kmer_index`] — Darwin-style k-mer hash index (pointer table +
+//!   position table) exercising the loosely coupled seeding interface.
+//! * [`minimizer`] — minimap2-style `(w, k)` minimizer sampling and index
+//!   for the long-read *seed-and-chain-then-fill* pipeline (paper Sec. VI).
+//! * [`trace`] — memory-access trace sinks that the execution-driven timing
+//!   model consumes.
+
+pub mod bwt;
+pub mod fm_index;
+pub mod fmd_index;
+pub mod kmer_index;
+pub mod minimizer;
+pub mod sampled_sa;
+pub mod smem;
+pub mod suffix_array;
+pub mod trace;
+
+pub use fm_index::FmIndex;
+pub use fmd_index::{BiInterval, FmdIndex};
+pub use smem::{Smem, SmemConfig};
+pub use trace::{CountTrace, MemAddr, NullTrace, TraceSink, VecTrace};

@@ -1,0 +1,391 @@
+//! Supermaximal exact match (SMEM) collection.
+//!
+//! Faithful port of BWA-MEM's greedy SMEM algorithm (`bwt_smem1`): starting
+//! from a pivot `x`, extend forward collecting every interval-size change,
+//! then sweep backward keeping the surviving intervals; matches that can be
+//! extended in neither direction and are not contained in a longer match are
+//! SMEMs. Includes BWA's re-seeding pass that splits long, low-occurrence
+//! SMEMs to recover sensitivity.
+//!
+//! Every FM extension step reports its checkpoint-block reads to the
+//! [`TraceSink`], so running this algorithm *is* the seeding-unit workload of
+//! the accelerator model.
+
+use crate::fmd_index::{BiInterval, FmdIndex};
+use crate::trace::TraceSink;
+
+/// A supermaximal exact match of a query against the (two-strand) reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Smem {
+    /// Query start (inclusive).
+    pub query_start: usize,
+    /// Query end (exclusive).
+    pub query_end: usize,
+    /// The match bi-interval (size = number of reference occurrences across
+    /// both strands).
+    pub interval: BiInterval,
+}
+
+impl Smem {
+    /// Match length on the query.
+    pub fn len(&self) -> usize {
+        self.query_end - self.query_start
+    }
+
+    /// Whether the match is empty (never produced by the search).
+    pub fn is_empty(&self) -> bool {
+        self.query_end <= self.query_start
+    }
+
+    /// Number of reference occurrences.
+    pub fn occ(&self) -> u64 {
+        self.interval.s
+    }
+}
+
+/// Configuration of the SMEM search, mirroring BWA-MEM's `mem_opt_t`
+/// defaults (scaled where noted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmemConfig {
+    /// Minimum seed length to keep (BWA default 19).
+    pub min_seed_len: usize,
+    /// Minimum interval size to continue extension (BWA default 1).
+    pub min_intv: u64,
+    /// Re-seeding: split SMEMs longer than this (BWA: `split_len` = 28,
+    /// i.e. `1.5 × min_seed_len`).
+    pub split_len: usize,
+    /// Re-seeding: only split SMEMs with at most this many occurrences
+    /// (BWA: `split_width` = 10).
+    pub split_width: u64,
+}
+
+impl Default for SmemConfig {
+    fn default() -> SmemConfig {
+        SmemConfig {
+            min_seed_len: 19,
+            min_intv: 1,
+            split_len: 28,
+            split_width: 10,
+        }
+    }
+}
+
+/// One pass of the greedy SMEM search from pivot `x`.
+///
+/// Appends the SMEMs through `x` to `out` (sorted by query start) and
+/// returns the next pivot (the furthest query end reached), guaranteeing
+/// forward progress.
+///
+/// # Panics
+///
+/// Panics if `x >= query.len()`.
+pub fn smem_next<T: TraceSink>(
+    fmd: &FmdIndex,
+    query: &[u8],
+    x: usize,
+    min_intv: u64,
+    out: &mut Vec<Smem>,
+    trace: &mut T,
+) -> usize {
+    assert!(x < query.len(), "pivot out of range");
+    let len = query.len();
+    let min_intv = min_intv.max(1);
+
+    let mut ik = fmd.base_interval(query[x]);
+    if ik.s < min_intv {
+        // Pivot base absent from the reference (possible on tiny test texts).
+        return x + 1;
+    }
+    let mut ik_end = x + 1;
+
+    // Forward sweep: record the interval at every size change.
+    let mut curr: Vec<(BiInterval, usize)> = Vec::new();
+    let mut i = x + 1;
+    while i < len {
+        let ok = fmd.forward_ext(ik, query[i], trace);
+        if ok.s != ik.s {
+            curr.push((ik, ik_end));
+            if ok.s < min_intv {
+                break;
+            }
+        }
+        ik = ok;
+        ik_end = i + 1;
+        i += 1;
+    }
+    if i == len {
+        curr.push((ik, ik_end));
+    }
+    // Longer matches (smaller intervals) first.
+    curr.reverse();
+    let next_x = curr[0].1;
+
+    // Backward sweep.
+    let mut prev = curr;
+    let mut curr: Vec<(BiInterval, usize)> = Vec::new();
+    let first_out = out.len();
+    let mut i: isize = x as isize - 1;
+    loop {
+        let c: Option<u8> = if i < 0 { None } else { Some(query[i as usize]) };
+        curr.clear();
+        for &(p, end) in prev.iter() {
+            let ok = c.map(|cc| fmd.backward_ext(p, cc, trace));
+            let extendable = ok.map(|o| o.s >= min_intv).unwrap_or(false);
+            if !extendable {
+                // `p` is left-maximal here. Keep it if no longer match
+                // survives this round and it is not contained in the last
+                // SMEM we emitted.
+                let start = (i + 1) as usize;
+                let contained = out
+                    .len()
+                    .checked_sub(1)
+                    .filter(|&last| last >= first_out)
+                    .map(|last| start >= out[last].query_start)
+                    .unwrap_or(false);
+                if curr.is_empty() && !contained {
+                    out.push(Smem {
+                        query_start: start,
+                        query_end: end,
+                        interval: p,
+                    });
+                }
+            } else {
+                let o = ok.expect("extendable implies Some");
+                if curr.last().map(|l| l.0.s != o.s).unwrap_or(true) {
+                    curr.push((o, end));
+                }
+            }
+        }
+        if curr.is_empty() {
+            break;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+        i -= 1;
+    }
+    // Emitted in decreasing start order; restore increasing.
+    out[first_out..].reverse();
+    next_x
+}
+
+/// Collects all SMEMs of `query`, including BWA's re-seeding pass, filtered
+/// by `config.min_seed_len`.
+///
+/// The result is sorted by query start.
+pub fn collect_smems<T: TraceSink>(
+    fmd: &FmdIndex,
+    query: &[u8],
+    config: &SmemConfig,
+    trace: &mut T,
+) -> Vec<Smem> {
+    let mut all: Vec<Smem> = Vec::new();
+
+    // First pass: standard SMEMs.
+    let mut first_pass: Vec<Smem> = Vec::new();
+    let mut x = 0usize;
+    while x < query.len() {
+        x = smem_next(fmd, query, x, config.min_intv, &mut first_pass, trace);
+    }
+
+    // Re-seeding: split long, unique-ish SMEMs from their middle with a
+    // stricter interval floor, recovering seeds hidden under a long match.
+    for smem in &first_pass {
+        if smem.len() >= config.min_seed_len {
+            all.push(*smem);
+        }
+        if smem.len() >= config.split_len && smem.occ() <= config.split_width {
+            let mid = (smem.query_start + smem.query_end) / 2;
+            let mut split: Vec<Smem> = Vec::new();
+            let _ = smem_next(fmd, query, mid, smem.occ() + 1, &mut split, trace);
+            for s in split {
+                if s.len() >= config.min_seed_len
+                    && (s.query_start, s.query_end) != (smem.query_start, smem.query_end)
+                {
+                    all.push(s);
+                }
+            }
+        }
+    }
+
+    all.sort_by_key(|s| (s.query_start, s.query_end));
+    all.dedup();
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{CountTrace, NullTrace};
+
+    fn rand_codes(len: usize, mut state: u64) -> Vec<u8> {
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) & 0b11) as u8
+            })
+            .collect()
+    }
+
+    /// Counts occurrences of `pattern` in the doubled text `S·revcomp(S)` by
+    /// brute force — the quantity the FMD interval size reports.
+    fn occurs(forward: &[u8], pattern: &[u8]) -> u64 {
+        let mut doubled = forward.to_vec();
+        doubled.extend(forward.iter().rev().map(|&c| 3 - c));
+        if pattern.is_empty() || pattern.len() > doubled.len() {
+            return 0;
+        }
+        doubled
+            .windows(pattern.len())
+            .filter(|w| *w == pattern)
+            .count() as u64
+    }
+
+    /// Brute-force SMEMs: all query substrings that occur, are maximal in
+    /// both directions, and are not contained in another maximal match.
+    fn naive_smems(forward: &[u8], query: &[u8]) -> Vec<(usize, usize)> {
+        let n = query.len();
+        let mut mems: Vec<(usize, usize)> = Vec::new();
+        for s in 0..n {
+            for e in (s + 1)..=n {
+                if occurs(forward, &query[s..e]) == 0 {
+                    continue;
+                }
+                let left_max = s == 0 || occurs(forward, &query[s - 1..e]) == 0;
+                let right_max = e == n || occurs(forward, &query[s..e + 1]) == 0;
+                if left_max && right_max {
+                    mems.push((s, e));
+                }
+            }
+        }
+        // Drop matches contained in another.
+        let smems: Vec<(usize, usize)> = mems
+            .iter()
+            .copied()
+            .filter(|&(s, e)| {
+                !mems
+                    .iter()
+                    .any(|&(s2, e2)| (s2, e2) != (s, e) && s2 <= s && e <= e2)
+            })
+            .collect();
+        smems
+    }
+
+    #[test]
+    fn smems_match_naive_on_random_texts() {
+        for seed in [1u64, 2, 3, 4, 5] {
+            let forward = rand_codes(200, seed);
+            let query = rand_codes(24, seed.wrapping_mul(31));
+            let fmd = FmdIndex::from_forward(&forward);
+            let mut got: Vec<Smem> = Vec::new();
+            let mut x = 0usize;
+            while x < query.len() {
+                x = smem_next(&fmd, &query, x, 1, &mut got, &mut NullTrace);
+            }
+            got.sort_by_key(|s| (s.query_start, s.query_end));
+            got.dedup();
+            let got_spans: Vec<(usize, usize)> =
+                got.iter().map(|s| (s.query_start, s.query_end)).collect();
+            let want = naive_smems(&forward, &query);
+            assert_eq!(got_spans, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn smem_intervals_report_correct_occurrence_counts() {
+        let forward = rand_codes(300, 9);
+        let query = rand_codes(30, 77);
+        let fmd = FmdIndex::from_forward(&forward);
+        let mut smems = Vec::new();
+        let mut x = 0usize;
+        while x < query.len() {
+            x = smem_next(&fmd, &query, x, 1, &mut smems, &mut NullTrace);
+        }
+        for s in &smems {
+            assert_eq!(
+                s.occ(),
+                occurs(&forward, &query[s.query_start..s.query_end]),
+                "span {}..{}",
+                s.query_start,
+                s.query_end
+            );
+        }
+    }
+
+    #[test]
+    fn exact_read_from_reference_yields_full_length_smem() {
+        let forward = rand_codes(500, 4);
+        let query = forward[100..180].to_vec();
+        let fmd = FmdIndex::from_forward(&forward);
+        let smems = collect_smems(&fmd, &query, &SmemConfig::default(), &mut NullTrace);
+        assert!(
+            smems
+                .iter()
+                .any(|s| s.query_start == 0 && s.query_end == query.len()),
+            "expected a full-length SMEM, got {smems:?}"
+        );
+    }
+
+    #[test]
+    fn min_seed_len_filters_short_matches() {
+        let forward = rand_codes(400, 6);
+        let query = rand_codes(40, 123); // random query: only short chance matches
+        let fmd = FmdIndex::from_forward(&forward);
+        let config = SmemConfig {
+            min_seed_len: 25,
+            ..SmemConfig::default()
+        };
+        let smems = collect_smems(&fmd, &query, &config, &mut NullTrace);
+        assert!(smems.iter().all(|s| s.len() >= 25));
+    }
+
+    #[test]
+    fn progress_is_guaranteed() {
+        let forward = rand_codes(100, 2);
+        let query = rand_codes(50, 3);
+        let fmd = FmdIndex::from_forward(&forward);
+        let mut out = Vec::new();
+        let mut x = 0usize;
+        let mut iterations = 0;
+        while x < query.len() {
+            let next = smem_next(&fmd, &query, x, 1, &mut out, &mut NullTrace);
+            assert!(next > x, "pivot must advance");
+            x = next;
+            iterations += 1;
+            assert!(iterations <= query.len());
+        }
+    }
+
+    #[test]
+    fn search_produces_memory_trace() {
+        let forward = rand_codes(300, 13);
+        let query = forward[50..120].to_vec();
+        let fmd = FmdIndex::from_forward(&forward);
+        let mut trace = CountTrace::default();
+        let _ = collect_smems(&fmd, &query, &SmemConfig::default(), &mut trace);
+        // At least one extension per query base; each extension = 2 reads.
+        assert!(trace.0 >= query.len() as u64, "trace {} too small", trace.0);
+    }
+
+    #[test]
+    fn reseeding_splits_long_unique_smems() {
+        // A read straddling two repeat copies: the long SMEM hides shorter
+        // high-occurrence seeds that re-seeding should recover.
+        let mut forward = rand_codes(300, 21);
+        let repeat = rand_codes(60, 99);
+        forward.extend_from_slice(&repeat);
+        forward.extend(rand_codes(50, 5));
+        forward.extend_from_slice(&repeat);
+        forward.extend(rand_codes(50, 55));
+        let query = forward[280..360].to_vec(); // covers unique + repeat region
+        let fmd = FmdIndex::from_forward(&forward);
+        let base = SmemConfig {
+            split_len: usize::MAX, // re-seeding off
+            ..SmemConfig::default()
+        };
+        let with_reseed = SmemConfig::default();
+        let a = collect_smems(&fmd, &query, &base, &mut NullTrace);
+        let b = collect_smems(&fmd, &query, &with_reseed, &mut NullTrace);
+        assert!(b.len() >= a.len());
+    }
+}

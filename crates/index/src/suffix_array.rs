@@ -1,0 +1,233 @@
+//! Suffix array construction.
+//!
+//! Prefix-doubling with radix sort: O(n log n) time, O(n) extra space per
+//! round. Operates on 2-bit DNA codes with an implicit sentinel that sorts
+//! before every base, matching the classical FM-index construction.
+
+/// Builds the suffix array of `text` (2-bit codes) **including** the implicit
+/// terminal sentinel.
+///
+/// The returned array has length `text.len() + 1`; entry 0 is always
+/// `text.len()` (the empty/sentinel suffix). Entries are indices into `text`.
+///
+/// # Examples
+///
+/// ```
+/// use nvwa_index::suffix_array::build_suffix_array;
+/// // "banana" over a tiny alphabet: use codes directly. Text: 1,0,2,0,2,0
+/// let sa = build_suffix_array(&[1, 0, 2, 0, 2, 0]);
+/// assert_eq!(sa[0], 6); // sentinel suffix first
+/// ```
+///
+/// # Panics
+///
+/// Panics if any code is ≥ 4.
+pub fn build_suffix_array(text: &[u8]) -> Vec<u32> {
+    assert!(
+        text.len() < u32::MAX as usize - 2,
+        "text too long for u32 suffix array"
+    );
+    assert!(text.iter().all(|&c| c < 4), "codes must be in 0..4");
+    let n = text.len() + 1; // including sentinel
+
+    // rank[i]: current rank of suffix i; sentinel gets rank 0, bases 1..=4.
+    let mut rank: Vec<u32> = Vec::with_capacity(n);
+    rank.extend(text.iter().map(|&c| c as u32 + 1));
+    rank.push(0);
+
+    let mut sa: Vec<u32> = (0..n as u32).collect();
+    let mut tmp_sa: Vec<u32> = vec![0; n];
+    let mut new_rank: Vec<u32> = vec![0; n];
+
+    // Initial sort by first symbol (counting sort over 5 buckets).
+    {
+        let mut counts = [0u32; 6];
+        for &r in &rank {
+            counts[r as usize + 1] += 1;
+        }
+        for i in 1..6 {
+            counts[i] += counts[i - 1];
+        }
+        for i in 0..n as u32 {
+            let r = rank[i as usize] as usize;
+            sa[counts[r] as usize] = i;
+            counts[r] += 1;
+        }
+    }
+
+    let mut k = 1usize;
+    while k < n {
+        // Sort by (rank[i], rank[i+k]) using two stable counting-sort passes.
+        // Pass 1: by second key. Suffixes with i+k >= n have key 0 and come
+        // first; they are exactly the suffixes i in [n-k, n), already known.
+        let mut idx = 0usize;
+        for i in (n.saturating_sub(k))..n {
+            tmp_sa[idx] = i as u32;
+            idx += 1;
+        }
+        // The remaining suffixes, ordered by the rank of suffix i+k: walk the
+        // current sa (sorted by rank) and pick i = sa[j] - k when valid.
+        for &entry in sa.iter() {
+            let pos = entry as usize;
+            if pos >= k {
+                tmp_sa[idx] = (pos - k) as u32;
+                idx += 1;
+            }
+        }
+        debug_assert_eq!(idx, n);
+
+        // Pass 2: stable counting sort by first key rank[i].
+        // Ranks are < n after the first re-rank, but the initial ranks are
+        // raw codes in 0..=4, which can exceed n on tiny texts.
+        let max_rank = n.max(5);
+        let mut counts = vec![0u32; max_rank + 1];
+        for i in 0..n {
+            counts[rank[i] as usize] += 1;
+        }
+        let mut acc = 0u32;
+        for c in counts.iter_mut() {
+            let v = *c;
+            *c = acc;
+            acc += v;
+        }
+        for &i in tmp_sa.iter() {
+            let r = rank[i as usize] as usize;
+            sa[counts[r] as usize] = i;
+            counts[r] += 1;
+        }
+
+        // Re-rank.
+        let key = |i: usize| -> (u32, u32) {
+            let second = if i + k < n { rank[i + k] } else { u32::MAX };
+            (rank[i], second)
+        };
+        new_rank[sa[0] as usize] = 0;
+        let mut r = 0u32;
+        for j in 1..n {
+            if key(sa[j] as usize) != key(sa[j - 1] as usize) {
+                r += 1;
+            }
+            new_rank[sa[j] as usize] = r;
+        }
+        std::mem::swap(&mut rank, &mut new_rank);
+        if r as usize == n - 1 {
+            break; // all ranks distinct
+        }
+        k *= 2;
+    }
+    sa
+}
+
+/// Checks that `sa` is the suffix array of `text` (with sentinel). Intended
+/// for tests and debug assertions; O(n²) worst case.
+pub fn is_valid_suffix_array(text: &[u8], sa: &[u32]) -> bool {
+    let n = text.len() + 1;
+    if sa.len() != n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    for &s in sa {
+        if s as usize >= n || seen[s as usize] {
+            return false;
+        }
+        seen[s as usize] = true;
+    }
+    for w in sa.windows(2) {
+        let a = &text[w[0] as usize..];
+        let b = &text[w[1] as usize..];
+        // Sentinel-terminated comparison: shorter suffix that is a prefix of
+        // the longer one sorts first.
+        let a_greater = a > b || (a.len() > b.len() && a.starts_with(b));
+        let a_smaller = a < b || (a.len() < b.len() && b.starts_with(a));
+        if a_greater && !a_smaller {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_sa(text: &[u8]) -> Vec<u32> {
+        let n = text.len() + 1;
+        let mut sa: Vec<u32> = (0..n as u32).collect();
+        sa.sort_by(|&a, &b| {
+            let sa_ = &text[a as usize..];
+            let sb = &text[b as usize..];
+            // Sentinel is smaller than everything: prefix relation decides.
+            match sa_.iter().cmp(sb.iter()) {
+                std::cmp::Ordering::Equal => sa_.len().cmp(&sb.len()),
+                other => {
+                    if sa_.len() < sb.len() && sb.starts_with(sa_) {
+                        std::cmp::Ordering::Less
+                    } else if sb.len() < sa_.len() && sa_.starts_with(sb) {
+                        std::cmp::Ordering::Greater
+                    } else {
+                        other
+                    }
+                }
+            }
+        });
+        sa
+    }
+
+    #[test]
+    fn empty_text() {
+        assert_eq!(build_suffix_array(&[]), vec![0]);
+    }
+
+    #[test]
+    fn single_symbol() {
+        assert_eq!(build_suffix_array(&[2]), vec![1, 0]);
+    }
+
+    #[test]
+    fn matches_naive_on_small_inputs() {
+        let cases: Vec<Vec<u8>> = vec![
+            vec![0, 0, 0, 0],
+            vec![3, 2, 1, 0],
+            vec![1, 0, 2, 0, 2, 0],
+            vec![0, 1, 0, 1, 0, 1, 0],
+            vec![2, 2, 2, 1, 1, 0, 3, 3, 0, 2],
+        ];
+        for text in cases {
+            assert_eq!(build_suffix_array(&text), naive_sa(&text), "text {text:?}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_random_inputs() {
+        // Deterministic LCG so the test is stable.
+        let mut state = 0x12345678u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) & 0b11) as u8
+        };
+        for len in [10usize, 50, 200, 777] {
+            let text: Vec<u8> = (0..len).map(|_| next()).collect();
+            let sa = build_suffix_array(&text);
+            assert!(
+                is_valid_suffix_array(&text, &sa),
+                "invalid SA for len {len}"
+            );
+            assert_eq!(sa, naive_sa(&text), "mismatch for len {len}");
+        }
+    }
+
+    #[test]
+    fn sentinel_is_first() {
+        let text = vec![1u8, 2, 3, 0, 1];
+        let sa = build_suffix_array(&text);
+        assert_eq!(sa[0] as usize, text.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "codes must be in 0..4")]
+    fn rejects_bad_codes() {
+        let _ = build_suffix_array(&[0, 5]);
+    }
+}

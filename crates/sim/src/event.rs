@@ -1,0 +1,161 @@
+//! Deterministic event queue with cycle resolution.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::Cycle;
+
+/// An entry in the queue: ordered by `(cycle, seq)` only, so the payload
+/// needs no ordering and ties break in insertion order (determinism).
+struct Entry<E> {
+    cycle: Cycle,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cycle == other.cycle && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first ordering.
+        (other.cycle, other.seq).cmp(&(self.cycle, self.seq))
+    }
+}
+
+/// A min-heap of timestamped events.
+///
+/// Events at the same cycle pop in push order, which makes simulations
+/// deterministic regardless of payload contents.
+///
+/// # Examples
+///
+/// ```
+/// use nvwa_sim::EventQueue;
+/// let mut q = EventQueue::new();
+/// q.push(10, "b");
+/// q.push(5, "a");
+/// q.push(10, "c");
+/// assert_eq!(q.pop(), Some((5, "a")));
+/// assert_eq!(q.pop(), Some((10, "b")));
+/// assert_eq!(q.pop(), Some((10, "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> EventQueue<E> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `payload` at `cycle`.
+    pub fn push(&mut self, cycle: Cycle, payload: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry {
+            cycle,
+            seq,
+            payload,
+        });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        self.heap.pop().map(|e| (e.cycle, e.payload))
+    }
+
+    /// The cycle of the earliest event, if any.
+    pub fn peek_cycle(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.cycle)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "EventQueue(len={}, next={:?})",
+            self.heap.len(),
+            self.peek_cycle()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_cycle_order() {
+        let mut q = EventQueue::new();
+        for (c, v) in [(30u64, 3), (10, 1), (20, 2)] {
+            q.push(c, v);
+        }
+        assert_eq!(q.pop(), Some((10, 1)));
+        assert_eq!(q.pop(), Some((20, 2)));
+        assert_eq!(q.pop(), Some((30, 3)));
+    }
+
+    #[test]
+    fn ties_break_in_push_order() {
+        let mut q = EventQueue::new();
+        for v in 0..100 {
+            q.push(7, v);
+        }
+        for v in 0..100 {
+            assert_eq!(q.pop(), Some((7, v)));
+        }
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.push(5, ());
+        assert_eq!(q.peek_cycle(), Some(5));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        let _ = q.pop();
+        assert_eq!(q.peek_cycle(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn payload_needs_no_ordering() {
+        // A payload type with no Ord impl compiles and works.
+        #[derive(Debug, PartialEq)]
+        struct NoOrd(f64);
+        let mut q = EventQueue::new();
+        q.push(2, NoOrd(2.0));
+        q.push(1, NoOrd(1.0));
+        assert_eq!(q.pop().unwrap().1, NoOrd(1.0));
+    }
+}

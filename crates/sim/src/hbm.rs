@@ -1,0 +1,253 @@
+//! HBM 1.0 memory model (Ramulator substitute).
+//!
+//! The paper attaches NvWa to 256 GB/s HBM 1.0 and simulates it with
+//! Ramulator. For the scheduler study, the behaviours that matter are
+//! (a) a fixed access latency, (b) finite per-channel bandwidth creating
+//! queueing delay under contention, and (c) the 7 pJ/bit access energy used
+//! in the power model. This module models exactly those: each channel is a
+//! FIFO server with a fixed service interval per 64-byte transaction.
+
+use std::collections::HashSet;
+
+use crate::Cycle;
+
+/// HBM configuration.
+///
+/// The defaults model HBM 1.0 at a 1 GHz accelerator clock: 8 channels ×
+/// 32 GB/s = 256 GB/s aggregate, i.e. one 64-byte transaction per channel
+/// every 2 cycles, with 100 ns (100-cycle) access latency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HbmConfig {
+    /// Number of independent channels.
+    pub channels: usize,
+    /// Fixed access latency in cycles (row activation + CAS + transfer).
+    pub latency: Cycle,
+    /// Cycles between transaction issues on one channel (bandwidth bound).
+    pub service_interval: Cycle,
+    /// Bytes per transaction.
+    pub transaction_bytes: u64,
+    /// Access energy in picojoules per bit (7 pJ/bit for HBM 1.0, as the
+    /// paper cites).
+    pub energy_pj_per_bit: f64,
+}
+
+impl Default for HbmConfig {
+    fn default() -> HbmConfig {
+        HbmConfig {
+            channels: 8,
+            latency: 100,
+            service_interval: 2,
+            transaction_bytes: 64,
+            energy_pj_per_bit: 7.0,
+        }
+    }
+}
+
+impl HbmConfig {
+    /// Aggregate bandwidth in bytes per cycle.
+    pub fn bandwidth_bytes_per_cycle(&self) -> f64 {
+        self.channels as f64 * self.transaction_bytes as f64 / self.service_interval as f64
+    }
+}
+
+/// The HBM device state.
+///
+/// Each channel serves one transaction per `service_interval` cycles; the
+/// schedule is kept as a set of occupied service *slots*, so a request
+/// timestamped in the future never blocks earlier idle slots (requests are
+/// issued by replaying unit access chains, which interleave in wall-clock
+/// order only approximately).
+#[derive(Debug, Clone)]
+pub struct Hbm {
+    config: HbmConfig,
+    occupied: Vec<HashSet<u64>>,
+    last_slot_seen: u64,
+    requests: u64,
+    queue_delay_total: u64,
+}
+
+impl Hbm {
+    /// Creates a device from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0` or `service_interval == 0`.
+    pub fn new(config: HbmConfig) -> Hbm {
+        assert!(config.channels > 0, "need at least one channel");
+        assert!(
+            config.service_interval > 0,
+            "service interval must be positive"
+        );
+        Hbm {
+            occupied: vec![HashSet::new(); config.channels],
+            config,
+            last_slot_seen: 0,
+            requests: 0,
+            queue_delay_total: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &HbmConfig {
+        &self.config
+    }
+
+    /// Issues a read of one transaction at block address `addr`, returning
+    /// the cycle its data arrives.
+    ///
+    /// The channel is selected by address interleaving; a busy channel
+    /// queues the request (FIFO).
+    pub fn request(&mut self, now: Cycle, addr: u64) -> Cycle {
+        let ch = (addr as usize) % self.config.channels;
+        let service = self.config.service_interval;
+        // First service slot whose start is not before `now`.
+        let mut slot = now.div_ceil(service);
+        while self.occupied[ch].contains(&slot) {
+            slot += 1;
+        }
+        self.occupied[ch].insert(slot);
+        self.last_slot_seen = self.last_slot_seen.max(slot);
+        self.requests += 1;
+        let start = slot * service;
+        self.queue_delay_total += start - now;
+        self.prune(ch);
+        start + self.config.latency
+    }
+
+    /// Drops schedule slots far in the past to bound memory. Replayed
+    /// chains span well under 10⁶ cycles, so slots more than ~10⁷ cycles
+    /// behind the newest booking can never be probed again.
+    fn prune(&mut self, ch: usize) {
+        if self.occupied[ch].len() > 1 << 17 {
+            let cutoff = self
+                .last_slot_seen
+                .saturating_sub(10_000_000 / self.config.service_interval.max(1));
+            self.occupied[ch].retain(|&s| s >= cutoff);
+        }
+    }
+
+    /// Total requests served.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Mean queueing delay (cycles spent waiting for a channel slot).
+    pub fn mean_queue_delay(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.queue_delay_total as f64 / self.requests as f64
+        }
+    }
+
+    /// Total bytes transferred.
+    pub fn bytes_transferred(&self) -> u64 {
+        self.requests * self.config.transaction_bytes
+    }
+
+    /// Total access energy in joules.
+    pub fn energy_joules(&self) -> f64 {
+        self.bytes_transferred() as f64 * 8.0 * self.config.energy_pj_per_bit * 1e-12
+    }
+
+    /// Average power in watts over `total_cycles` at 1 GHz.
+    pub fn average_power_w(&self, total_cycles: Cycle) -> f64 {
+        if total_cycles == 0 {
+            0.0
+        } else {
+            self.energy_joules() / (total_cycles as f64 * 1e-9)
+        }
+    }
+
+    /// Bandwidth utilization over `total_cycles` (0.0–1.0).
+    pub fn bandwidth_utilization(&self, total_cycles: Cycle) -> f64 {
+        if total_cycles == 0 {
+            return 0.0;
+        }
+        self.bytes_transferred() as f64
+            / (self.config.bandwidth_bytes_per_cycle() * total_cycles as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncontended_request_completes_after_latency() {
+        let mut hbm = Hbm::new(HbmConfig::default());
+        assert_eq!(hbm.request(1000, 0), 1100);
+        assert_eq!(hbm.mean_queue_delay(), 0.0);
+    }
+
+    #[test]
+    fn same_channel_requests_queue() {
+        let mut hbm = Hbm::new(HbmConfig::default());
+        // Addresses 0 and 8 hit channel 0 with 8 channels.
+        let a = hbm.request(0, 0);
+        let b = hbm.request(0, 8);
+        assert_eq!(a, 100);
+        assert_eq!(b, 102); // waited one service interval
+        assert!(hbm.mean_queue_delay() > 0.0);
+    }
+
+    #[test]
+    fn different_channels_do_not_interfere() {
+        let mut hbm = Hbm::new(HbmConfig::default());
+        let a = hbm.request(0, 0);
+        let b = hbm.request(0, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn channel_frees_over_time() {
+        let mut hbm = Hbm::new(HbmConfig::default());
+        let _ = hbm.request(0, 0);
+        // Long after the service interval, no queueing.
+        assert_eq!(hbm.request(50, 8), 150);
+    }
+
+    #[test]
+    fn saturation_throughput_matches_bandwidth() {
+        let config = HbmConfig::default();
+        let mut hbm = Hbm::new(config);
+        // Fire 8000 requests at cycle 0 round-robin across channels.
+        let mut last = 0;
+        for i in 0..8000u64 {
+            last = last.max(hbm.request(0, i));
+        }
+        // 1000 requests per channel, service 2 → drains in ~2000 cycles.
+        assert!(last >= 100 + 999 * 2);
+        assert!(last <= 100 + 1000 * 2);
+        let busy = last - 100;
+        assert!((hbm.bandwidth_utilization(busy) - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn energy_accounting() {
+        let mut hbm = Hbm::new(HbmConfig::default());
+        for i in 0..1000u64 {
+            let _ = hbm.request(i * 10, i);
+        }
+        // 1000 × 64 B × 8 bit × 7 pJ = 3.584 µJ.
+        let expected = 1000.0 * 64.0 * 8.0 * 7.0e-12;
+        assert!((hbm.energy_joules() - expected).abs() < 1e-15);
+        assert_eq!(hbm.bytes_transferred(), 64_000);
+    }
+
+    #[test]
+    fn default_models_256_gb_per_s() {
+        let c = HbmConfig::default();
+        // 256 bytes/cycle at 1 GHz == 256 GB/s.
+        assert_eq!(c.bandwidth_bytes_per_cycle(), 256.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn zero_channels_panics() {
+        let _ = Hbm::new(HbmConfig {
+            channels: 0,
+            ..HbmConfig::default()
+        });
+    }
+}

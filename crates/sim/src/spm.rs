@@ -1,0 +1,166 @@
+//! Scratchpad memory (SPM) model.
+//!
+//! The Seeding Scheduler's Read SPM "is used to prefetch the reads that are
+//! to be processed, hiding the access latency of DRAM" (Sec. IV-A). The
+//! model tracks block residency with FIFO replacement; a hit costs a fixed
+//! pipelined latency, a miss must be filled from memory by the caller.
+
+use std::collections::{HashSet, VecDeque};
+
+use crate::Cycle;
+
+/// A block-granular scratchpad with FIFO replacement.
+///
+/// # Examples
+///
+/// ```
+/// use nvwa_sim::Scratchpad;
+/// let mut spm = Scratchpad::new(2, 1);
+/// spm.fill(10);
+/// spm.fill(11);
+/// assert!(spm.contains(10));
+/// spm.fill(12); // evicts 10
+/// assert!(!spm.contains(10));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scratchpad {
+    capacity_blocks: usize,
+    hit_latency: Cycle,
+    resident: HashSet<u64>,
+    order: VecDeque<u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Scratchpad {
+    /// Creates a scratchpad holding `capacity_blocks` blocks with the given
+    /// hit latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_blocks == 0`.
+    pub fn new(capacity_blocks: usize, hit_latency: Cycle) -> Scratchpad {
+        assert!(capacity_blocks > 0, "capacity must be positive");
+        Scratchpad {
+            capacity_blocks,
+            hit_latency,
+            resident: HashSet::with_capacity(capacity_blocks),
+            order: VecDeque::with_capacity(capacity_blocks),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Capacity in blocks.
+    pub fn capacity_blocks(&self) -> usize {
+        self.capacity_blocks
+    }
+
+    /// Hit latency in cycles.
+    pub fn hit_latency(&self) -> Cycle {
+        self.hit_latency
+    }
+
+    /// Whether `block` is resident.
+    pub fn contains(&self, block: u64) -> bool {
+        self.resident.contains(&block)
+    }
+
+    /// Installs `block`, evicting the oldest resident block if full.
+    pub fn fill(&mut self, block: u64) {
+        if self.resident.contains(&block) {
+            return;
+        }
+        if self.resident.len() == self.capacity_blocks {
+            if let Some(old) = self.order.pop_front() {
+                self.resident.remove(&old);
+            }
+        }
+        self.resident.insert(block);
+        self.order.push_back(block);
+    }
+
+    /// Performs an access: returns `Some(hit_latency)` on a hit, `None` on a
+    /// miss (the caller fetches from memory and should then [`fill`]).
+    ///
+    /// [`fill`]: Scratchpad::fill
+    pub fn access(&mut self, block: u64) -> Option<Cycle> {
+        if self.resident.contains(&block) {
+            self.hits += 1;
+            Some(self.hit_latency)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Hit count so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate (0.0 when no accesses yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut spm = Scratchpad::new(4, 2);
+        assert_eq!(spm.access(1), None);
+        spm.fill(1);
+        assert_eq!(spm.access(1), Some(2));
+        assert_eq!(spm.hits(), 1);
+        assert_eq!(spm.misses(), 1);
+        assert_eq!(spm.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn fifo_eviction() {
+        let mut spm = Scratchpad::new(2, 1);
+        spm.fill(1);
+        spm.fill(2);
+        spm.fill(3); // evicts 1
+        assert!(!spm.contains(1));
+        assert!(spm.contains(2));
+        assert!(spm.contains(3));
+    }
+
+    #[test]
+    fn refill_of_resident_block_is_noop() {
+        let mut spm = Scratchpad::new(2, 1);
+        spm.fill(1);
+        spm.fill(1);
+        spm.fill(2);
+        spm.fill(3); // must evict 1 (inserted once), not duplicate
+        assert!(!spm.contains(1));
+        assert_eq!(spm.capacity_blocks(), 2);
+    }
+
+    #[test]
+    fn empty_hit_rate_is_zero() {
+        let spm = Scratchpad::new(1, 1);
+        assert_eq!(spm.hit_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = Scratchpad::new(0, 1);
+    }
+}

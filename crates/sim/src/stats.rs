@@ -1,0 +1,225 @@
+//! Simulation statistics: time-weighted utilization and bucketed series.
+//!
+//! Fig. 12 of the paper plots per-component utilization over execution time;
+//! [`UtilizationTracker`] integrates the number of busy units over cycles
+//! and [`TimeSeries`] buckets that integral for plotting.
+
+use crate::Cycle;
+
+/// A bucketed time series accumulating a value's time integral.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    bucket_width: Cycle,
+    buckets: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates a series with the given bucket width in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width == 0`.
+    pub fn new(bucket_width: Cycle) -> TimeSeries {
+        assert!(bucket_width > 0, "bucket width must be positive");
+        TimeSeries {
+            bucket_width,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Bucket width in cycles.
+    pub fn bucket_width(&self) -> Cycle {
+        self.bucket_width
+    }
+
+    /// Adds `value × (end - start)` to the overlapped buckets.
+    pub fn add_span(&mut self, start: Cycle, end: Cycle, value: f64) {
+        if end <= start {
+            return;
+        }
+        let last_bucket = ((end - 1) / self.bucket_width) as usize;
+        if last_bucket >= self.buckets.len() {
+            self.buckets.resize(last_bucket + 1, 0.0);
+        }
+        let mut t = start;
+        while t < end {
+            let b = (t / self.bucket_width) as usize;
+            let bucket_end = (b as Cycle + 1) * self.bucket_width;
+            let seg_end = end.min(bucket_end);
+            self.buckets[b] += value * (seg_end - t) as f64;
+            t = seg_end;
+        }
+    }
+
+    /// Per-bucket mean value (integral divided by bucket width).
+    pub fn bucket_means(&self) -> Vec<f64> {
+        self.buckets
+            .iter()
+            .map(|&v| v / self.bucket_width as f64)
+            .collect()
+    }
+
+    /// Number of buckets.
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Whether any data has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+}
+
+/// Tracks how many units of a pool are busy, integrating over time.
+///
+/// # Examples
+///
+/// ```
+/// use nvwa_sim::UtilizationTracker;
+/// let mut u = UtilizationTracker::new(4, 100);
+/// u.set_busy(0, 2);    // 2 of 4 busy from cycle 0
+/// u.set_busy(50, 4);   // all busy from cycle 50
+/// assert_eq!(u.average(100), 0.75); // (2*50 + 4*50) / (4*100)
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct UtilizationTracker {
+    total_units: u32,
+    current_busy: u32,
+    last_update: Cycle,
+    busy_integral: f64,
+    series: TimeSeries,
+}
+
+impl UtilizationTracker {
+    /// Creates a tracker for a pool of `total_units`, with time-series
+    /// buckets of `bucket_width` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_units == 0` or `bucket_width == 0`.
+    pub fn new(total_units: u32, bucket_width: Cycle) -> UtilizationTracker {
+        assert!(total_units > 0, "pool must have at least one unit");
+        UtilizationTracker {
+            total_units,
+            current_busy: 0,
+            last_update: 0,
+            busy_integral: 0.0,
+            series: TimeSeries::new(bucket_width),
+        }
+    }
+
+    /// Pool size.
+    pub fn total_units(&self) -> u32 {
+        self.total_units
+    }
+
+    /// Units currently busy.
+    pub fn current_busy(&self) -> u32 {
+        self.current_busy
+    }
+
+    /// Records that from cycle `now` onward, `busy` units are busy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `busy > total_units` or time moves backwards.
+    pub fn set_busy(&mut self, now: Cycle, busy: u32) {
+        assert!(busy <= self.total_units, "busy exceeds pool size");
+        assert!(now >= self.last_update, "time must be monotone");
+        let frac = self.current_busy as f64 / self.total_units as f64;
+        self.series.add_span(self.last_update, now, frac);
+        self.busy_integral += self.current_busy as f64 * (now - self.last_update) as f64;
+        self.current_busy = busy;
+        self.last_update = now;
+    }
+
+    /// Adjusts the busy count by a delta at cycle `now`.
+    pub fn delta(&mut self, now: Cycle, delta: i32) {
+        let busy =
+            (self.current_busy as i64 + delta as i64).clamp(0, self.total_units as i64) as u32;
+        self.set_busy(now, busy);
+    }
+
+    /// Average utilization (0.0–1.0) from cycle 0 to `end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end` precedes the last update.
+    pub fn average(&mut self, end: Cycle) -> f64 {
+        self.set_busy(end, self.current_busy);
+        if end == 0 {
+            return 0.0;
+        }
+        self.busy_integral / (self.total_units as f64 * end as f64)
+    }
+
+    /// The utilization time series (per-bucket mean fraction), finalized at
+    /// `end`.
+    pub fn series(&mut self, end: Cycle) -> Vec<f64> {
+        self.set_busy(end, self.current_busy);
+        self.series.bucket_means()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_series_spans_buckets() {
+        let mut ts = TimeSeries::new(10);
+        ts.add_span(5, 25, 1.0); // 5 in bucket 0, 10 in bucket 1, 5 in bucket 2
+        let means = ts.bucket_means();
+        assert_eq!(means, vec![0.5, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn time_series_ignores_empty_spans() {
+        let mut ts = TimeSeries::new(10);
+        ts.add_span(5, 5, 1.0);
+        assert!(ts.is_empty());
+    }
+
+    #[test]
+    fn tracker_integrates_busy_time() {
+        let mut u = UtilizationTracker::new(10, 100);
+        u.set_busy(0, 10);
+        u.set_busy(100, 0);
+        assert_eq!(u.average(200), 0.5);
+    }
+
+    #[test]
+    fn tracker_series_shows_phases() {
+        let mut u = UtilizationTracker::new(4, 50);
+        u.set_busy(0, 4);
+        u.set_busy(50, 2);
+        u.set_busy(100, 0);
+        let s = u.series(150);
+        assert_eq!(s, vec![1.0, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn delta_adjusts_and_clamps() {
+        let mut u = UtilizationTracker::new(2, 10);
+        u.delta(0, 1);
+        u.delta(5, 1);
+        assert_eq!(u.current_busy(), 2);
+        u.delta(10, -3); // clamps to 0
+        assert_eq!(u.current_busy(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time must be monotone")]
+    fn time_backwards_panics() {
+        let mut u = UtilizationTracker::new(1, 10);
+        u.set_busy(100, 1);
+        u.set_busy(50, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "busy exceeds pool size")]
+    fn overfull_pool_panics() {
+        let mut u = UtilizationTracker::new(1, 10);
+        u.set_busy(0, 2);
+    }
+}

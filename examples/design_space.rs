@@ -1,0 +1,47 @@
+//! Design-space exploration (the Fig. 13 studies as a user would run them):
+//! sweep the Hits Buffer depth and the EU interval count, and solve
+//! Formula 5 for a custom hit-length distribution.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use nvwa::core::config::NvwaConfig;
+use nvwa::core::experiments::{fig13, Scale};
+use nvwa::core::extension::{solve_classes, NA12878_INTERVAL_MASSES};
+use nvwa::core::power::PowerBreakdown;
+
+fn main() {
+    // Formula 5 on the NA12878 distribution reproduces Table I.
+    let classes = solve_classes(&NA12878_INTERVAL_MASSES, &[16, 32, 64, 128], 2880);
+    println!("Formula 5 on the NA12878 masses (budget 2880 PEs):");
+    for c in &classes {
+        println!("  {:3}-PE units: {}", c.pes, c.count);
+    }
+
+    // A custom long-hit-heavy distribution yields a different provisioning.
+    let long_heavy = [0.15, 0.20, 0.30, 0.35];
+    let custom = solve_classes(&long_heavy, &[16, 32, 64, 128], 2880);
+    println!("Formula 5 on a long-hit-heavy distribution:");
+    for c in &custom {
+        println!("  {:3}-PE units: {}", c.pes, c.count);
+    }
+
+    // The full Fig. 13 sweeps.
+    println!("\n{}", fig13::run(Scale::Quick));
+
+    // Power sensitivity: how the Coordinator budget moves with the buffer.
+    println!("Coordinator power vs buffer depth:");
+    for depth in [128usize, 512, 1024, 4096] {
+        let breakdown = PowerBreakdown::for_config(&NvwaConfig {
+            hits_buffer_depth: depth,
+            ..NvwaConfig::paper()
+        });
+        println!(
+            "  depth {depth:5}: coordinator {:.3} W, chip total {:.3} W / {:.3} mm²",
+            breakdown.coordinator_power_w(),
+            breakdown.total_power_w(),
+            breakdown.total_area_mm2()
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Long-read extension with GACT tiling (Sec. V-F / VI of the paper):
+//! align multi-kbp noisy reads with constant per-tile memory and compare
+//! the committed score against the full-matrix optimum.
+//!
+//! ```text
+//! cargo run --release --example long_read_gact
+//! ```
+
+use nvwa::align::gact::{gact_extend, GactConfig};
+use nvwa::align::scoring::Scoring;
+use nvwa::align::sw::extend_align;
+use nvwa::genome::{ReadSimParams, ReadSimulator, ReferenceGenome, ReferenceParams};
+
+fn main() {
+    let genome = ReferenceGenome::synthesize(
+        &ReferenceParams {
+            total_len: 400_000,
+            chromosomes: 1,
+            ..ReferenceParams::default()
+        },
+        5,
+    );
+    let scoring = Scoring::bwa_mem();
+    let config = GactConfig::default();
+    println!(
+        "GACT tiles of {} bp with {} bp overlap",
+        config.tile_size, config.overlap
+    );
+    println!("read   len    tiles  dp-cells    gact-score  full-score  ratio");
+
+    let mut sim = ReadSimulator::new(&genome, ReadSimParams::long_read(5_000), 11);
+    for i in 0..6 {
+        let read = sim.simulate_read();
+        let origin = read.origin.flat_pos;
+        let window_end = (origin + read.seq.len() + 200).min(genome.total_len());
+        let target = &genome.flat().codes()[origin..window_end];
+        let oriented = match read.origin.strand {
+            nvwa::genome::reads::Strand::Forward => read.seq.codes().to_vec(),
+            nvwa::genome::reads::Strand::Reverse => read.seq.revcomp().codes().to_vec(),
+        };
+
+        let (gact, stats) = gact_extend(&oriented, target, &scoring, &config);
+        let full = extend_align(&oriented, target, &scoring);
+        println!(
+            "r{:<4} {:6} {:6} {:10}  {:10}  {:10}  {:.3}",
+            i,
+            oriented.len(),
+            stats.tiles,
+            stats.dp_cells,
+            gact.score,
+            full.score,
+            gact.score as f64 / full.score.max(1) as f64
+        );
+    }
+    println!("\nGACT keeps only one tile-sized matrix resident: constant hardware");
+    println!("memory regardless of read length — the property that lets NvWa's");
+    println!("fixed-size EUs serve third-generation reads (paper Sec. VI).");
+}

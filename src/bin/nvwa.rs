@@ -1,0 +1,183 @@
+//! `nvwa` — command-line front end to the reproduction.
+//!
+//! ```text
+//! nvwa synth-ref  <out.fa> [--len N] [--chromosomes N] [--seed S]
+//! nvwa synth-reads <ref.fa> <out.fq> [--count N] [--len N] [--seed S]
+//! nvwa align      <ref.fa> <reads.fq> [--sam out.sam] [--simulate]
+//! ```
+//!
+//! `align` runs the software seed-and-extend pipeline (emitting SAM) and,
+//! with `--simulate`, replays the workload through the NvWa accelerator
+//! model and prints the timing report.
+
+use std::fs;
+use std::process::ExitCode;
+
+use nvwa::align::pipeline::{AlignerConfig, ReferenceIndex, SoftwareAligner};
+use nvwa::align::sam;
+use nvwa::core::config::NvwaConfig;
+use nvwa::core::system::simulate;
+use nvwa::core::units::workload::ReadWork;
+use nvwa::genome::fasta;
+use nvwa::genome::{ReadSimParams, ReadSimulator, ReferenceGenome, ReferenceParams};
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn flag_u64(args: &[String], name: &str, default: u64) -> u64 {
+    flag_value(args, name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage:");
+    eprintln!("  nvwa synth-ref   <out.fa> [--len N] [--chromosomes N] [--seed S]");
+    eprintln!("  nvwa synth-reads <ref.fa> <out.fq> [--count N] [--len N] [--seed S]");
+    eprintln!("  nvwa align       <ref.fa> <reads.fq> [--sam out.sam] [--simulate]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("synth-ref") => synth_ref(&args[1..]),
+        Some("synth-reads") => synth_reads(&args[1..]),
+        Some("align") => align(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn synth_ref(args: &[String]) -> ExitCode {
+    let Some(out) = args.first() else {
+        return usage();
+    };
+    let params = ReferenceParams {
+        total_len: flag_u64(args, "--len", 500_000) as usize,
+        chromosomes: flag_u64(args, "--chromosomes", 4) as usize,
+        ..ReferenceParams::default()
+    };
+    let genome = ReferenceGenome::synthesize(&params, flag_u64(args, "--seed", 1));
+    if let Err(e) = fs::write(out, fasta::to_fasta(&genome, 80)) {
+        eprintln!("nvwa: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wrote {} ({} bp, {} chromosomes)",
+        out,
+        genome.total_len(),
+        genome.chromosomes().len()
+    );
+    ExitCode::SUCCESS
+}
+
+fn load_genome(path: &str) -> Result<ReferenceGenome, ExitCode> {
+    let text = fs::read_to_string(path).map_err(|e| {
+        eprintln!("nvwa: cannot read {path}: {e}");
+        ExitCode::FAILURE
+    })?;
+    fasta::from_fasta(path, &text).map_err(|e| {
+        eprintln!("nvwa: bad FASTA {path}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn synth_reads(args: &[String]) -> ExitCode {
+    let (Some(ref_path), Some(out)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let genome = match load_genome(ref_path) {
+        Ok(g) => g,
+        Err(code) => return code,
+    };
+    let params = ReadSimParams {
+        read_len: flag_u64(args, "--len", 101) as usize,
+        ..ReadSimParams::illumina_101()
+    };
+    let mut sim = ReadSimulator::new(&genome, params, flag_u64(args, "--seed", 2));
+    let reads = sim.simulate_reads(flag_u64(args, "--count", 1_000) as usize);
+    if let Err(e) = fs::write(out, fasta::reads_to_fastq(&reads)) {
+        eprintln!("nvwa: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wrote {} ({} reads of {} bp)",
+        out,
+        reads.len(),
+        params.read_len
+    );
+    ExitCode::SUCCESS
+}
+
+fn align(args: &[String]) -> ExitCode {
+    let (Some(ref_path), Some(reads_path)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let genome = match load_genome(ref_path) {
+        Ok(g) => g,
+        Err(code) => return code,
+    };
+    let reads_text = match fs::read_to_string(reads_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("nvwa: cannot read {reads_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let reads = match fasta::reads_from_fastq(&reads_text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("nvwa: bad FASTQ {reads_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "indexing {} bp, aligning {} reads ...",
+        genome.total_len(),
+        reads.len()
+    );
+    let index = ReferenceIndex::build(&genome, 32);
+    let aligner = SoftwareAligner::new(&index, AlignerConfig::default());
+
+    let mut sam_text = sam::header(&genome);
+    let mut works = Vec::with_capacity(reads.len());
+    let mut mapped = 0usize;
+    for read in &reads {
+        let outcome = aligner.align_read(read);
+        if outcome.alignment.is_some() {
+            mapped += 1;
+        }
+        sam_text.push_str(&sam::record(&genome, read, outcome.alignment.as_ref()));
+        sam_text.push('\n');
+        works.push(ReadWork::from_outcome(read.id, &outcome));
+    }
+    println!("mapped {mapped}/{} reads", reads.len());
+
+    if let Some(out) = flag_value(args, "--sam") {
+        if let Err(e) = fs::write(&out, sam_text) {
+            eprintln!("nvwa: cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {out}");
+    }
+
+    if args.iter().any(|a| a == "--simulate") {
+        let report = simulate(&NvwaConfig::paper(), &works);
+        println!(
+            "NvWa model: {} cycles → {:.1} K reads/s @ 1 GHz (SU {:.1}%, EU {:.1}%, \
+             {} hits, {} buffer switches)",
+            report.total_cycles,
+            report.kreads_per_sec(),
+            report.su_utilization * 100.0,
+            report.eu_utilization * 100.0,
+            report.hits_dispatched,
+            report.buffer_switches
+        );
+    }
+    ExitCode::SUCCESS
+}

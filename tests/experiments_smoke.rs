@@ -1,0 +1,96 @@
+//! Shape checks for every experiment driver: each paper artifact must
+//! regenerate with the qualitative result the paper reports.
+
+use nvwa::core::experiments::{fig11, fig12, fig13, fig14, fig2, fig5, fig7, fig9, tables, Scale};
+
+#[test]
+fn fig2_shows_the_diversity_problem() {
+    let fig = fig2::run(Scale::Quick);
+    assert!(fig.total_time_cv() > 0.1);
+    let (lo, hi) = fig.seeding_fraction_spread();
+    assert!(hi > lo);
+}
+
+#[test]
+fn fig5_one_cycle_wins() {
+    let fig = fig5::run();
+    assert!(fig.ocra_makespan < fig.batch_makespan);
+    assert_eq!(fig.tree_table.len(), 4);
+    assert!(fig.tree_table.iter().all(|&(_, _, fits)| fits));
+}
+
+#[test]
+fn fig7_reproduces_formula3_landmarks() {
+    let fig = fig7::run();
+    assert_eq!(fig.example_cycles, 33);
+    assert_eq!(fig.best_pes_len9(), 9);
+    assert_eq!(fig.best_pes_len64(), 64);
+}
+
+#[test]
+fn fig9_reproduces_455_vs_257() {
+    let fig = fig9::run();
+    assert_eq!(fig.uniform_makespan, 455);
+    assert_eq!(fig.hybrid_makespan, 257);
+}
+
+#[test]
+fn fig11_ordering_holds() {
+    let fig = fig11::run(Scale::Quick);
+    // Accelerators beat the modeled CPU; full NvWa beats every partial
+    // configuration.
+    let cpu = fig.bar("CPU-BWA-MEM(model)").unwrap();
+    let base = fig.bar("SUs+EUs").unwrap();
+    let nvwa = fig.bar("NvWa").unwrap();
+    assert!(base > cpu);
+    assert!(nvwa > base);
+    let (ocra, hus, ha) = fig.ablation_factors();
+    assert!(ocra > 1.0 && hus > 1.0 && ha > 1.0, "{ocra} {hus} {ha}");
+}
+
+#[test]
+fn fig12_utilization_and_correctness_shapes() {
+    let fig = fig12::run(Scale::Quick);
+    assert!(fig.nvwa.su_utilization > fig.baseline.su_utilization);
+    assert!(fig.nvwa.overall_correct_allocation() > fig.baseline.overall_correct_allocation());
+    assert!(!fig.nvwa.su_series.is_empty());
+}
+
+#[test]
+fn fig13_design_space_shapes() {
+    let fig = fig13::run(Scale::Quick);
+    // The chosen 1024 must not be far from our sweep's best.
+    let best = fig
+        .depths
+        .iter()
+        .map(|p| p.kreads_per_sec)
+        .fold(0.0f64, f64::max);
+    let at_1024 = fig
+        .depths
+        .iter()
+        .find(|p| p.depth == 1024)
+        .unwrap()
+        .kreads_per_sec;
+    assert!(at_1024 > best * 0.9, "1024: {at_1024} vs best {best}");
+    // Coordinator power rises monotonically with interval count.
+    for w in fig.intervals.windows(2) {
+        assert!(w[1].coordinator_power_w > w[0].coordinator_power_w);
+    }
+}
+
+#[test]
+fn fig14_all_species_accelerate() {
+    let fig = fig14::run(Scale::Quick);
+    assert_eq!(fig.species.len(), 6);
+    assert!(fig.species.iter().all(|s| s.short_read_speedup > 5.0));
+    assert!(fig.species.iter().all(|s| s.long_read_speedup > 5.0));
+}
+
+#[test]
+fn tables_render_paper_constants() {
+    assert!(tables::table1().to_string().contains("128 SUs and 70 EUs"));
+    let t2 = tables::table2();
+    assert!((t2.breakdown.total_area_mm2() - 27.009).abs() < 0.6);
+    assert!(tables::table3().contains("pe_number"));
+    assert!(tables::headline().contains("493.00x"));
+}

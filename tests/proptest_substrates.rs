@@ -1,0 +1,123 @@
+//! Property-based tests over the core substrates: the index structures and
+//! aligners must agree with brute-force oracles on arbitrary inputs, and
+//! the scheduler components must preserve their invariants under arbitrary
+//! status patterns.
+
+use proptest::prelude::*;
+
+use nvwa::align::scoring::Scoring;
+use nvwa::align::sw::{extend_align, global_align, local_align};
+use nvwa::core::extension::systolic::{matrix_fill_latency, SystolicArray};
+use nvwa::core::seeding::OneCycleReadAllocator;
+use nvwa::genome::DnaSeq;
+use nvwa::index::trace::NullTrace;
+use nvwa::index::{FmIndex, FmdIndex};
+
+fn codes(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..4, 1..=max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fm_index_counts_match_naive(text in codes(300), pattern in codes(6)) {
+        let fm = FmIndex::from_text(&text);
+        let naive = if pattern.len() > text.len() { 0 } else {
+            text.windows(pattern.len()).filter(|w| *w == pattern.as_slice()).count() as u64
+        };
+        let got = fm.search(&pattern, &mut NullTrace).map(|i| i.len()).unwrap_or(0);
+        prop_assert_eq!(got, naive);
+    }
+
+    #[test]
+    fn fmd_bi_interval_symmetry(text in codes(200), pattern in codes(8)) {
+        let fmd = FmdIndex::from_forward(&text);
+        if let Some(bi) = fmd.search(&pattern, &mut NullTrace) {
+            let rc: Vec<u8> = pattern.iter().rev().map(|&c| 3 - c).collect();
+            let rc_bi = fmd.search(&rc, &mut NullTrace);
+            prop_assert_eq!(rc_bi, Some(bi.swapped()));
+        }
+    }
+
+    #[test]
+    fn revcomp_is_involutive(text in codes(500)) {
+        let seq = DnaSeq::from_codes(text);
+        prop_assert_eq!(seq.revcomp().revcomp(), seq);
+    }
+
+    #[test]
+    fn local_alignment_score_is_cigar_score(q in codes(40), t in codes(40)) {
+        let scoring = Scoring::bwa_mem();
+        let a = local_align(&q, &t, &scoring);
+        prop_assert_eq!(a.cigar.score(&scoring), a.score);
+        prop_assert!(a.score >= 0);
+        // Local alignment never scores above the shorter sequence's
+        // perfect-match score.
+        prop_assert!(a.score <= q.len().min(t.len()) as i32);
+    }
+
+    #[test]
+    fn extension_never_beats_local(q in codes(30), t in codes(30)) {
+        let scoring = Scoring::bwa_mem();
+        let local = local_align(&q, &t, &scoring);
+        let ext = extend_align(&q, &t, &scoring);
+        // The anchored extension is a constrained version of local
+        // alignment: it can never score higher.
+        prop_assert!(ext.score <= local.score);
+        prop_assert_eq!(ext.cigar.score(&scoring), ext.score);
+    }
+
+    #[test]
+    fn global_alignment_consumes_everything(q in codes(25), t in codes(25)) {
+        let scoring = Scoring::bwa_mem();
+        let g = global_align(&q, &t, &scoring);
+        prop_assert_eq!(g.cigar.query_len(), q.len());
+        prop_assert_eq!(g.cigar.target_len(), t.len());
+        prop_assert_eq!(g.cigar.score(&scoring), g.score);
+        // Global is at most the extension optimum (extension may clip).
+        let ext = extend_align(&q, &t, &scoring);
+        prop_assert!(g.score <= ext.score);
+    }
+
+    #[test]
+    fn systolic_matches_software_and_formula(
+        q in codes(40),
+        t in codes(40),
+        pes in 1u32..40,
+    ) {
+        let scoring = Scoring::bwa_mem();
+        let run = SystolicArray::new(pes).run(&q, &t, &scoring);
+        prop_assert_eq!(run.score, local_align(&q, &t, &scoring).score);
+        prop_assert_eq!(
+            run.cycles,
+            matrix_fill_latency(t.len() as u64, q.len() as u64, pes)
+        );
+    }
+
+    #[test]
+    fn ocra_assignments_are_unique_and_prioritized(
+        busy in proptest::collection::vec(any::<bool>(), 1..=96),
+        offset in 0u64..1000,
+    ) {
+        let ocra = OneCycleReadAllocator::new(busy.len());
+        let (assigned, next) = ocra.allocate(&busy, offset, u64::MAX);
+        // Busy units receive nothing; idle units receive consecutive reads
+        // from the offset, in index order.
+        let mut expected = offset;
+        for (unit, a) in assigned.iter().enumerate() {
+            if busy[unit] {
+                prop_assert_eq!(*a, None);
+            } else {
+                prop_assert_eq!(*a, Some(expected));
+                expected += 1;
+            }
+        }
+        prop_assert_eq!(next, expected);
+        // Bit-parallel microarchitecture agrees.
+        prop_assert_eq!(
+            ocra.allocate_bit_parallel(&busy, offset, u64::MAX),
+            (assigned, next)
+        );
+    }
+}

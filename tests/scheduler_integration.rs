@@ -1,0 +1,262 @@
+//! Cross-crate scheduler integration: the three NvWa mechanisms exercised
+//! on real (pipeline-derived) and synthetic workloads at system level.
+
+use nvwa::align::pipeline::{AlignerConfig, ReferenceIndex, SoftwareAligner};
+use nvwa::core::config::{EuClass, NvwaConfig, SchedulingConfig};
+use nvwa::core::system::simulate;
+use nvwa::core::units::workload::{build_workload, SyntheticWorkloadParams};
+use nvwa::genome::{ReadSimParams, ReadSimulator, ReferenceGenome, ReferenceParams};
+
+fn real_workload() -> Vec<nvwa::core::units::workload::ReadWork> {
+    let genome = ReferenceGenome::synthesize(
+        &ReferenceParams {
+            total_len: 100_000,
+            chromosomes: 2,
+            ..ReferenceParams::default()
+        },
+        99,
+    );
+    let index = ReferenceIndex::build(&genome, 32);
+    let aligner = SoftwareAligner::new(&index, AlignerConfig::default());
+    let mut sim = ReadSimulator::new(&genome, ReadSimParams::illumina_101(), 4);
+    let reads = sim.simulate_reads(300);
+    build_workload(&aligner, &reads)
+}
+
+#[test]
+fn real_workload_runs_through_all_ablations() {
+    let works = real_workload();
+    let total_hits: u64 = works.iter().map(|w| w.hits.len() as u64).sum();
+    for (name, sched) in [
+        ("baseline", SchedulingConfig::baseline()),
+        ("nvwa", SchedulingConfig::nvwa()),
+    ] {
+        let config = NvwaConfig {
+            scheduling: sched,
+            ..NvwaConfig::small_test()
+        };
+        let report = simulate(&config, &works);
+        assert_eq!(report.reads, works.len() as u64, "{name}");
+        assert_eq!(report.hits_dispatched, total_hits, "{name}: lost hits");
+        assert!(report.total_cycles > 0, "{name}");
+    }
+}
+
+#[test]
+fn paper_scale_ablation_chain_is_monotone() {
+    let works = SyntheticWorkloadParams {
+        reads: 1_500,
+        ..SyntheticWorkloadParams::default()
+    }
+    .generate(0xab1e);
+    let cycles_for = |sched: SchedulingConfig| {
+        simulate(
+            &NvwaConfig {
+                scheduling: sched,
+                ..NvwaConfig::paper()
+            },
+            &works,
+        )
+        .total_cycles
+    };
+    let base = cycles_for(SchedulingConfig::baseline());
+    let ocra = cycles_for(SchedulingConfig {
+        ocra: true,
+        hybrid_units: false,
+        hits_allocator: false,
+    });
+    let hus = cycles_for(SchedulingConfig {
+        ocra: true,
+        hybrid_units: true,
+        hits_allocator: false,
+    });
+    let nvwa = cycles_for(SchedulingConfig::nvwa());
+    assert!(ocra < base, "OCRA {ocra} !< base {base}");
+    assert!(hus < ocra, "HUS {hus} !< OCRA {ocra}");
+    assert!(nvwa < hus, "full NvWa {nvwa} !< HUS {hus}");
+    // End-to-end the scheduling should be worth at least ~1.8x here.
+    assert!(
+        base as f64 / nvwa as f64 > 1.8,
+        "total factor only {:.2}",
+        base as f64 / nvwa as f64
+    );
+}
+
+#[test]
+fn hits_are_conserved_under_extreme_buffer_pressure() {
+    let works = SyntheticWorkloadParams {
+        reads: 400,
+        ..SyntheticWorkloadParams::default()
+    }
+    .generate(3);
+    let total_hits: u64 = works.iter().map(|w| w.hits.len() as u64).sum();
+    // A pathologically small buffer forces constant stalls, switches and
+    // fragmentation — nothing may be dropped.
+    let config = NvwaConfig {
+        hits_buffer_depth: 4,
+        alloc_batch_size: 2,
+        ..NvwaConfig::small_test()
+    };
+    let report = simulate(&config, &works);
+    assert_eq!(report.hits_dispatched, total_hits);
+    assert!(report.su_stall_events > 0);
+    assert!(report.buffer_switches > 10);
+}
+
+#[test]
+fn single_class_eu_pool_degenerates_gracefully() {
+    let works = SyntheticWorkloadParams {
+        reads: 200,
+        ..SyntheticWorkloadParams::default()
+    }
+    .generate(4);
+    let config = NvwaConfig {
+        eu_classes: vec![EuClass::new(64, 8)],
+        ..NvwaConfig::small_test()
+    };
+    let report = simulate(&config, &works);
+    assert_eq!(
+        report.hits_dispatched,
+        works.iter().map(|w| w.hits.len() as u64).sum::<u64>()
+    );
+    // With one class, the grouped allocator is strict by construction.
+    assert_eq!(report.eu_class_pes, vec![64]);
+}
+
+#[test]
+fn throughput_scales_with_su_count() {
+    let works = SyntheticWorkloadParams {
+        reads: 600,
+        ..SyntheticWorkloadParams::default()
+    }
+    .generate(5);
+    let run = |su_count: u32| {
+        simulate(
+            &NvwaConfig {
+                su_count,
+                ..NvwaConfig::paper()
+            },
+            &works,
+        )
+        .kreads_per_sec()
+    };
+    let small = run(16);
+    let large = run(128);
+    assert!(
+        large > small * 1.5,
+        "128 SUs {large} not scaling over 16 SUs {small}"
+    );
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let works = SyntheticWorkloadParams {
+        reads: 300,
+        ..SyntheticWorkloadParams::default()
+    }
+    .generate(6);
+    let config = NvwaConfig::paper();
+    let a = simulate(&config, &works);
+    let b = simulate(&config, &works);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn zero_hit_reads_flow_through() {
+    // Unmapped reads produce no hits; the system must still terminate and
+    // count them.
+    use nvwa::core::units::workload::ReadWork;
+    let works: Vec<ReadWork> = (0..50)
+        .map(|read_id| ReadWork {
+            read_id,
+            seeding_accesses: vec![read_id * 3, read_id * 7],
+            hits: Vec::new(),
+        })
+        .collect();
+    let report = simulate(&NvwaConfig::small_test(), &works);
+    assert_eq!(report.reads, 50);
+    assert_eq!(report.hits_dispatched, 0);
+    assert_eq!(report.buffer_switches, 0);
+}
+
+#[test]
+fn giant_hits_beyond_the_largest_class_are_served() {
+    // Hits longer than 128 map to the largest class and iterate.
+    use nvwa::core::interface::Hit;
+    use nvwa::core::units::workload::ReadWork;
+    let works: Vec<ReadWork> = (0..20)
+        .map(|read_id| ReadWork {
+            read_id,
+            seeding_accesses: vec![read_id],
+            hits: vec![Hit {
+                read_idx: read_id,
+                hit_idx: 0,
+                direction: false,
+                read_pos: (0, 1000),
+                ref_pos: 0,
+                query_len: 1000,
+                ref_len: 1200,
+            }],
+        })
+        .collect();
+    let report = simulate(&NvwaConfig::small_test(), &works);
+    assert_eq!(report.hits_dispatched, 20);
+    // All land in the top interval row of the matrix.
+    let top_row: u64 = report.assignment_matrix[3].iter().sum();
+    assert_eq!(top_row, 20);
+}
+
+#[test]
+fn minimal_one_su_one_eu_system() {
+    let works = SyntheticWorkloadParams {
+        reads: 40,
+        ..SyntheticWorkloadParams::default()
+    }
+    .generate(9);
+    let config = NvwaConfig {
+        su_count: 1,
+        eu_classes: vec![EuClass::new(64, 1)],
+        hits_buffer_depth: 16,
+        alloc_batch_size: 4,
+        ..NvwaConfig::small_test()
+    };
+    let report = simulate(&config, &works);
+    assert_eq!(report.reads, 40);
+    assert_eq!(
+        report.hits_dispatched,
+        works.iter().map(|w| w.hits.len() as u64).sum::<u64>()
+    );
+}
+
+#[test]
+fn uniform_length_hits_remove_the_hybrid_advantage() {
+    // With all hits the same length, hybrid vs uniform should be close —
+    // the diversity problem is what the hybrid strategy exploits.
+    let uniform_len = SyntheticWorkloadParams {
+        reads: 400,
+        interval_bounds: vec![64],
+        interval_masses: vec![1.0],
+        ..SyntheticWorkloadParams::default()
+    }
+    .generate(10);
+    let run = |hybrid: bool| {
+        simulate(
+            &NvwaConfig {
+                scheduling: SchedulingConfig {
+                    hybrid_units: hybrid,
+                    ..SchedulingConfig::nvwa()
+                },
+                ..NvwaConfig::paper()
+            },
+            &uniform_len,
+        )
+        .total_cycles as f64
+    };
+    let with = run(true);
+    let without = run(false);
+    let ratio = without / with;
+    assert!(
+        (0.55..1.8).contains(&ratio),
+        "uniform-length workload ratio {ratio}"
+    );
+}
