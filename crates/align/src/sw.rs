@@ -4,6 +4,14 @@
 //! zero-floored) and [`extend_align`] (anchored at the origin, the
 //! seed-extension step of the pipeline). Both produce an exact [`Cigar`]
 //! via a packed traceback matrix, like Darwin's GACT tiles do in SRAM.
+//!
+//! The forward fill is the aligner's hot kernel (it dominates workload
+//! construction). The shared [`fill`] keeps a single rolling H row with
+//! the left/diagonal cells in registers, hoists the gap constants out of
+//! the inner loop, and replaces the per-cell substitution branch with a
+//! 4×n score profile selected by the row's query base. Tie-breaking is
+//! bit-identical to the reference implementations retained in [`naive`]
+//! (the differential-testing oracle).
 
 use crate::cigar::{Cigar, CigarOp};
 use crate::scoring::Scoring;
@@ -56,67 +64,147 @@ pub fn dp_cells(query_len: usize, target_len: usize) -> u64 {
     query_len as u64 * target_len as u64
 }
 
-/// Classic affine-gap local alignment (Smith-Waterman-Gotoh).
-///
-/// Returns the best-scoring local alignment; for the empty input or an
-/// all-negative matrix the result has `score == 0` and an empty CIGAR.
-pub fn local_align(query: &[u8], target: &[u8], scoring: &Scoring) -> LocalAlignment {
+/// Output of the forward fill: the packed traceback matrix, the best cell
+/// (score, i, j) and the last cell's score (for global alignment).
+struct Fill {
+    tb: Vec<u8>,
+    best: (i32, usize, usize),
+    last: i32,
+}
+
+/// Shared forward DP fill. `LOCAL` selects the zero-floored local
+/// recurrence; otherwise the anchored (extension/global) recurrence with
+/// gap-scored boundaries. Comparisons are strict `>` in diag → E → F
+/// order, exactly as in [`naive`], so scores, best cells and tracebacks
+/// are identical.
+fn fill<const LOCAL: bool>(query: &[u8], target: &[u8], scoring: &Scoring) -> Fill {
     let m = query.len();
     let n = target.len();
-    let mut h_prev = vec![0i32; n + 1];
-    let mut h_curr = vec![0i32; n + 1];
+    let go1 = scoring.gap_cost(1);
+    let ge = scoring.gap_extend;
+
+    let mut tb = vec![0u8; (m + 1) * (n + 1)];
+    // The rolling H row, holding row i-1 while row i is computed in place.
+    let mut h: Vec<i32> = if LOCAL {
+        vec![0; n + 1]
+    } else {
+        let mut row = Vec::with_capacity(n + 1);
+        row.push(0);
+        let mut b = -go1;
+        for _ in 1..=n {
+            row.push(b);
+            b -= ge;
+        }
+        row
+    };
+    if !LOCAL {
+        // Row 0 comes from E-gaps; mark for traceback.
+        for (j, cell) in tb.iter_mut().enumerate().take(n + 1).skip(1) {
+            *cell = H_FROM_E | if j > 1 { E_EXT } else { 0 };
+        }
+    }
     // F is column-local (gap consuming query): persists across rows.
     let mut f_col = vec![NEG_INF; n + 1];
-    let mut tb = vec![0u8; (m + 1) * (n + 1)];
+
+    // 4×n substitution profile: row `c` scores code `c` against every
+    // target base. A target code ≥ 4 equals none of 0..=3, so -mismatch
+    // is exact for it too; query codes ≥ 4 fall back to direct scoring.
+    let mut score_tab = vec![0i32; 4 * n];
+    for c in 0..4u8 {
+        let row = &mut score_tab[c as usize * n..(c as usize + 1) * n];
+        for (s, &t) in row.iter_mut().zip(target) {
+            *s = scoring.score(c, t);
+        }
+    }
+    let mut scratch: Vec<i32> = Vec::new();
 
     let mut best = (0i32, 0usize, 0usize);
+    let mut boundary = -go1;
     for i in 1..=m {
+        let qc = query[i - 1] as usize;
+        let row_scores: &[i32] = if qc < 4 {
+            &score_tab[qc * n..(qc + 1) * n]
+        } else {
+            scratch.clear();
+            scratch.extend(target.iter().map(|&t| scoring.score(qc as u8, t)));
+            &scratch
+        };
+        let tb_row = &mut tb[i * (n + 1)..(i + 1) * (n + 1)];
         // E is row-local (gap consuming target): resets each row.
         let mut e = NEG_INF;
-        h_curr[0] = 0;
+        let mut h_diag = h[0];
+        let h0 = if LOCAL { 0 } else { boundary };
+        h[0] = h0;
+        if !LOCAL {
+            tb_row[0] = H_FROM_F | if i > 1 { F_EXT } else { 0 };
+            boundary -= ge;
+        }
+        let mut h_left = h0;
         for j in 1..=n {
-            let e_open = h_curr[j - 1] - scoring.gap_cost(1);
-            let e_ext = e - scoring.gap_extend;
+            let e_open = h_left - go1;
+            let e_ext = e - ge;
             let e_flag;
             (e, e_flag) = if e_ext > e_open {
                 (e_ext, E_EXT)
             } else {
                 (e_open, 0)
             };
-            let f_open = h_prev[j] - scoring.gap_cost(1);
-            let f_ext = f_col[j] - scoring.gap_extend;
-            let f_flag;
-            (f_col[j], f_flag) = if f_ext > f_open {
+            let up = h[j];
+            let f_open = up - go1;
+            let f_ext = f_col[j] - ge;
+            let (f, f_flag) = if f_ext > f_open {
                 (f_ext, F_EXT)
             } else {
                 (f_open, 0)
             };
-            let diag = h_prev[j - 1] + scoring.score(query[i - 1], target[j - 1]);
+            f_col[j] = f;
+            let diag = h_diag + row_scores[j - 1];
 
-            let mut h = 0i32;
-            let mut src = H_STOP;
-            if diag > h {
-                h = diag;
+            let mut hv;
+            let mut src;
+            if LOCAL {
+                hv = 0;
+                src = H_STOP;
+                if diag > hv {
+                    hv = diag;
+                    src = H_DIAG;
+                }
+            } else {
+                hv = diag;
                 src = H_DIAG;
             }
-            if e > h {
-                h = e;
+            if e > hv {
+                hv = e;
                 src = H_FROM_E;
             }
-            if f_col[j] > h {
-                h = f_col[j];
+            if f > hv {
+                hv = f;
                 src = H_FROM_F;
             }
-            h_curr[j] = h;
-            tb[i * (n + 1) + j] = src | e_flag | f_flag;
-            if h > best.0 {
-                best = (h, i, j);
+            h[j] = hv;
+            tb_row[j] = src | e_flag | f_flag;
+            h_left = hv;
+            h_diag = up;
+            if hv > best.0 {
+                best = (hv, i, j);
             }
         }
-        std::mem::swap(&mut h_prev, &mut h_curr);
     }
+    Fill {
+        best,
+        last: h[n],
+        tb,
+    }
+}
 
-    let (score, bi, bj) = best;
+/// Classic affine-gap local alignment (Smith-Waterman-Gotoh).
+///
+/// Returns the best-scoring local alignment; for the empty input or an
+/// all-negative matrix the result has `score == 0` and an empty CIGAR.
+pub fn local_align(query: &[u8], target: &[u8], scoring: &Scoring) -> LocalAlignment {
+    let n = target.len();
+    let filled = fill::<true>(query, target, scoring);
+    let (score, bi, bj) = filled.best;
     if score <= 0 {
         return LocalAlignment {
             score: 0,
@@ -127,7 +215,7 @@ pub fn local_align(query: &[u8], target: &[u8], scoring: &Scoring) -> LocalAlign
             cigar: Cigar::new(),
         };
     }
-    let (cigar, qi, tj) = traceback(&tb, n, bi, bj, query, target, true);
+    let (cigar, qi, tj) = traceback(&filled.tb, n, bi, bj, query, target, true);
     LocalAlignment {
         score,
         query_start: qi,
@@ -144,72 +232,9 @@ pub fn local_align(query: &[u8], target: &[u8], scoring: &Scoring) -> LocalAlign
 /// This is the flank-extension step of seed-and-extend: the query flank is
 /// extended into the reference window, soft-clipping whatever does not pay.
 pub fn extend_align(query: &[u8], target: &[u8], scoring: &Scoring) -> ExtensionAlignment {
-    let m = query.len();
     let n = target.len();
-    let mut h_prev: Vec<i32> = (0..=n)
-        .map(|j| {
-            if j == 0 {
-                0
-            } else {
-                -scoring.gap_cost(j as u32)
-            }
-        })
-        .collect();
-    let mut h_curr = vec![NEG_INF; n + 1];
-    let mut f_col = vec![NEG_INF; n + 1];
-    let mut tb = vec![0u8; (m + 1) * (n + 1)];
-    // Row 0 comes from E-gaps; mark for traceback.
-    for cell in tb.iter_mut().take(n + 1).skip(1) {
-        *cell = H_FROM_E | E_EXT;
-    }
-    if n >= 1 {
-        tb[1] = H_FROM_E;
-    }
-
-    let mut best = (0i32, 0usize, 0usize);
-    for i in 1..=m {
-        let mut e = NEG_INF;
-        h_curr[0] = -scoring.gap_cost(i as u32);
-        tb[i * (n + 1)] = H_FROM_F | if i > 1 { F_EXT } else { 0 };
-        for j in 1..=n {
-            let e_open = h_curr[j - 1] - scoring.gap_cost(1);
-            let e_ext = e - scoring.gap_extend;
-            let e_flag;
-            (e, e_flag) = if e_ext > e_open {
-                (e_ext, E_EXT)
-            } else {
-                (e_open, 0)
-            };
-            let f_open = h_prev[j] - scoring.gap_cost(1);
-            let f_ext = f_col[j] - scoring.gap_extend;
-            let f_flag;
-            (f_col[j], f_flag) = if f_ext > f_open {
-                (f_ext, F_EXT)
-            } else {
-                (f_open, 0)
-            };
-            let diag = h_prev[j - 1] + scoring.score(query[i - 1], target[j - 1]);
-
-            let mut h = diag;
-            let mut src = H_DIAG;
-            if e > h {
-                h = e;
-                src = H_FROM_E;
-            }
-            if f_col[j] > h {
-                h = f_col[j];
-                src = H_FROM_F;
-            }
-            h_curr[j] = h;
-            tb[i * (n + 1) + j] = src | e_flag | f_flag;
-            if h > best.0 {
-                best = (h, i, j);
-            }
-        }
-        std::mem::swap(&mut h_prev, &mut h_curr);
-    }
-
-    let (score, bi, bj) = best;
+    let filled = fill::<false>(query, target, scoring);
+    let (score, bi, bj) = filled.best;
     if bi == 0 && bj == 0 {
         return ExtensionAlignment {
             score: 0,
@@ -218,7 +243,7 @@ pub fn extend_align(query: &[u8], target: &[u8], scoring: &Scoring) -> Extension
             cigar: Cigar::new(),
         };
     }
-    let (cigar, qi, tj) = traceback(&tb, n, bi, bj, query, target, false);
+    let (cigar, qi, tj) = traceback(&filled.tb, n, bi, bj, query, target, false);
     debug_assert_eq!((qi, tj), (0, 0), "extension traceback must reach anchor");
     ExtensionAlignment {
         score,
@@ -251,60 +276,9 @@ pub fn global_align(query: &[u8], target: &[u8], scoring: &Scoring) -> Extension
             cigar,
         };
     }
-    let mut h_prev: Vec<i32> = (0..=n)
-        .map(|j| {
-            if j == 0 {
-                0
-            } else {
-                -scoring.gap_cost(j as u32)
-            }
-        })
-        .collect();
-    let mut h_curr = vec![NEG_INF; n + 1];
-    let mut f_col = vec![NEG_INF; n + 1];
-    let mut tb = vec![0u8; (m + 1) * (n + 1)];
-    for (j, cell) in tb.iter_mut().enumerate().take(n + 1).skip(1) {
-        *cell = H_FROM_E | if j > 1 { E_EXT } else { 0 };
-    }
-    for i in 1..=m {
-        let mut e = NEG_INF;
-        h_curr[0] = -scoring.gap_cost(i as u32);
-        tb[i * (n + 1)] = H_FROM_F | if i > 1 { F_EXT } else { 0 };
-        for j in 1..=n {
-            let e_open = h_curr[j - 1] - scoring.gap_cost(1);
-            let e_ext = e - scoring.gap_extend;
-            let e_flag;
-            (e, e_flag) = if e_ext > e_open {
-                (e_ext, E_EXT)
-            } else {
-                (e_open, 0)
-            };
-            let f_open = h_prev[j] - scoring.gap_cost(1);
-            let f_ext = f_col[j] - scoring.gap_extend;
-            let f_flag;
-            (f_col[j], f_flag) = if f_ext > f_open {
-                (f_ext, F_EXT)
-            } else {
-                (f_open, 0)
-            };
-            let diag = h_prev[j - 1] + scoring.score(query[i - 1], target[j - 1]);
-            let mut h = diag;
-            let mut src = H_DIAG;
-            if e > h {
-                h = e;
-                src = H_FROM_E;
-            }
-            if f_col[j] > h {
-                h = f_col[j];
-                src = H_FROM_F;
-            }
-            h_curr[j] = h;
-            tb[i * (n + 1) + j] = src | e_flag | f_flag;
-        }
-        std::mem::swap(&mut h_prev, &mut h_curr);
-    }
-    let score = h_prev[n];
-    let (cigar, qi, tj) = traceback(&tb, n, m, n, query, target, false);
+    let filled = fill::<false>(query, target, scoring);
+    let score = filled.last;
+    let (cigar, qi, tj) = traceback(&filled.tb, n, m, n, query, target, false);
     debug_assert_eq!((qi, tj), (0, 0), "global traceback must reach origin");
     ExtensionAlignment {
         score,
@@ -376,6 +350,262 @@ pub(crate) fn traceback(
     }
     cigar.reverse();
     (cigar, i, j)
+}
+
+/// Reference implementations: the original two-row fills with a per-cell
+/// scoring call. Not used by the pipeline — kept as the differential-
+/// testing oracle for the optimized [`fill`] (unit tests here and the
+/// property tests in `tests/proptests.rs` compare against them).
+pub mod naive {
+    use super::*;
+
+    /// Reference [`local_align`](super::local_align).
+    pub fn local_align(query: &[u8], target: &[u8], scoring: &Scoring) -> LocalAlignment {
+        let m = query.len();
+        let n = target.len();
+        let mut h_prev = vec![0i32; n + 1];
+        let mut h_curr = vec![0i32; n + 1];
+        // F is column-local (gap consuming query): persists across rows.
+        let mut f_col = vec![NEG_INF; n + 1];
+        let mut tb = vec![0u8; (m + 1) * (n + 1)];
+
+        let mut best = (0i32, 0usize, 0usize);
+        for i in 1..=m {
+            // E is row-local (gap consuming target): resets each row.
+            let mut e = NEG_INF;
+            h_curr[0] = 0;
+            for j in 1..=n {
+                let e_open = h_curr[j - 1] - scoring.gap_cost(1);
+                let e_ext = e - scoring.gap_extend;
+                let e_flag;
+                (e, e_flag) = if e_ext > e_open {
+                    (e_ext, E_EXT)
+                } else {
+                    (e_open, 0)
+                };
+                let f_open = h_prev[j] - scoring.gap_cost(1);
+                let f_ext = f_col[j] - scoring.gap_extend;
+                let f_flag;
+                (f_col[j], f_flag) = if f_ext > f_open {
+                    (f_ext, F_EXT)
+                } else {
+                    (f_open, 0)
+                };
+                let diag = h_prev[j - 1] + scoring.score(query[i - 1], target[j - 1]);
+
+                let mut h = 0i32;
+                let mut src = H_STOP;
+                if diag > h {
+                    h = diag;
+                    src = H_DIAG;
+                }
+                if e > h {
+                    h = e;
+                    src = H_FROM_E;
+                }
+                if f_col[j] > h {
+                    h = f_col[j];
+                    src = H_FROM_F;
+                }
+                h_curr[j] = h;
+                tb[i * (n + 1) + j] = src | e_flag | f_flag;
+                if h > best.0 {
+                    best = (h, i, j);
+                }
+            }
+            std::mem::swap(&mut h_prev, &mut h_curr);
+        }
+
+        let (score, bi, bj) = best;
+        if score <= 0 {
+            return LocalAlignment {
+                score: 0,
+                query_start: 0,
+                query_end: 0,
+                target_start: 0,
+                target_end: 0,
+                cigar: Cigar::new(),
+            };
+        }
+        let (cigar, qi, tj) = traceback(&tb, n, bi, bj, query, target, true);
+        LocalAlignment {
+            score,
+            query_start: qi,
+            query_end: bi,
+            target_start: tj,
+            target_end: bj,
+            cigar,
+        }
+    }
+
+    /// Reference [`extend_align`](super::extend_align).
+    pub fn extend_align(query: &[u8], target: &[u8], scoring: &Scoring) -> ExtensionAlignment {
+        let m = query.len();
+        let n = target.len();
+        let mut h_prev: Vec<i32> = (0..=n)
+            .map(|j| {
+                if j == 0 {
+                    0
+                } else {
+                    -scoring.gap_cost(j as u32)
+                }
+            })
+            .collect();
+        let mut h_curr = vec![NEG_INF; n + 1];
+        let mut f_col = vec![NEG_INF; n + 1];
+        let mut tb = vec![0u8; (m + 1) * (n + 1)];
+        // Row 0 comes from E-gaps; mark for traceback.
+        for cell in tb.iter_mut().take(n + 1).skip(1) {
+            *cell = H_FROM_E | E_EXT;
+        }
+        if n >= 1 {
+            tb[1] = H_FROM_E;
+        }
+
+        let mut best = (0i32, 0usize, 0usize);
+        for i in 1..=m {
+            let mut e = NEG_INF;
+            h_curr[0] = -scoring.gap_cost(i as u32);
+            tb[i * (n + 1)] = H_FROM_F | if i > 1 { F_EXT } else { 0 };
+            for j in 1..=n {
+                let e_open = h_curr[j - 1] - scoring.gap_cost(1);
+                let e_ext = e - scoring.gap_extend;
+                let e_flag;
+                (e, e_flag) = if e_ext > e_open {
+                    (e_ext, E_EXT)
+                } else {
+                    (e_open, 0)
+                };
+                let f_open = h_prev[j] - scoring.gap_cost(1);
+                let f_ext = f_col[j] - scoring.gap_extend;
+                let f_flag;
+                (f_col[j], f_flag) = if f_ext > f_open {
+                    (f_ext, F_EXT)
+                } else {
+                    (f_open, 0)
+                };
+                let diag = h_prev[j - 1] + scoring.score(query[i - 1], target[j - 1]);
+
+                let mut h = diag;
+                let mut src = H_DIAG;
+                if e > h {
+                    h = e;
+                    src = H_FROM_E;
+                }
+                if f_col[j] > h {
+                    h = f_col[j];
+                    src = H_FROM_F;
+                }
+                h_curr[j] = h;
+                tb[i * (n + 1) + j] = src | e_flag | f_flag;
+                if h > best.0 {
+                    best = (h, i, j);
+                }
+            }
+            std::mem::swap(&mut h_prev, &mut h_curr);
+        }
+
+        let (score, bi, bj) = best;
+        if bi == 0 && bj == 0 {
+            return ExtensionAlignment {
+                score: 0,
+                query_len: 0,
+                target_len: 0,
+                cigar: Cigar::new(),
+            };
+        }
+        let (cigar, qi, tj) = traceback(&tb, n, bi, bj, query, target, false);
+        debug_assert_eq!((qi, tj), (0, 0), "extension traceback must reach anchor");
+        ExtensionAlignment {
+            score,
+            query_len: bi,
+            target_len: bj,
+            cigar,
+        }
+    }
+
+    /// Reference [`global_align`](super::global_align).
+    pub fn global_align(query: &[u8], target: &[u8], scoring: &Scoring) -> ExtensionAlignment {
+        let m = query.len();
+        let n = target.len();
+        if m == 0 || n == 0 {
+            // Pure gap (or empty) alignment.
+            let mut cigar = Cigar::new();
+            if m > 0 {
+                cigar.push(CigarOp::Ins, m as u32);
+            }
+            if n > 0 {
+                cigar.push(CigarOp::Del, n as u32);
+            }
+            return ExtensionAlignment {
+                score: cigar.score(scoring),
+                query_len: m,
+                target_len: n,
+                cigar,
+            };
+        }
+        let mut h_prev: Vec<i32> = (0..=n)
+            .map(|j| {
+                if j == 0 {
+                    0
+                } else {
+                    -scoring.gap_cost(j as u32)
+                }
+            })
+            .collect();
+        let mut h_curr = vec![NEG_INF; n + 1];
+        let mut f_col = vec![NEG_INF; n + 1];
+        let mut tb = vec![0u8; (m + 1) * (n + 1)];
+        for (j, cell) in tb.iter_mut().enumerate().take(n + 1).skip(1) {
+            *cell = H_FROM_E | if j > 1 { E_EXT } else { 0 };
+        }
+        for i in 1..=m {
+            let mut e = NEG_INF;
+            h_curr[0] = -scoring.gap_cost(i as u32);
+            tb[i * (n + 1)] = H_FROM_F | if i > 1 { F_EXT } else { 0 };
+            for j in 1..=n {
+                let e_open = h_curr[j - 1] - scoring.gap_cost(1);
+                let e_ext = e - scoring.gap_extend;
+                let e_flag;
+                (e, e_flag) = if e_ext > e_open {
+                    (e_ext, E_EXT)
+                } else {
+                    (e_open, 0)
+                };
+                let f_open = h_prev[j] - scoring.gap_cost(1);
+                let f_ext = f_col[j] - scoring.gap_extend;
+                let f_flag;
+                (f_col[j], f_flag) = if f_ext > f_open {
+                    (f_ext, F_EXT)
+                } else {
+                    (f_open, 0)
+                };
+                let diag = h_prev[j - 1] + scoring.score(query[i - 1], target[j - 1]);
+                let mut h = diag;
+                let mut src = H_DIAG;
+                if e > h {
+                    h = e;
+                    src = H_FROM_E;
+                }
+                if f_col[j] > h {
+                    h = f_col[j];
+                    src = H_FROM_F;
+                }
+                h_curr[j] = h;
+                tb[i * (n + 1) + j] = src | e_flag | f_flag;
+            }
+            std::mem::swap(&mut h_prev, &mut h_curr);
+        }
+        let score = h_prev[n];
+        let (cigar, qi, tj) = traceback(&tb, n, m, n, query, target, false);
+        debug_assert_eq!((qi, tj), (0, 0), "global traceback must reach origin");
+        ExtensionAlignment {
+            score,
+            query_len: m,
+            target_len: n,
+            cigar,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -591,5 +821,45 @@ mod tests {
             }
         }
         h[m][n]
+    }
+
+    #[test]
+    fn optimized_kernel_matches_naive_oracle() {
+        // Differential check on deterministic pseudo-random inputs across
+        // all three entry points, including high-code (non-ACGT) bases.
+        let mut state = 0x5eed_u64;
+        let mut rand = move |m: usize| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize % m
+        };
+        for round in 0..60 {
+            let scoring = if round % 2 == 0 {
+                Scoring::bwa_mem()
+            } else {
+                Scoring::new(2, 3, 4, 1)
+            };
+            let alphabet = if round % 5 == 0 { 6 } else { 4 };
+            let qlen = rand(40);
+            let tlen = rand(45);
+            let q: Vec<u8> = (0..qlen).map(|_| rand(alphabet) as u8).collect();
+            let t: Vec<u8> = (0..tlen).map(|_| rand(alphabet) as u8).collect();
+            assert_eq!(
+                local_align(&q, &t, &scoring),
+                naive::local_align(&q, &t, &scoring),
+                "local q={q:?} t={t:?}"
+            );
+            assert_eq!(
+                extend_align(&q, &t, &scoring),
+                naive::extend_align(&q, &t, &scoring),
+                "extend q={q:?} t={t:?}"
+            );
+            assert_eq!(
+                global_align(&q, &t, &scoring),
+                naive::global_align(&q, &t, &scoring),
+                "global q={q:?} t={t:?}"
+            );
+        }
     }
 }

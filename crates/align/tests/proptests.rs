@@ -7,7 +7,7 @@ use nvwa_align::cigar::CigarOp;
 use nvwa_align::gact::{gact_extend, GactConfig};
 use nvwa_align::myers::{best_match, edit_distance, edit_distance_naive};
 use nvwa_align::scoring::Scoring;
-use nvwa_align::sw::{extend_align, local_align};
+use nvwa_align::sw::{extend_align, global_align, local_align, naive};
 
 fn codes(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
     proptest::collection::vec(0u8..4, 1..=max_len)
@@ -86,6 +86,40 @@ proptest! {
         let mut longer = t.clone();
         longer.extend_from_slice(&extra);
         prop_assert!(local_align(&q, &longer, &scoring).score >= base);
+    }
+
+    /// The optimized rolling-row kernel is bit-identical to the retained
+    /// reference implementation across all three entry points — scores,
+    /// spans and tracebacks, not just scores.
+    #[test]
+    fn optimized_kernel_equals_naive(q in codes(40), t in codes(40)) {
+        let scoring = Scoring::bwa_mem();
+        prop_assert_eq!(
+            local_align(&q, &t, &scoring),
+            naive::local_align(&q, &t, &scoring)
+        );
+        prop_assert_eq!(
+            extend_align(&q, &t, &scoring),
+            naive::extend_align(&q, &t, &scoring)
+        );
+        prop_assert_eq!(
+            global_align(&q, &t, &scoring),
+            naive::global_align(&q, &t, &scoring)
+        );
+    }
+
+    /// Same equivalence under a non-default scoring scheme.
+    #[test]
+    fn optimized_kernel_equals_naive_alt_scoring(q in codes(30), t in codes(30)) {
+        let scoring = Scoring::new(2, 3, 4, 1);
+        prop_assert_eq!(
+            local_align(&q, &t, &scoring),
+            naive::local_align(&q, &t, &scoring)
+        );
+        prop_assert_eq!(
+            extend_align(&q, &t, &scoring),
+            naive::extend_align(&q, &t, &scoring)
+        );
     }
 
     /// The traceback's op usage matches the sequences: Match ops only on

@@ -1,0 +1,187 @@
+//! perf — standardized perf-regression scenarios for the evaluation
+//! harness, written as JSON (scenario → median wall-ms, threads).
+//!
+//! ```text
+//! cargo run --release -p nvwa-bench --bin perf                 # writes BENCH_PR1.json
+//! cargo run --release -p nvwa-bench --bin perf -- --out x.json
+//! ```
+//!
+//! Scenarios:
+//!
+//! * `workload_build_10k` — execution-driven workload construction over
+//!   10 000 simulated reads (the Fig. 11/14 front end), at 1 and 8
+//!   threads.
+//! * `fig11_chain` — the Fig. 11 ablation chain (4 accelerator variants)
+//!   at `Scale::Quick`, at 1 and 8 threads.
+//! * `sw_kernel` / `sw_kernel_naive` — the optimized and reference
+//!   Smith-Waterman fills on fixed pseudo-random inputs, single-threaded.
+//!
+//! Medians of `--samples` runs (default 3). The file also records the
+//! host's available parallelism: on a single-CPU host the parallel
+//! scenarios legitimately measure ≈1×.
+
+use std::time::Instant;
+
+use nvwa_align::pipeline::{AlignerConfig, ReferenceIndex, SoftwareAligner};
+use nvwa_align::scoring::Scoring;
+use nvwa_align::sw;
+use nvwa_core::experiments::{fig11, Scale};
+use nvwa_core::units::workload::build_workload;
+use nvwa_genome::reads::{ReadSimParams, ReadSimulator};
+use nvwa_genome::reference::{ReferenceGenome, ReferenceParams};
+use nvwa_sim::par;
+
+fn median_ms(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn time_ms(f: impl Fn()) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+struct Record {
+    name: &'static str,
+    threads: usize,
+    median_wall_ms: f64,
+}
+
+fn run_scenario(name: &'static str, threads: usize, samples: usize, f: impl Fn()) -> Record {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| par::with_threads(threads, || time_ms(&f)))
+        .collect();
+    let median_wall_ms = median_ms(&mut times);
+    eprintln!("{name:22} threads={threads}  median {median_wall_ms:9.1} ms");
+    Record {
+        name,
+        threads,
+        median_wall_ms,
+    }
+}
+
+/// Deterministic pseudo-random 2-bit codes (no RNG dependency here).
+fn prng_codes(len: usize, mut state: u64) -> Vec<u8> {
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) & 3) as u8
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR1.json".to_string());
+    let samples: usize = args
+        .iter()
+        .position(|a| a == "--samples")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!("perf: {samples} samples per scenario, host parallelism {host_cpus}");
+
+    let mut records: Vec<Record> = Vec::new();
+
+    // --- workload_build_10k -------------------------------------------
+    let genome = ReferenceGenome::synthesize(
+        &ReferenceParams {
+            total_len: 200_000,
+            chromosomes: 4,
+            ..ReferenceParams::default()
+        },
+        0xbe7c,
+    );
+    let index = ReferenceIndex::build(&genome, 32);
+    let aligner = SoftwareAligner::new(&index, AlignerConfig::default());
+    let mut sim = ReadSimulator::new(&genome, ReadSimParams::illumina_101(), 0x10c);
+    let reads = sim.simulate_reads(10_000);
+    for threads in [1usize, 8] {
+        records.push(run_scenario("workload_build_10k", threads, samples, || {
+            std::hint::black_box(build_workload(&aligner, &reads));
+        }));
+    }
+
+    // --- fig11_chain ---------------------------------------------------
+    for threads in [1usize, 8] {
+        records.push(run_scenario("fig11_chain", threads, samples, || {
+            std::hint::black_box(fig11::run(Scale::Quick));
+        }));
+    }
+
+    // --- sw_kernel -----------------------------------------------------
+    let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..24)
+        .map(|k| (prng_codes(192, 11 + k), prng_codes(240, 77 + k)))
+        .collect();
+    let scoring = Scoring::bwa_mem();
+    records.push(run_scenario("sw_kernel", 1, samples, || {
+        for (q, t) in &pairs {
+            std::hint::black_box(sw::local_align(q, t, &scoring));
+            std::hint::black_box(sw::extend_align(q, t, &scoring));
+            std::hint::black_box(sw::global_align(q, t, &scoring));
+        }
+    }));
+    records.push(run_scenario("sw_kernel_naive", 1, samples, || {
+        for (q, t) in &pairs {
+            std::hint::black_box(sw::naive::local_align(q, t, &scoring));
+            std::hint::black_box(sw::naive::extend_align(q, t, &scoring));
+            std::hint::black_box(sw::naive::global_align(q, t, &scoring));
+        }
+    }));
+
+    let lookup = |name: &str, threads: usize| {
+        records
+            .iter()
+            .find(|r| r.name == name && r.threads == threads)
+            .map(|r| r.median_wall_ms)
+            .unwrap_or(f64::NAN)
+    };
+    let speedup_build = lookup("workload_build_10k", 1) / lookup("workload_build_10k", 8);
+    let speedup_fig11 = lookup("fig11_chain", 1) / lookup("fig11_chain", 8);
+    let speedup_sw = lookup("sw_kernel_naive", 1) / lookup("sw_kernel", 1);
+    eprintln!(
+        "speedups: workload_build_10k {speedup_build:.2}x (8t), fig11_chain {speedup_fig11:.2}x (8t), sw_kernel {speedup_sw:.2}x (1t vs naive)"
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"host_parallelism\": {host_cpus},\n"));
+    json.push_str(&format!("  \"samples_per_scenario\": {samples},\n"));
+    json.push_str("  \"scenarios\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"threads\": {}, \"median_wall_ms\": {:.3}}}{}\n",
+            r.name,
+            r.threads,
+            r.median_wall_ms,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"speedups\": {\n");
+    json.push_str(&format!(
+        "    \"workload_build_10k_8t_vs_1t\": {speedup_build:.3},\n"
+    ));
+    json.push_str(&format!(
+        "    \"fig11_chain_8t_vs_1t\": {speedup_fig11:.3},\n"
+    ));
+    json.push_str(&format!(
+        "    \"sw_kernel_opt_vs_naive_1t\": {speedup_sw:.3}\n"
+    ));
+    json.push_str("  }\n}\n");
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("perf: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+}

@@ -5,8 +5,13 @@
 //! cargo run --release -p nvwa-bench --bin repro -- --full  # all, full scale
 //! cargo run --release -p nvwa-bench --bin repro -- fig11   # one experiment
 //! ```
+//!
+//! `--threads N` pins the evaluation harness's thread pool (workload
+//! construction and sweep fan-out — every figure is identical at any
+//! thread count); the default is `NVWA_THREADS` or the hardware
+//! parallelism.
 
-use nvwa_bench::{scale_from_args, EXPERIMENTS};
+use nvwa_bench::{scale_from_args, threads_from_args, EXPERIMENTS};
 use nvwa_core::experiments::{fig11, fig12, fig13, fig14, fig2, fig5, fig7, fig9, tables, Scale};
 
 fn run_one(name: &str, scale: Scale) {
@@ -31,10 +36,19 @@ fn run_one(name: &str, scale: Scale) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = scale_from_args(&args);
+    if let Some(n) = threads_from_args(&args) {
+        nvwa_sim::par::set_default_threads(n);
+    }
+    let threads_pos = args.iter().position(|a| a == "--threads");
     let requested: Vec<&str> = args
         .iter()
-        .filter(|a| *a != "--full")
-        .map(String::as_str)
+        .enumerate()
+        .filter(|(i, a)| {
+            a.as_str() != "--full"
+                && threads_pos != Some(*i)
+                && threads_pos.map(|p| p + 1) != Some(*i)
+        })
+        .map(|(_, a)| a.as_str())
         .collect();
     let to_run: Vec<&str> = if requested.is_empty() {
         EXPERIMENTS.to_vec()

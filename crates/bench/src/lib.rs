@@ -22,6 +22,15 @@ pub fn scale_from_args(args: &[String]) -> Scale {
     }
 }
 
+/// Parses `--threads N` from a CLI argument list; `None` leaves the
+/// default resolution (`NVWA_THREADS`, then hardware parallelism).
+pub fn threads_from_args(args: &[String]) -> Option<usize> {
+    args.iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
 /// The experiment names the `repro` binary understands.
 pub const EXPERIMENTS: &[&str] = &[
     "fig2", "fig5", "fig7", "fig9", "fig11", "fig12", "fig13", "fig14", "table1", "table2",

@@ -45,21 +45,22 @@ impl Fig11 {
     }
 
     /// Measured speedup of full NvWa over the unscheduled SUs+EUs design
-    /// (the paper's 13.6× composite).
-    pub fn nvwa_over_sus_eus(&self) -> f64 {
-        self.bar("NvWa").unwrap_or(0.0) / self.bar("SUs+EUs").unwrap_or(f64::INFINITY)
+    /// (the paper's 13.6× composite). `None` when either bar is missing —
+    /// a missing bar must surface as such, not fake a 0× speedup.
+    pub fn nvwa_over_sus_eus(&self) -> Option<f64> {
+        Some(self.bar("NvWa")? / self.bar("SUs+EUs")?)
     }
 
     /// Measured incremental factors (OCRA, HUS, HA), mirroring the paper's
     /// "3.32×, 1.73×, and 2.38×" decomposition (our chain applies OCRA
     /// first: with Read-in-Batch in place, the seeding stalls mask any
-    /// extension-side improvement).
-    pub fn ablation_factors(&self) -> (f64, f64, f64) {
-        let base = self.bar("SUs+EUs").unwrap_or(f64::NAN);
-        let ocra = self.bar("+OCRA").unwrap_or(f64::NAN);
-        let hus = self.bar("+OCRA+HUS").unwrap_or(f64::NAN);
-        let nvwa = self.bar("NvWa").unwrap_or(f64::NAN);
-        (ocra / base, hus / ocra, nvwa / hus)
+    /// extension-side improvement). `None` when any bar is missing.
+    pub fn ablation_factors(&self) -> Option<(f64, f64, f64)> {
+        let base = self.bar("SUs+EUs")?;
+        let ocra = self.bar("+OCRA")?;
+        let hus = self.bar("+OCRA+HUS")?;
+        let nvwa = self.bar("NvWa")?;
+        Some((ocra / base, hus / ocra, nvwa / hus))
     }
 }
 
@@ -75,17 +76,22 @@ impl fmt::Display for Fig11 {
                 if b.measured { "measured" } else { "reported" }
             )?;
         }
-        let (ocra, hus, ha) = self.ablation_factors();
-        writeln!(
-            f,
-            "  measured factors: OCRA {:.2}x, HUS {:.2}x, HA {:.2}x (paper: 1.73/3.32/2.38)",
-            ocra, hus, ha
-        )?;
-        writeln!(
-            f,
-            "  measured NvWa / SUs+EUs: {:.2}x (paper composite: 13.6x)",
-            self.nvwa_over_sus_eus()
-        )
+        match self.ablation_factors() {
+            Some((ocra, hus, ha)) => writeln!(
+                f,
+                "  measured factors: OCRA {:.2}x, HUS {:.2}x, HA {:.2}x (paper: 1.73/3.32/2.38)",
+                ocra, hus, ha
+            )?,
+            None => writeln!(f, "  measured factors: unavailable (missing bars)")?,
+        }
+        match self.nvwa_over_sus_eus() {
+            Some(x) => writeln!(
+                f,
+                "  measured NvWa / SUs+EUs: {:.2}x (paper composite: 13.6x)",
+                x
+            ),
+            None => writeln!(f, "  measured NvWa / SUs+EUs: unavailable (missing bars)"),
+        }
     }
 }
 
@@ -143,20 +149,23 @@ pub fn run_on_workload(works: &[ReadWork]) -> Fig11 {
         });
     }
 
-    // Measured accelerator variants.
-    let mut reports = Vec::new();
-    for (name, sched) in ablation_variants() {
+    // Measured accelerator variants: each simulation is an independent
+    // single-threaded run, so the ablation fans out across threads while
+    // the reports stay in presentation order.
+    let variants = ablation_variants();
+    let reports: Vec<(String, SimReport)> = nvwa_sim::par::par_map(&variants, |(name, sched)| {
         let config = NvwaConfig {
-            scheduling: sched,
+            scheduling: *sched,
             ..NvwaConfig::paper()
         };
-        let report = simulate(&config, works);
+        (name.to_string(), simulate(&config, works))
+    });
+    for (name, report) in &reports {
         bars.push(Bar {
-            name: name.into(),
+            name: name.clone(),
             kreads_per_sec: report.kreads_per_sec(),
             measured: true,
         });
-        reports.push((name.to_string(), report));
     }
     Fig11 { bars, reports }
 }

@@ -128,23 +128,21 @@ pub fn run(scale: Scale) -> Fig13 {
         vec![64, 256, 1024, 4096],
         vec![64, 128, 256, 512, 1024, 2048, 4096, 8192],
     );
-    let depths = depth_values
-        .into_iter()
-        .map(|depth| {
-            let config = NvwaConfig {
-                hits_buffer_depth: depth,
-                ..NvwaConfig::paper()
-            };
-            let r = simulate(&config, &works);
-            DepthPoint {
-                depth,
-                kreads_per_sec: r.kreads_per_sec(),
-                su_utilization: r.su_utilization,
-                eu_utilization: r.eu_utilization,
-                stalls: r.su_stall_events,
-            }
-        })
-        .collect();
+    // Each sweep point is an independent simulation: fan them out.
+    let depths = nvwa_sim::par::par_map(&depth_values, |&depth| {
+        let config = NvwaConfig {
+            hits_buffer_depth: depth,
+            ..NvwaConfig::paper()
+        };
+        let r = simulate(&config, &works);
+        DepthPoint {
+            depth,
+            kreads_per_sec: r.kreads_per_sec(),
+            su_utilization: r.su_utilization,
+            eu_utilization: r.eu_utilization,
+            stalls: r.su_stall_events,
+        }
+    });
 
     // Interval sweep: re-bucket the workload's hit distribution into the
     // n-interval histogram and solve Formula 5 for each split.
@@ -153,35 +151,30 @@ pub fn run(scale: Scale) -> Fig13 {
         .flat_map(|w| w.hits.iter().map(|h| h.hit_len() as usize))
         .collect();
     let interval_counts: Vec<usize> = scale.pick(vec![1, 4, 16], vec![1, 2, 4, 8, 16]);
-    let intervals = interval_counts
-        .into_iter()
-        .map(|n| {
-            let pes = interval_pes(n);
-            let bounds: Vec<usize> = pes.iter().map(|&p| p as usize).collect();
-            let masses = hist.interval_masses(&bounds);
-            let classes = solve_classes(&masses, &pes, 2880);
-            // Degenerate splits can leave zero-count classes; drop them for
-            // simulation but keep them for the power model's class count.
-            let sim_classes: Vec<EuClass> =
-                classes.iter().copied().filter(|c| c.count > 0).collect();
-            let config = NvwaConfig {
-                eu_classes: sim_classes,
-                ..NvwaConfig::paper()
-            };
-            let r = simulate(&config, &works);
-            let power_config = NvwaConfig {
-                eu_classes: classes.clone(),
-                ..NvwaConfig::paper()
-            };
-            IntervalPoint {
-                intervals: n,
-                classes,
-                kreads_per_sec: r.kreads_per_sec(),
-                coordinator_power_w: PowerBreakdown::for_config(&power_config)
-                    .coordinator_power_w(),
-            }
-        })
-        .collect();
+    let intervals = nvwa_sim::par::par_map(&interval_counts, |&n| {
+        let pes = interval_pes(n);
+        let bounds: Vec<usize> = pes.iter().map(|&p| p as usize).collect();
+        let masses = hist.interval_masses(&bounds);
+        let classes = solve_classes(&masses, &pes, 2880);
+        // Degenerate splits can leave zero-count classes; drop them for
+        // simulation but keep them for the power model's class count.
+        let sim_classes: Vec<EuClass> = classes.iter().copied().filter(|c| c.count > 0).collect();
+        let config = NvwaConfig {
+            eu_classes: sim_classes,
+            ..NvwaConfig::paper()
+        };
+        let r = simulate(&config, &works);
+        let power_config = NvwaConfig {
+            eu_classes: classes.clone(),
+            ..NvwaConfig::paper()
+        };
+        IntervalPoint {
+            intervals: n,
+            classes,
+            kreads_per_sec: r.kreads_per_sec(),
+            coordinator_power_w: PowerBreakdown::for_config(&power_config).coordinator_power_w(),
+        }
+    });
     Fig13 { depths, intervals }
 }
 

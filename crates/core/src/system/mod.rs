@@ -69,12 +69,17 @@ impl NvwaSystem {
     /// [`run`]: NvwaSystem::run
     pub fn run_detailed(&self, reads: &[Read]) -> (SimReport, Vec<Option<Alignment>>) {
         let aligner = SoftwareAligner::new(&self.index, self.aligner_config);
+        // Per-read alignment in parallel, read order preserved; the timing
+        // simulation itself stays single-threaded (cycle-accuracy).
+        let outcomes = nvwa_sim::par::par_map(reads, |read| {
+            let outcome = aligner.align_read(read);
+            (ReadWork::from_outcome(read.id, &outcome), outcome.alignment)
+        });
         let mut works = Vec::with_capacity(reads.len());
         let mut alignments = Vec::with_capacity(reads.len());
-        for read in reads {
-            let outcome = aligner.align_read(read);
-            works.push(ReadWork::from_outcome(read.id, &outcome));
-            alignments.push(outcome.alignment);
+        for (work, alignment) in outcomes {
+            works.push(work);
+            alignments.push(alignment);
         }
         (simulate(&self.config, &works), alignments)
     }

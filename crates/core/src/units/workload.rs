@@ -48,11 +48,14 @@ impl ReadWork {
 
 /// Runs the software aligner over `reads` and collects the per-read
 /// hardware workloads (the faithful, execution-driven path).
+///
+/// Reads are independent (the aligner is shared immutably), so they are
+/// aligned in parallel via [`nvwa_sim::par::par_map`]; results land in
+/// read order, so the workload is identical at any thread count.
 pub fn build_workload(aligner: &SoftwareAligner<'_>, reads: &[Read]) -> Vec<ReadWork> {
-    reads
-        .iter()
-        .map(|r| ReadWork::from_outcome(r.id, &aligner.align_read(r)))
-        .collect()
+    nvwa_sim::par::par_map(reads, |r| {
+        ReadWork::from_outcome(r.id, &aligner.align_read(r))
+    })
 }
 
 /// Interval masses of the hit lengths in a workload, over the given
@@ -167,7 +170,7 @@ impl SyntheticWorkloadParams {
                             // in BWA's w=100 extension windows); this keeps
                             // per-hit occupancy comparable across classes,
                             // the regime Formula 5's provisioning assumes.
-                            ref_len: len + rng.gen_range(150..=210),
+                            ref_len: len + rng.gen_range(150u32..=210),
                         }
                     })
                     .collect();

@@ -12,6 +12,9 @@
 //!   queues with fixed access latency and per-channel service rate, which
 //!   yields the contention-dependent, input-sensitive memory timing behind
 //!   the paper's Challenge-①.
+//! * [`par`] — a deterministic parallel `map` over scoped `std::thread`s,
+//!   used by the evaluation harness (workload construction, sweep
+//!   fan-out) around the single-threaded simulator core.
 //! * [`spm`] — a scratchpad (SPM) model with FIFO residency, used for the
 //!   Read SPM prefetcher.
 //! * [`stats`] — counters, time-weighted utilization tracking and bucketed
@@ -21,6 +24,7 @@
 
 pub mod event;
 pub mod hbm;
+pub mod par;
 pub mod power;
 pub mod spm;
 pub mod stats;

@@ -1,0 +1,9 @@
+#!/usr/bin/env sh
+# Repo gate: formatting, lints, and the tier-1 build+test suite.
+# Run from the repository root: ./scripts/check.sh
+set -eu
+
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo build --release
+cargo test -q

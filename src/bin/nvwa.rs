@@ -3,12 +3,14 @@
 //! ```text
 //! nvwa synth-ref  <out.fa> [--len N] [--chromosomes N] [--seed S]
 //! nvwa synth-reads <ref.fa> <out.fq> [--count N] [--len N] [--seed S]
-//! nvwa align      <ref.fa> <reads.fq> [--sam out.sam] [--simulate]
+//! nvwa align      <ref.fa> <reads.fq> [--sam out.sam] [--simulate] [--threads N]
 //! ```
 //!
 //! `align` runs the software seed-and-extend pipeline (emitting SAM) and,
 //! with `--simulate`, replays the workload through the NvWa accelerator
-//! model and prints the timing report.
+//! model and prints the timing report. Per-read alignment is parallel
+//! (output is identical at any thread count); `--threads N` pins the pool
+//! size, otherwise `NVWA_THREADS` or the hardware parallelism decides.
 
 use std::fs;
 use std::process::ExitCode;
@@ -38,12 +40,15 @@ fn usage() -> ExitCode {
     eprintln!("usage:");
     eprintln!("  nvwa synth-ref   <out.fa> [--len N] [--chromosomes N] [--seed S]");
     eprintln!("  nvwa synth-reads <ref.fa> <out.fq> [--count N] [--len N] [--seed S]");
-    eprintln!("  nvwa align       <ref.fa> <reads.fq> [--sam out.sam] [--simulate]");
+    eprintln!("  nvwa align       <ref.fa> <reads.fq> [--sam out.sam] [--simulate] [--threads N]");
     ExitCode::FAILURE
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(n) = flag_value(&args, "--threads").and_then(|v| v.parse::<usize>().ok()) {
+        nvwa::sim::par::set_default_threads(n);
+    }
     match args.first().map(String::as_str) {
         Some("synth-ref") => synth_ref(&args[1..]),
         Some("synth-reads") => synth_reads(&args[1..]),
@@ -144,17 +149,19 @@ fn align(args: &[String]) -> ExitCode {
     let index = ReferenceIndex::build(&genome, 32);
     let aligner = SoftwareAligner::new(&index, AlignerConfig::default());
 
+    // Align in parallel (read order preserved), then assemble SAM and the
+    // hardware workload sequentially from the ordered outcomes.
+    let outcomes = nvwa::sim::par::par_map(&reads, |read| aligner.align_read(read));
     let mut sam_text = sam::header(&genome);
     let mut works = Vec::with_capacity(reads.len());
     let mut mapped = 0usize;
-    for read in &reads {
-        let outcome = aligner.align_read(read);
+    for (read, outcome) in reads.iter().zip(&outcomes) {
         if outcome.alignment.is_some() {
             mapped += 1;
         }
         sam_text.push_str(&sam::record(&genome, read, outcome.alignment.as_ref()));
         sam_text.push('\n');
-        works.push(ReadWork::from_outcome(read.id, &outcome));
+        works.push(ReadWork::from_outcome(read.id, outcome));
     }
     println!("mapped {mapped}/{} reads", reads.len());
 

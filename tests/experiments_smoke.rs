@@ -44,8 +44,9 @@ fn fig11_ordering_holds() {
     let nvwa = fig.bar("NvWa").unwrap();
     assert!(base > cpu);
     assert!(nvwa > base);
-    let (ocra, hus, ha) = fig.ablation_factors();
+    let (ocra, hus, ha) = fig.ablation_factors().expect("all ablation bars present");
     assert!(ocra > 1.0 && hus > 1.0 && ha > 1.0, "{ocra} {hus} {ha}");
+    assert!(fig.nvwa_over_sus_eus().expect("bars present") > 1.0);
 }
 
 #[test]

@@ -1,0 +1,64 @@
+//! Bit-determinism of the parallel evaluation harness.
+//!
+//! The contract of `nvwa-sim::par` is that thread count is unobservable
+//! in any output: workload vectors and every figure report must be
+//! identical at 1, 2 and 8 threads. These tests run each driver under
+//! all three counts and require full structural equality.
+
+use nvwa::align::pipeline::{AlignerConfig, ReferenceIndex, SoftwareAligner};
+use nvwa::core::experiments::{fig11, fig13, fig14, fig2, Scale};
+use nvwa::core::units::workload::build_workload;
+use nvwa::genome::{ReadSimParams, ReadSimulator, ReferenceGenome, ReferenceParams};
+use nvwa::sim::par::with_threads;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Runs `f` at every thread count and asserts all results equal the
+/// single-threaded one.
+fn assert_thread_invariant<R: PartialEq + std::fmt::Debug>(what: &str, f: impl Fn() -> R) {
+    let reference = with_threads(1, &f);
+    for threads in &THREAD_COUNTS[1..] {
+        let got = with_threads(*threads, &f);
+        assert!(
+            got == reference,
+            "{what} differs between 1 and {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn build_workload_is_thread_count_invariant() {
+    let genome = ReferenceGenome::synthesize(
+        &ReferenceParams {
+            total_len: 80_000,
+            chromosomes: 2,
+            ..ReferenceParams::default()
+        },
+        0xdead,
+    );
+    let index = ReferenceIndex::build(&genome, 32);
+    let aligner = SoftwareAligner::new(&index, AlignerConfig::default());
+    let mut sim = ReadSimulator::new(&genome, ReadSimParams::illumina_101(), 0xbeef);
+    let reads = sim.simulate_reads(300);
+    assert_thread_invariant("build_workload", || build_workload(&aligner, &reads));
+}
+
+#[test]
+fn fig2_is_thread_count_invariant() {
+    assert_thread_invariant("fig2", || fig2::run(Scale::Quick));
+}
+
+#[test]
+fn fig11_is_thread_count_invariant() {
+    assert_thread_invariant("fig11", || fig11::run(Scale::Quick));
+}
+
+#[test]
+fn fig13_is_thread_count_invariant() {
+    assert_thread_invariant("fig13", || fig13::run(Scale::Quick));
+}
+
+#[test]
+fn fig14_is_thread_count_invariant() {
+    assert_thread_invariant("fig14", || fig14::run(Scale::Quick));
+}
