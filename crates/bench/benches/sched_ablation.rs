@@ -76,7 +76,7 @@ fn bench(c: &mut Criterion) {
             let r = simulate(&config, &works);
             line.push_str(&format!(
                 "  {name} {:.0} Kreads/s (SU util {:.0}%)",
-                r.kreads_per_sec(),
+                r.kreads_per_sec().unwrap_or(0.0),
                 r.su_utilization * 100.0
             ));
         }

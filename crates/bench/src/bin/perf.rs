@@ -4,7 +4,13 @@
 //! ```text
 //! cargo run --release -p nvwa-bench --bin perf                 # writes BENCH_PR1.json
 //! cargo run --release -p nvwa-bench --bin perf -- --out x.json
+//! cargo run --release -p nvwa-bench --bin perf -- --metrics-out m.json
 //! ```
+//!
+//! `--metrics-out` additionally writes a metrics snapshot carrying one
+//! `perf.<scenario>.t<threads>.median_wall_ms` gauge per scenario plus the
+//! speedup gauges — the same numbers as the bench report, in the uniform
+//! snapshot schema.
 //!
 //! Scenarios:
 //!
@@ -30,6 +36,7 @@ use nvwa_core::units::workload::build_workload;
 use nvwa_genome::reads::{ReadSimParams, ReadSimulator};
 use nvwa_genome::reference::{ReferenceGenome, ReferenceParams};
 use nvwa_sim::par;
+use nvwa_telemetry::{MetricsRegistry, SnapshotMeta};
 
 fn median_ms(samples: &mut [f64]) -> f64 {
     samples.sort_by(f64::total_cmp);
@@ -184,4 +191,44 @@ fn main() {
         std::process::exit(1);
     }
     println!("wrote {out}");
+
+    if let Some(metrics_out) = args
+        .iter()
+        .position(|a| a == "--metrics-out")
+        .and_then(|i| args.get(i + 1))
+    {
+        let mut metrics = MetricsRegistry::new();
+        let g = |m: &mut MetricsRegistry, name: &str, v: f64| {
+            let id = m.gauge(name);
+            m.set_gauge(id, v);
+        };
+        for r in &records {
+            g(
+                &mut metrics,
+                &format!("perf.{}.t{}.median_wall_ms", r.name, r.threads),
+                r.median_wall_ms,
+            );
+        }
+        g(
+            &mut metrics,
+            "perf.speedup.workload_build_10k_8t_vs_1t",
+            speedup_build,
+        );
+        g(
+            &mut metrics,
+            "perf.speedup.fig11_chain_8t_vs_1t",
+            speedup_fig11,
+        );
+        g(
+            &mut metrics,
+            "perf.speedup.sw_kernel_opt_vs_naive_1t",
+            speedup_sw,
+        );
+        let meta = SnapshotMeta::collect(host_cpus);
+        if let Err(e) = std::fs::write(metrics_out, metrics.snapshot_json(&meta)) {
+            eprintln!("perf: cannot write {metrics_out}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {metrics_out}");
+    }
 }

@@ -9,10 +9,14 @@
 //! `--threads N` pins the evaluation harness's thread pool (workload
 //! construction and sweep fan-out — every figure is identical at any
 //! thread count); the default is `NVWA_THREADS` or the hardware
-//! parallelism.
+//! parallelism. `--metrics-out <file>` writes a metrics snapshot with a
+//! `repro.<experiment>.wall_ms` gauge per experiment run.
+
+use std::time::Instant;
 
 use nvwa_bench::{scale_from_args, threads_from_args, EXPERIMENTS};
 use nvwa_core::experiments::{fig11, fig12, fig13, fig14, fig2, fig5, fig7, fig9, tables, Scale};
+use nvwa_telemetry::{MetricsRegistry, SnapshotMeta};
 
 fn run_one(name: &str, scale: Scale) {
     println!("================================================================");
@@ -39,15 +43,20 @@ fn main() {
     if let Some(n) = threads_from_args(&args) {
         nvwa_sim::par::set_default_threads(n);
     }
-    let threads_pos = args.iter().position(|a| a == "--threads");
+    let metrics_out = args
+        .iter()
+        .position(|a| a == "--metrics-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let consumed: Vec<usize> = ["--threads", "--metrics-out"]
+        .iter()
+        .filter_map(|flag| args.iter().position(|a| a == flag))
+        .flat_map(|p| [p, p + 1])
+        .collect();
     let requested: Vec<&str> = args
         .iter()
         .enumerate()
-        .filter(|(i, a)| {
-            a.as_str() != "--full"
-                && threads_pos != Some(*i)
-                && threads_pos.map(|p| p + 1) != Some(*i)
-        })
+        .filter(|(i, a)| a.as_str() != "--full" && !consumed.contains(i))
         .map(|(_, a)| a.as_str())
         .collect();
     let to_run: Vec<&str> = if requested.is_empty() {
@@ -56,7 +65,24 @@ fn main() {
         requested
     };
     println!("NvWa reproduction — experiment suite ({scale:?} scale)");
+    let mut metrics = MetricsRegistry::new();
+    let ran = metrics.counter("repro.experiments_run");
     for name in to_run {
+        let start = Instant::now();
         run_one(name, scale);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        metrics.inc(ran, 1);
+        let id = metrics.gauge(&format!("repro.{name}.wall_ms"));
+        metrics.set_gauge(id, wall_ms);
+    }
+    if let Some(path) = metrics_out {
+        let meta = SnapshotMeta::collect(nvwa_sim::par::current_threads());
+        match std::fs::write(&path, metrics.snapshot_json(&meta)) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("repro: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

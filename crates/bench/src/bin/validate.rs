@@ -1,0 +1,64 @@
+//! validate — schema checks for the repo's JSON artifacts.
+//!
+//! ```text
+//! cargo run -p nvwa-bench --bin validate -- <file> [<file> ...]
+//! ```
+//!
+//! Each file is parsed and validated against the schema its shape
+//! announces: metrics snapshots (`"kind": "nvwa-metrics"`), bench reports
+//! (`"scenarios"` / `"speedups"`, the `BENCH_*.json` format) and Chrome
+//! traces (`"traceEvents"`). Exits non-zero on the first failure, so CI
+//! can gate on it (see `scripts/check.sh`).
+
+use std::process::ExitCode;
+
+use nvwa_telemetry::snapshot::{
+    validate_bench_report, validate_chrome_trace, validate_metrics_snapshot,
+};
+use nvwa_telemetry::JsonValue;
+
+fn kind_of(doc: &JsonValue) -> Option<&'static str> {
+    if doc.get("kind").and_then(|k| k.as_str()) == Some("nvwa-metrics") {
+        Some("metrics snapshot")
+    } else if doc.get("traceEvents").is_some() {
+        Some("chrome trace")
+    } else if doc.get("scenarios").is_some() && doc.get("speedups").is_some() {
+        Some("bench report")
+    } else {
+        None
+    }
+}
+
+fn validate_file(path: &str) -> Result<&'static str, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    let doc = JsonValue::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let kind = kind_of(&doc).ok_or_else(|| {
+        "unrecognized document shape (expected a metrics snapshot, bench report or Chrome trace)"
+            .to_string()
+    })?;
+    match kind {
+        "metrics snapshot" => validate_metrics_snapshot(&doc)?,
+        "chrome trace" => validate_chrome_trace(&doc)?,
+        "bench report" => validate_bench_report(&doc)?,
+        _ => unreachable!(),
+    }
+    Ok(kind)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: validate <file.json> [<file.json> ...]");
+        return ExitCode::FAILURE;
+    }
+    for path in &args {
+        match validate_file(path) {
+            Ok(kind) => println!("{path}: valid {kind}"),
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

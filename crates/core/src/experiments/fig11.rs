@@ -163,7 +163,7 @@ pub fn run_on_workload(works: &[ReadWork]) -> Fig11 {
     for (name, report) in &reports {
         bars.push(Bar {
             name: name.clone(),
-            kreads_per_sec: report.kreads_per_sec(),
+            kreads_per_sec: report.kreads_per_sec().expect("non-empty simulation"),
             measured: true,
         });
     }

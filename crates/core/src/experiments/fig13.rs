@@ -137,7 +137,7 @@ pub fn run(scale: Scale) -> Fig13 {
         let r = simulate(&config, &works);
         DepthPoint {
             depth,
-            kreads_per_sec: r.kreads_per_sec(),
+            kreads_per_sec: r.kreads_per_sec().expect("non-empty simulation"),
             su_utilization: r.su_utilization,
             eu_utilization: r.eu_utilization,
             stalls: r.su_stall_events,
@@ -171,7 +171,7 @@ pub fn run(scale: Scale) -> Fig13 {
         IntervalPoint {
             intervals: n,
             classes,
-            kreads_per_sec: r.kreads_per_sec(),
+            kreads_per_sec: r.kreads_per_sec().expect("non-empty simulation"),
             coordinator_power_w: PowerBreakdown::for_config(&power_config).coordinator_power_w(),
         }
     });

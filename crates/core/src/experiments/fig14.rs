@@ -156,7 +156,7 @@ fn speedup_for(works: &[ReadWork], cpu: &CpuCostModel) -> f64 {
         .sum::<f64>()
         / works.len() as f64;
     let cpu_kreads = cpu.kreads_per_sec_from_counts(mean_acc, mean_cells);
-    report.kreads_per_sec() / cpu_kreads
+    report.kreads_per_sec().expect("non-empty simulation") / cpu_kreads
 }
 
 /// Runs the Fig. 14 experiment.

@@ -40,4 +40,4 @@ pub mod units;
 
 pub use config::{EuAlgorithm, EuClass, NvwaConfig, SchedulingConfig};
 pub use interface::{Hit, UnitStatus};
-pub use system::{NvwaSystem, SimReport};
+pub use system::{NvwaSystem, SimOptions, SimReport, SimRun};

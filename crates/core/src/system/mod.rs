@@ -19,7 +19,7 @@ use crate::config::NvwaConfig;
 use crate::units::workload::{build_workload, ReadWork};
 
 pub use report::SimReport;
-pub use simulator::simulate;
+pub use simulator::{simulate, simulate_instrumented, SimOptions, SimRun};
 
 /// The end-to-end NvWa system: index + software pipeline + hardware model.
 #[derive(Debug)]

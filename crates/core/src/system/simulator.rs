@@ -5,13 +5,24 @@
 //! re-evaluated at every event boundary, which is exactly when unit status
 //! bits change — so the cycle-level scheduling semantics of the paper are
 //! preserved without stepping empty cycles.
+//!
+//! Statistics flow through `nvwa-telemetry`: counters and histograms live
+//! in a [`MetricsRegistry`], per-pool busy/idle-by-cause integrals in two
+//! [`StallTracker`]s (synchronized once per event, which is the only time
+//! unit status can change), and — when requested — every SU read, EU hit,
+//! SU suspension and allocation round becomes a span in a
+//! [`TraceRecorder`] for Chrome/Perfetto inspection. [`SimReport`] is a
+//! view over the registry.
 
 use std::collections::VecDeque;
 
 use nvwa_sim::event::EventQueue;
 use nvwa_sim::hbm::Hbm;
-use nvwa_sim::stats::UtilizationTracker;
 use nvwa_sim::Cycle;
+use nvwa_telemetry::{
+    CounterId, HistogramId, MetricsRegistry, PoolState, StallCause, StallTracker, TraceRecorder,
+    PID_ACCELERATOR,
+};
 
 use crate::config::{EuClass, NvwaConfig};
 use crate::coordinator::allocator::{AllocPolicy, AllocateJudger, HitsAllocator, IdleEu};
@@ -30,6 +41,25 @@ use super::report::SimReport;
 /// The four hit intervals used for assignment-correctness accounting
 /// (Fig. 12e/f), independent of the instantiated EU classes.
 const HIT_INTERVALS: [usize; 4] = [16, 32, 64, 128];
+
+/// Instrumentation switches for [`simulate_instrumented`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimOptions {
+    /// Record a Chrome trace (one track per SU/EU plus the Coordinator).
+    /// Costs one span per read/hit, so off by default.
+    pub trace: bool,
+}
+
+/// A simulation run with its full telemetry.
+#[derive(Debug, Clone)]
+pub struct SimRun {
+    /// The aggregate report (a view over [`SimRun::metrics`]).
+    pub report: SimReport,
+    /// All counters, gauges, histograms and stall series of the run.
+    pub metrics: MetricsRegistry,
+    /// The span trace, when [`SimOptions::trace`] was set.
+    pub trace: Option<TraceRecorder>,
+}
 
 #[derive(Debug, Clone, Copy)]
 #[allow(clippy::enum_variant_names)] // the *Done suffix is the semantics
@@ -69,6 +99,37 @@ enum HitPath {
     },
 }
 
+/// Handles into the run's [`MetricsRegistry`], resolved once at startup so
+/// the event loop never does a name lookup.
+#[derive(Debug, Clone, Copy)]
+struct MetricIds {
+    reads_issued: CounterId,
+    hits_dispatched: CounterId,
+    alloc_rounds: CounterId,
+    fragmented: CounterId,
+    stall_events: CounterId,
+    switches: CounterId,
+    read_cycles: HistogramId,
+    hit_cycles: HistogramId,
+    round_allocated: HistogramId,
+}
+
+impl MetricIds {
+    fn register(metrics: &mut MetricsRegistry) -> MetricIds {
+        MetricIds {
+            reads_issued: metrics.counter("sim.reads_issued"),
+            hits_dispatched: metrics.counter("coordinator.hits_dispatched"),
+            alloc_rounds: metrics.counter("coordinator.alloc_rounds"),
+            fragmented: metrics.counter("coordinator.fragmented_hits"),
+            stall_events: metrics.counter("su.stall_events"),
+            switches: metrics.counter("coordinator.buffer_switches"),
+            read_cycles: metrics.histogram("su.read_cycles"),
+            hit_cycles: metrics.histogram("eu.hit_cycles"),
+            round_allocated: metrics.histogram("coordinator.round_allocated"),
+        }
+    }
+}
+
 struct SimState<'w> {
     config: NvwaConfig,
     works: &'w [ReadWork],
@@ -88,26 +149,39 @@ struct SimState<'w> {
     eus: Vec<EuState>,
     traceback: Cycle,
     path: HitPath,
-    // Statistics.
-    su_util: UtilizationTracker,
-    eu_util: UtilizationTracker,
+    // Telemetry.
+    metrics: MetricsRegistry,
+    ids: MetricIds,
+    su_stall: StallTracker,
+    eu_stall: StallTracker,
+    trace: Option<TraceRecorder>,
+    su_issued_at: Vec<Cycle>,
+    su_stall_since: Vec<Option<Cycle>>,
+    eu_issued: Vec<Option<(Cycle, u32)>>,
     matrix: Vec<Vec<u64>>,
-    hits_dispatched: u64,
-    alloc_rounds: u64,
-    fragmented: u64,
-    stall_events: u64,
-    switches_seen: u64,
 }
 
 /// Runs the full-system simulation of `works` under `config`.
 ///
-/// Deterministic: identical inputs give identical reports.
+/// Deterministic: identical inputs give identical reports. Equivalent to
+/// [`simulate_instrumented`] with default options, keeping only the report.
 ///
 /// # Panics
 ///
 /// Panics if `config` is invalid (see [`NvwaConfig::validate`]) or `works`
 /// is empty.
 pub fn simulate(config: &NvwaConfig, works: &[ReadWork]) -> SimReport {
+    simulate_instrumented(config, works, &SimOptions::default()).report
+}
+
+/// Runs the full-system simulation, returning the report together with the
+/// metrics registry (and, optionally, a Chrome trace).
+///
+/// # Panics
+///
+/// Panics if `config` is invalid (see [`NvwaConfig::validate`]) or `works`
+/// is empty.
+pub fn simulate_instrumented(config: &NvwaConfig, works: &[ReadWork], opts: &SimOptions) -> SimRun {
     config.validate();
     assert!(!works.is_empty(), "workload must be non-empty");
 
@@ -139,6 +213,20 @@ pub fn simulate(config: &NvwaConfig, works: &[ReadWork]) -> SimReport {
     };
 
     let total_eus = eus.len() as u32;
+    let mut metrics = MetricsRegistry::new();
+    let ids = MetricIds::register(&mut metrics);
+    let trace = opts.trace.then(|| {
+        let mut rec = TraceRecorder::new();
+        rec.name_process(PID_ACCELERATOR, "NvWa accelerator");
+        for su in 0..config.su_count {
+            rec.name_thread(PID_ACCELERATOR, su, &format!("SU{su}"));
+        }
+        for eu in 0..total_eus {
+            rec.name_thread(PID_ACCELERATOR, config.su_count + eu, &format!("EU{eu}"));
+        }
+        rec.name_thread(PID_ACCELERATOR, config.su_count + total_eus, "Coordinator");
+        rec
+    });
     let mut state = SimState {
         works,
         now: 0,
@@ -155,18 +243,20 @@ pub fn simulate(config: &NvwaConfig, works: &[ReadWork]) -> SimReport {
         eus,
         traceback: config.traceback_cycles,
         path,
-        su_util: UtilizationTracker::new(config.su_count, config.stats_bucket),
-        eu_util: UtilizationTracker::new(total_eus, config.stats_bucket),
+        metrics,
+        ids,
+        su_stall: StallTracker::new(config.su_count, config.stats_bucket),
+        eu_stall: StallTracker::new(total_eus, config.stats_bucket),
+        trace,
+        su_issued_at: vec![0; config.su_count as usize],
+        su_stall_since: vec![None; config.su_count as usize],
+        eu_issued: vec![None; total_eus as usize],
         matrix: vec![vec![0; eu_classes.len()]; HIT_INTERVALS.len()],
-        hits_dispatched: 0,
-        alloc_rounds: 0,
-        fragmented: 0,
-        stall_events: 0,
-        switches_seen: 0,
         config: config.clone(),
     };
 
     state.schedule_reads();
+    state.sync_stats();
     // Advance to the next populated cycle with pop(), then drain that
     // cycle's bucket with pop_while() — O(1) amortized per same-cycle
     // event instead of a heap sift each. Events scheduled *at* the
@@ -183,10 +273,11 @@ pub fn simulate(config: &NvwaConfig, works: &[ReadWork]) -> SimReport {
                 Event::AllocDone => state.on_alloc_done(),
             }
             state.maintenance();
+            state.sync_stats();
             next = state.events.pop_while(t);
         }
     }
-    state.into_report(&eu_classes)
+    state.into_run(&eu_classes)
 }
 
 impl SimState<'_> {
@@ -203,6 +294,70 @@ impl SimState<'_> {
         self.next_read as usize >= self.works.len()
             && self.su_busy.iter().all(|&b| !b)
             && self.su_stalled.iter().all(|s| s.is_none())
+    }
+
+    /// Why every currently idle EU is idle: hits waiting but undispatched
+    /// means Coordinator scheduling latency or fragmentation (head-of-line
+    /// blocking on the FIFO path); an empty buffer is either the producers
+    /// lagging or — once seeding is over and nothing is in flight — the
+    /// tail drain.
+    fn eu_idle_cause(&self) -> StallCause {
+        match &self.path {
+            HitPath::Coordinator { buffer, .. } => {
+                if buffer.processing_remaining() > 0 {
+                    StallCause::AllocFragmentation
+                } else if self.seeding_finished() && buffer.store_len() == 0 {
+                    StallCause::Drain
+                } else {
+                    StallCause::EmptyHitsBuffer
+                }
+            }
+            HitPath::Fifo { queue, .. } => {
+                if !queue.is_empty() {
+                    StallCause::AllocFragmentation
+                } else if self.seeding_finished() {
+                    StallCause::Drain
+                } else {
+                    StallCause::EmptyHitsBuffer
+                }
+            }
+        }
+    }
+
+    /// Pushes the current busy/idle-by-cause distribution of both pools
+    /// into the stall trackers. Called once per handled event — unit
+    /// status only changes at event boundaries, so intra-event states are
+    /// zero-length and integrating the post-event state is exact.
+    fn sync_stats(&mut self) {
+        let running = self.running_su_count();
+        let suspended = self.su_stalled.iter().filter(|s| s.is_some()).count() as u32;
+        let idle = self.config.su_count - running - suspended;
+        let idle_cause = if (self.next_read as usize) < self.works.len() {
+            // Reads remain but the scheduler has not issued one: the
+            // Read-in-Batch barrier (OCRA refills every idle SU, so this
+            // stays zero under OCRA).
+            StallCause::BatchBarrier
+        } else {
+            StallCause::Drain
+        };
+        self.su_stall.set_state(
+            self.now,
+            PoolState::all_busy(running)
+                .with_idle(StallCause::StoreBufferFull, suspended)
+                .with_idle(idle_cause, idle),
+        );
+
+        let eu_busy = self.eus.iter().filter(|e| e.busy).count() as u32;
+        let eu_idle = self.eus.len() as u32 - eu_busy;
+        let eu_cause = self.eu_idle_cause();
+        self.eu_stall.set_state(
+            self.now,
+            PoolState::all_busy(eu_busy).with_idle(eu_cause, eu_idle),
+        );
+    }
+
+    fn coordinator_tid(&self) -> u32 {
+        self.config.su_count + self.eus.len() as u32
     }
 
     /// Refills idle SUs with new reads via the active read scheduler.
@@ -225,7 +380,6 @@ impl SimState<'_> {
         };
         let offset_before = self.next_read;
         self.next_read = new_next;
-        let mut newly_busy = 0u32;
         for (su, read) in assigned.into_iter().enumerate() {
             let Some(read_idx) = read else { continue };
             let work = &self.works[read_idx as usize];
@@ -238,7 +392,8 @@ impl SimState<'_> {
                 .max(self.now + 1);
             self.su_busy[su] = true;
             self.su_read[su] = Some(read_idx as usize);
-            newly_busy += 1;
+            self.su_issued_at[su] = self.now;
+            self.metrics.inc(self.ids.reads_issued, 1);
             if std::env::var("NVWA_DEBUG").is_ok() {
                 eprintln!(
                     "su={su} read={read_idx} now={} start={start} done={done} lat={}",
@@ -248,14 +403,22 @@ impl SimState<'_> {
             }
             self.events.push(done, Event::SuDone { su });
         }
-        if newly_busy > 0 {
-            let busy_now = self.running_su_count();
-            self.su_util.set_busy(self.now, busy_now);
-        }
     }
 
     fn on_su_done(&mut self, su: usize) {
         let read_idx = self.su_read[su].expect("SU completion without a read");
+        self.metrics
+            .observe(self.ids.read_cycles, self.now - self.su_issued_at[su]);
+        if let Some(rec) = &mut self.trace {
+            rec.complete_with_args(
+                PID_ACCELERATOR,
+                su as u32,
+                &format!("read {read_idx}"),
+                nvwa_telemetry::cycles_to_us(self.su_issued_at[su]),
+                nvwa_telemetry::cycles_to_us(self.now - self.su_issued_at[su]),
+                &[("read", read_idx as f64)],
+            );
+        }
         let hits: Vec<Hit> = self.works[read_idx].hits.clone();
         self.finish_or_stall(su, hits);
     }
@@ -285,27 +448,48 @@ impl SimState<'_> {
             }
         }
         if pending.is_empty() {
+            if let Some(since) = self.su_stall_since[su].take() {
+                if let Some(rec) = &mut self.trace {
+                    rec.complete(
+                        PID_ACCELERATOR,
+                        su as u32,
+                        StallCause::StoreBufferFull.span_name(),
+                        nvwa_telemetry::cycles_to_us(since),
+                        nvwa_telemetry::cycles_to_us(self.now - since),
+                    );
+                }
+            }
             self.su_stalled[su] = None;
             self.su_busy[su] = false;
             self.su_read[su] = None;
-            self.su_util.set_busy(self.now, self.running_su_count());
             self.schedule_reads();
         } else {
             if self.su_stalled[su].is_none() {
-                self.stall_events += 1;
+                self.metrics.inc(self.ids.stall_events, 1);
+                self.su_stall_since[su] = Some(self.now);
             }
             // A suspended SU holds its read but is not doing useful work:
             // it counts as unutilized (the paper's Fig. 13a "suspending
             // state").
             self.su_stalled[su] = Some(pending);
-            self.su_util.set_busy(self.now, self.running_su_count());
         }
     }
 
     fn on_eu_done(&mut self, eu: usize) {
         self.eus[eu].busy = false;
-        let busy_now = self.eus.iter().filter(|e| e.busy).count() as u32;
-        self.eu_util.set_busy(self.now, busy_now);
+        if let Some((issued, hit_len)) = self.eu_issued[eu].take() {
+            self.metrics.observe(self.ids.hit_cycles, self.now - issued);
+            if let Some(rec) = &mut self.trace {
+                rec.complete_with_args(
+                    PID_ACCELERATOR,
+                    self.config.su_count + eu as u32,
+                    "hit",
+                    nvwa_telemetry::cycles_to_us(issued),
+                    nvwa_telemetry::cycles_to_us(self.now - issued),
+                    &[("hit_len", hit_len as f64)],
+                );
+            }
+        }
         if let HitPath::Coordinator { blocked, .. } = &mut self.path {
             *blocked = false;
         }
@@ -336,10 +520,28 @@ impl SimState<'_> {
         let (flags, assignments) = allocator.allocate(&batch, &mut idle);
         let stats = buffer.complete_round(&flags);
         judger.complete();
-        self.alloc_rounds += 1;
-        self.fragmented += stats.unallocated as u64;
+        self.metrics.inc(self.ids.alloc_rounds, 1);
+        self.metrics
+            .inc(self.ids.fragmented, stats.unallocated as u64);
+        self.metrics
+            .observe(self.ids.round_allocated, stats.allocated as u64);
         if stats.allocated == 0 {
             *blocked = true;
+        }
+        let coordinator_tid = self.coordinator_tid();
+        if let Some(rec) = &mut self.trace {
+            let started = self.now - self.config.alloc_latency;
+            rec.complete_with_args(
+                PID_ACCELERATOR,
+                coordinator_tid,
+                "alloc round",
+                nvwa_telemetry::cycles_to_us(started),
+                nvwa_telemetry::cycles_to_us(self.config.alloc_latency),
+                &[
+                    ("allocated", stats.allocated as f64),
+                    ("unallocated", stats.unallocated as f64),
+                ],
+            );
         }
         let dispatches: Vec<(usize, Hit)> = assignments
             .iter()
@@ -359,14 +561,13 @@ impl SimState<'_> {
         let done = self.now + model.task_latency(hit);
         let class_idx = eu.class_idx;
         self.events.push(done, Event::EuDone { eu: unit_idx });
-        let busy_now = self.eus.iter().filter(|e| e.busy).count() as u32;
-        self.eu_util.set_busy(self.now, busy_now);
+        self.eu_issued[unit_idx] = Some((self.now, hit.hit_len()));
         let interval = HIT_INTERVALS
             .iter()
             .position(|&b| hit.hit_len() as usize <= b)
             .unwrap_or(HIT_INTERVALS.len() - 1);
         self.matrix[interval][class_idx] += 1;
-        self.hits_dispatched += 1;
+        self.metrics.inc(self.ids.hits_dispatched, 1);
     }
 
     /// Re-evaluates buffer switches, stall resolution, allocation triggers
@@ -393,6 +594,7 @@ impl SimState<'_> {
                 .iter()
                 .zip(&self.su_busy)
                 .all(|(s, &b)| s.is_some() || !b);
+        let coordinator_tid = self.config.su_count + self.eus.len() as u32;
         let HitPath::Coordinator {
             buffer, blocked, ..
         } = &mut self.path
@@ -400,7 +602,15 @@ impl SimState<'_> {
             return false;
         };
         if buffer.should_switch(draining || all_stalled) && buffer.switch() {
-            self.switches_seen += 1;
+            self.metrics.inc(self.ids.switches, 1);
+            if let Some(rec) = &mut self.trace {
+                rec.instant(
+                    PID_ACCELERATOR,
+                    coordinator_tid,
+                    "buffer switch",
+                    nvwa_telemetry::cycles_to_us(self.now),
+                );
+            }
             *blocked = false;
             true
         } else {
@@ -492,27 +702,65 @@ impl SimState<'_> {
         progressed
     }
 
-    fn into_report(mut self, eu_classes: &[EuClass]) -> SimReport {
+    fn into_run(mut self, eu_classes: &[EuClass]) -> SimRun {
         let end = self.now.max(1);
-        SimReport {
+        let su_utilization = self.su_stall.utilization(end);
+        let eu_utilization = self.eu_stall.utilization(end);
+        let su_series = self.su_stall.busy_series(end);
+        let eu_series = self.eu_stall.busy_series(end);
+        self.su_stall.export_into(&mut self.metrics, "su", end);
+        self.eu_stall.export_into(&mut self.metrics, "eu", end);
+
+        let m = &mut self.metrics;
+        let g = |m: &mut MetricsRegistry, name: &str, v: f64| {
+            let id = m.gauge(name);
+            m.set_gauge(id, v);
+        };
+        g(m, "sim.total_cycles", end as f64);
+        g(m, "su.utilization", su_utilization);
+        g(m, "eu.utilization", eu_utilization);
+        g(m, "su.cache_hit_rate", self.su_model.cache_hit_rate());
+        g(m, "hbm.energy_j", self.hbm.energy_joules());
+        g(m, "hbm.mean_queue_delay", self.hbm.mean_queue_delay());
+        let c = |m: &mut MetricsRegistry, name: &str, v: u64| {
+            let id = m.counter(name);
+            m.inc(id, v);
+        };
+        c(m, "hbm.requests", self.hbm.requests());
+        c(m, "hbm.bytes", self.hbm.bytes_transferred());
+        // SUs blocked on an HBM round trip are *busy* in this model (the
+        // seeding chain owns the unit), so the wait is a blocked-cycles
+        // counter, not an idle cause — see the StallCause taxonomy.
+        c(
+            m,
+            &format!("su.stall.{}.cycles", StallCause::HbmWait.label()),
+            self.hbm.total_queue_delay(),
+        );
+
+        let report = SimReport {
             total_cycles: end,
             reads: self.works.len() as u64,
-            hits_dispatched: self.hits_dispatched,
-            su_utilization: self.su_util.average(end),
-            eu_utilization: self.eu_util.average(end),
-            su_series: self.su_util.series(end),
-            eu_series: self.eu_util.series(end),
+            hits_dispatched: self.metrics.counter_get(self.ids.hits_dispatched),
+            su_utilization,
+            eu_utilization,
+            su_series,
+            eu_series,
             stats_bucket: self.config.stats_bucket,
             assignment_matrix: self.matrix,
             hit_class_bounds: HIT_INTERVALS.to_vec(),
             eu_class_pes: eu_classes.iter().map(|c| c.pes).collect(),
-            buffer_switches: self.switches_seen,
-            alloc_rounds: self.alloc_rounds,
-            fragmented_hits: self.fragmented,
-            su_stall_events: self.stall_events,
+            buffer_switches: self.metrics.counter_get(self.ids.switches),
+            alloc_rounds: self.metrics.counter_get(self.ids.alloc_rounds),
+            fragmented_hits: self.metrics.counter_get(self.ids.fragmented),
+            su_stall_events: self.metrics.counter_get(self.ids.stall_events),
             hbm_requests: self.hbm.requests(),
             hbm_energy_j: self.hbm.energy_joules(),
             su_cache_hit_rate: self.su_model.cache_hit_rate(),
+        };
+        SimRun {
+            report,
+            metrics: self.metrics,
+            trace: self.trace,
         }
     }
 }
@@ -555,6 +803,109 @@ mod tests {
     }
 
     #[test]
+    fn instrumented_metrics_match_the_report() {
+        let works = small_workload(150);
+        let run = simulate_instrumented(&config(), &works, &SimOptions::default());
+        let m = &run.metrics;
+        let r = &run.report;
+        assert_eq!(
+            m.counter_value("coordinator.hits_dispatched"),
+            Some(r.hits_dispatched)
+        );
+        assert_eq!(
+            m.counter_value("coordinator.alloc_rounds"),
+            Some(r.alloc_rounds)
+        );
+        assert_eq!(
+            m.counter_value("coordinator.buffer_switches"),
+            Some(r.buffer_switches)
+        );
+        assert_eq!(m.counter_value("sim.reads_issued"), Some(r.reads));
+        assert_eq!(
+            m.gauge_value("sim.total_cycles"),
+            Some(r.total_cycles as f64)
+        );
+        assert_eq!(m.gauge_value("su.utilization"), Some(r.su_utilization));
+        assert_eq!(m.gauge_value("eu.utilization"), Some(r.eu_utilization));
+        // Latency histograms saw every read and every hit.
+        let reads_h = m.histogram_value("su.read_cycles").unwrap();
+        assert_eq!(reads_h.count(), r.reads);
+        assert!(reads_h.p99() >= reads_h.p50());
+        assert_eq!(
+            m.histogram_value("eu.hit_cycles").unwrap().count(),
+            r.hits_dispatched
+        );
+    }
+
+    #[test]
+    fn stall_cycles_sum_to_idle_cycles_per_pool() {
+        let works = small_workload(200);
+        // A tiny buffer forces Store-Buffer stalls so several causes are
+        // non-zero at once.
+        let cfg = NvwaConfig {
+            hits_buffer_depth: 8,
+            alloc_batch_size: 4,
+            ..config()
+        };
+        let run = simulate_instrumented(&cfg, &works, &SimOptions::default());
+        let m = &run.metrics;
+        let total = run.report.total_cycles as f64;
+        for (prefix, units) in [("su", cfg.su_count), ("eu", 7)] {
+            let busy = m.gauge_value(&format!("{prefix}.busy_cycles")).unwrap();
+            let idle = m.gauge_value(&format!("{prefix}.idle_cycles")).unwrap();
+            let by_cause: f64 = StallCause::IDLE_CAUSES
+                .iter()
+                .map(|c| {
+                    m.gauge_value(&format!("{prefix}.stall.{}.cycles", c.label()))
+                        .unwrap()
+                })
+                .sum();
+            assert_eq!(by_cause, idle, "{prefix}: causes must sum to idle");
+            assert_eq!(
+                busy + idle,
+                units as f64 * total,
+                "{prefix}: busy + idle must cover the pool-time rectangle"
+            );
+        }
+        assert!(
+            m.gauge_value("su.stall.store_buffer_full.cycles").unwrap() > 0.0,
+            "tiny buffer must produce attributed Store-Buffer stalls"
+        );
+    }
+
+    #[test]
+    fn trace_spans_integrate_to_utilization() {
+        let works = small_workload(150);
+        let cfg = config();
+        let run = simulate_instrumented(&cfg, &works, &SimOptions { trace: true });
+        let trace = run.trace.expect("trace requested");
+        let total_us = nvwa_telemetry::cycles_to_us(run.report.total_cycles);
+        let su_busy_us: f64 = (0..cfg.su_count)
+            .map(|su| trace.track_busy_us(PID_ACCELERATOR, su, "read"))
+            .sum();
+        let expected = run.report.su_utilization * cfg.su_count as f64 * total_us;
+        assert!(
+            (su_busy_us - expected).abs() <= expected * 0.01,
+            "SU spans {su_busy_us} vs utilization integral {expected}"
+        );
+        let eu_busy_us: f64 = (0..7)
+            .map(|eu| trace.track_busy_us(PID_ACCELERATOR, cfg.su_count + eu, "hit"))
+            .sum();
+        let expected = run.report.eu_utilization * 7.0 * total_us;
+        assert!(
+            (eu_busy_us - expected).abs() <= expected * 0.01,
+            "EU spans {eu_busy_us} vs utilization integral {expected}"
+        );
+    }
+
+    #[test]
+    fn untraced_run_records_no_spans() {
+        let works = small_workload(20);
+        let run = simulate_instrumented(&config(), &works, &SimOptions::default());
+        assert!(run.trace.is_none());
+    }
+
+    #[test]
     fn nvwa_beats_unscheduled_baseline() {
         let works = small_workload(400);
         let nvwa = simulate(&config(), &works);
@@ -592,6 +943,36 @@ mod tests {
             with.su_utilization,
             without.su_utilization
         );
+    }
+
+    #[test]
+    fn batch_barrier_idle_is_attributed_under_read_in_batch() {
+        // Without OCRA, SUs wait at the batch barrier while reads remain;
+        // that idle time must land on the BatchBarrier cause. Under OCRA
+        // it must be zero.
+        let works = small_workload(300);
+        let batch = simulate_instrumented(
+            &NvwaConfig {
+                scheduling: SchedulingConfig {
+                    ocra: false,
+                    ..SchedulingConfig::nvwa()
+                },
+                ..config()
+            },
+            &works,
+            &SimOptions::default(),
+        );
+        let ocra = simulate_instrumented(&config(), &works, &SimOptions::default());
+        let barrier = |run: &SimRun| {
+            run.metrics
+                .gauge_value("su.stall.batch_barrier.cycles")
+                .unwrap()
+        };
+        assert!(
+            barrier(&batch) > 0.0,
+            "batch barrier idle must be attributed"
+        );
+        assert_eq!(barrier(&ocra), 0.0, "OCRA refills every idle SU");
     }
 
     #[test]

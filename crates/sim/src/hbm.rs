@@ -131,6 +131,13 @@ impl Hbm {
         self.requests
     }
 
+    /// Total queueing delay in cycles summed over all requests (the
+    /// integral behind [`Hbm::mean_queue_delay`]; exported as the
+    /// `hbm.queue_delay_cycles` telemetry counter).
+    pub fn total_queue_delay(&self) -> u64 {
+        self.queue_delay_total
+    }
+
     /// Mean queueing delay (cycles spent waiting for a channel slot).
     pub fn mean_queue_delay(&self) -> f64 {
         if self.requests == 0 {

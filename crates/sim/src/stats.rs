@@ -6,69 +6,10 @@
 
 use crate::Cycle;
 
-/// A bucketed time series accumulating a value's time integral.
-#[derive(Debug, Clone, PartialEq)]
-pub struct TimeSeries {
-    bucket_width: Cycle,
-    buckets: Vec<f64>,
-}
-
-impl TimeSeries {
-    /// Creates a series with the given bucket width in cycles.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `bucket_width == 0`.
-    pub fn new(bucket_width: Cycle) -> TimeSeries {
-        assert!(bucket_width > 0, "bucket width must be positive");
-        TimeSeries {
-            bucket_width,
-            buckets: Vec::new(),
-        }
-    }
-
-    /// Bucket width in cycles.
-    pub fn bucket_width(&self) -> Cycle {
-        self.bucket_width
-    }
-
-    /// Adds `value × (end - start)` to the overlapped buckets.
-    pub fn add_span(&mut self, start: Cycle, end: Cycle, value: f64) {
-        if end <= start {
-            return;
-        }
-        let last_bucket = ((end - 1) / self.bucket_width) as usize;
-        if last_bucket >= self.buckets.len() {
-            self.buckets.resize(last_bucket + 1, 0.0);
-        }
-        let mut t = start;
-        while t < end {
-            let b = (t / self.bucket_width) as usize;
-            let bucket_end = (b as Cycle + 1) * self.bucket_width;
-            let seg_end = end.min(bucket_end);
-            self.buckets[b] += value * (seg_end - t) as f64;
-            t = seg_end;
-        }
-    }
-
-    /// Per-bucket mean value (integral divided by bucket width).
-    pub fn bucket_means(&self) -> Vec<f64> {
-        self.buckets
-            .iter()
-            .map(|&v| v / self.bucket_width as f64)
-            .collect()
-    }
-
-    /// Number of buckets.
-    pub fn len(&self) -> usize {
-        self.buckets.len()
-    }
-
-    /// Whether any data has been recorded.
-    pub fn is_empty(&self) -> bool {
-        self.buckets.is_empty()
-    }
-}
+/// Bucketed time-integral series, now provided by `nvwa-telemetry` (the
+/// registry and stall tracker share the same type); re-exported here for
+/// the existing `nvwa_sim::TimeSeries` users.
+pub use nvwa_telemetry::TimeSeries;
 
 /// Tracks how many units of a pool are busy, integrating over time.
 ///
@@ -166,18 +107,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn time_series_spans_buckets() {
+    fn reexported_time_series_spans_buckets() {
         let mut ts = TimeSeries::new(10);
         ts.add_span(5, 25, 1.0); // 5 in bucket 0, 10 in bucket 1, 5 in bucket 2
         let means = ts.bucket_means();
         assert_eq!(means, vec![0.5, 1.0, 0.5]);
-    }
-
-    #[test]
-    fn time_series_ignores_empty_spans() {
-        let mut ts = TimeSeries::new(10);
-        ts.add_span(5, 5, 1.0);
-        assert!(ts.is_empty());
     }
 
     #[test]

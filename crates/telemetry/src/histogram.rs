@@ -1,0 +1,249 @@
+//! Log-bucketed histograms with percentile extraction.
+//!
+//! Latency distributions in the simulator span four orders of magnitude
+//! (a 16-PE hit vs a cold seeding chain), so buckets are powers of two:
+//! bucket 0 holds the value 0 and bucket `i ≥ 1` holds values in
+//! `[2^(i-1), 2^i)`. Recording is a shift and an add — cheap enough to
+//! observe every hit and every read in release builds.
+
+/// A log₂-bucketed histogram of `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Histogram {
+    /// `counts[0]` holds zeros; `counts[i]` holds `[2^(i-1), 2^i)`.
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Bucket index of `value`: 0 for 0, `floor(log2(v)) + 1` otherwise.
+    fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive upper edge of bucket `i` (`0` for bucket 0, `2^i - 1`
+    /// otherwise).
+    fn bucket_upper_edge(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, value: u64) {
+        let bucket = Self::bucket_of(value);
+        if bucket >= self.counts.len() {
+            self.counts.resize(bucket + 1, 0);
+        }
+        self.counts[bucket] += 1;
+        if self.total == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.total += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Largest sample, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// Mean sample, if any.
+    pub fn mean(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.sum as f64 / self.total as f64)
+    }
+
+    /// The `q`-quantile (`0.0 < q ≤ 1.0`): the upper edge of the bucket
+    /// containing the sample of rank `⌈q × count⌉`, clamped to the exact
+    /// observed `[min, max]` range. `None` on an empty histogram.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1]");
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_upper_edge(i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Median (see [`percentile`](Histogram::percentile)).
+    pub fn p50(&self) -> Option<u64> {
+        self.percentile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> Option<u64> {
+        self.percentile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> Option<u64> {
+        self.percentile(0.99)
+    }
+
+    /// Non-empty buckets as `(inclusive upper edge, count)` pairs, in
+    /// ascending edge order.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_upper_edge(i), c))
+            .collect()
+    }
+
+    /// Adds `other`'s samples into `self` (deterministic merge).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.total == 0 {
+            return;
+        }
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (dst, src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst += src;
+        }
+        if self.total == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_percentiles() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p90(), None);
+        assert_eq!(h.p99(), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.mean(), None);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut h = Histogram::new();
+        h.observe(37);
+        // Bucket [32, 64) has edge 63, but clamping to max gives the exact
+        // sample back.
+        assert_eq!(h.p50(), Some(37));
+        assert_eq!(h.p90(), Some(37));
+        assert_eq!(h.p99(), Some(37));
+        assert_eq!(h.min(), Some(37));
+        assert_eq!(h.max(), Some(37));
+    }
+
+    #[test]
+    fn zero_sample_lands_in_bucket_zero() {
+        let mut h = Histogram::new();
+        h.observe(0);
+        h.observe(0);
+        assert_eq!(h.p50(), Some(0));
+        assert_eq!(h.buckets(), vec![(0, 2)]);
+    }
+
+    #[test]
+    fn bucket_edge_values_stay_in_their_bucket() {
+        let mut h = Histogram::new();
+        // 1 → bucket 1 [1,2); 2 → bucket 2 [2,4); 4 → bucket 3 [4,8);
+        // 7 → bucket 3; 8 → bucket 4 [8,16).
+        for v in [1u64, 2, 4, 7, 8] {
+            h.observe(v);
+        }
+        assert_eq!(h.buckets(), vec![(1, 1), (3, 1), (7, 2), (15, 1)]);
+        // Rank 3 of 5 (p50) lands in bucket [4,8) → edge 7.
+        assert_eq!(h.p50(), Some(7));
+        // p99 → rank 5 → bucket [8,16), clamped to max 8.
+        assert_eq!(h.p99(), Some(8));
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        let p50 = h.p50().unwrap();
+        let p90 = h.p90().unwrap();
+        let p99 = h.p99().unwrap();
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+        // Log buckets: the true p50 (500) is inside [512's bucket edge ±2×].
+        assert!((256..=1000).contains(&p50), "{p50}");
+    }
+
+    #[test]
+    fn merge_combines_counts_and_range() {
+        let mut a = Histogram::new();
+        a.observe(2);
+        let mut b = Histogram::new();
+        b.observe(100);
+        b.observe(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), Some(2));
+        assert_eq!(a.max(), Some(100));
+        assert_eq!(a.sum(), 202);
+        // Merging an empty histogram changes nothing.
+        let snapshot = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a, snapshot);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0, 1]")]
+    fn out_of_range_quantile_panics() {
+        let mut h = Histogram::new();
+        h.observe(1);
+        let _ = h.percentile(1.5);
+    }
+}

@@ -1,0 +1,330 @@
+//! Snapshot metadata and schema validation for the repo's JSON artifacts.
+//!
+//! Three file kinds are validated here (all produced or consumed by the
+//! binaries and CI):
+//!
+//! * **metrics snapshots** (`--metrics-out`): the versioned document built
+//!   by [`crate::MetricsRegistry::snapshot`];
+//! * **bench reports** (`BENCH_*.json` from the `perf` binary);
+//! * **Chrome traces** (`--trace-out`).
+
+use crate::json::JsonValue;
+
+/// Run metadata recorded into every metrics snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SnapshotMeta {
+    /// Host thread count the run used (the evaluation harness's pool).
+    pub host_threads: usize,
+    /// Git revision of the tree, when discoverable.
+    pub git_rev: Option<String>,
+}
+
+impl SnapshotMeta {
+    /// Collects metadata from the environment: `host_threads` from the
+    /// caller (thread-pool resolution lives in `nvwa-sim::par`, which this
+    /// crate cannot depend on) and the git revision from the working
+    /// directory.
+    pub fn collect(host_threads: usize) -> SnapshotMeta {
+        SnapshotMeta {
+            host_threads,
+            git_rev: git_revision(),
+        }
+    }
+}
+
+/// Best-effort git revision: walks up from the current directory to the
+/// first `.git/HEAD` and resolves one level of `ref:` indirection
+/// (loose ref file, then `packed-refs`). Returns `None` outside a
+/// repository — never an error.
+pub fn git_revision() -> Option<String> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let head = dir.join(".git").join("HEAD");
+        if let Ok(content) = std::fs::read_to_string(&head) {
+            let content = content.trim();
+            if let Some(refname) = content.strip_prefix("ref: ") {
+                if let Ok(rev) = std::fs::read_to_string(dir.join(".git").join(refname)) {
+                    return Some(rev.trim().to_string());
+                }
+                if let Ok(packed) = std::fs::read_to_string(dir.join(".git").join("packed-refs")) {
+                    for line in packed.lines() {
+                        if let Some(rev) = line.strip_suffix(refname) {
+                            return Some(rev.trim().to_string());
+                        }
+                    }
+                }
+                return None;
+            }
+            return Some(content.to_string());
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn require<'a>(doc: &'a JsonValue, key: &str, what: &str) -> Result<&'a JsonValue, String> {
+    doc.get(key)
+        .ok_or_else(|| format!("{what}: missing key {key:?}"))
+}
+
+fn require_num(doc: &JsonValue, key: &str, what: &str) -> Result<f64, String> {
+    require(doc, key, what)?
+        .as_num()
+        .ok_or_else(|| format!("{what}: {key:?} must be a number"))
+}
+
+fn require_numeric_object(doc: &JsonValue, key: &str, what: &str) -> Result<(), String> {
+    let obj = require(doc, key, what)?
+        .as_obj()
+        .ok_or_else(|| format!("{what}: {key:?} must be an object"))?;
+    for (name, value) in obj {
+        if value.as_num().is_none() {
+            return Err(format!("{what}: {key}.{name} must be a number"));
+        }
+    }
+    Ok(())
+}
+
+/// Validates a metrics snapshot against schema version 1.
+///
+/// # Errors
+///
+/// Returns a message naming the first violated constraint.
+pub fn validate_metrics_snapshot(doc: &JsonValue) -> Result<(), String> {
+    let what = "metrics snapshot";
+    let kind = require(doc, "kind", what)?.as_str();
+    if kind != Some("nvwa-metrics") {
+        return Err(format!(
+            "{what}: kind must be \"nvwa-metrics\", got {kind:?}"
+        ));
+    }
+    let version = require_num(doc, "schema_version", what)?;
+    if version != 1.0 {
+        return Err(format!("{what}: unsupported schema_version {version}"));
+    }
+    match require(doc, "git_rev", what)? {
+        JsonValue::Null | JsonValue::Str(_) => {}
+        other => {
+            return Err(format!(
+                "{what}: git_rev must be string or null, got {other}"
+            ))
+        }
+    }
+    let threads = require_num(doc, "host_threads", what)?;
+    if threads < 1.0 || threads.fract() != 0.0 {
+        return Err(format!("{what}: host_threads must be a positive integer"));
+    }
+    require_numeric_object(doc, "counters", what)?;
+    require_numeric_object(doc, "gauges", what)?;
+    let histograms = require(doc, "histograms", what)?
+        .as_obj()
+        .ok_or_else(|| format!("{what}: histograms must be an object"))?;
+    for (name, hist) in histograms {
+        let count =
+            require_num(hist, "count", what).map_err(|e| format!("{e} (histogram {name})"))?;
+        for key in ["p50", "p90", "p99", "min", "max"] {
+            match require(hist, key, what).map_err(|e| format!("{e} (histogram {name})"))? {
+                JsonValue::Null if count == 0.0 => {}
+                JsonValue::Num(_) if count > 0.0 => {}
+                other => {
+                    return Err(format!(
+                        "{what}: histogram {name}.{key} inconsistent with count {count}: {other}"
+                    ))
+                }
+            }
+        }
+        let buckets = require(hist, "buckets", what)?
+            .as_arr()
+            .ok_or_else(|| format!("{what}: histogram {name}.buckets must be an array"))?;
+        let bucket_total: f64 = buckets
+            .iter()
+            .map(|b| {
+                b.as_arr()
+                    .and_then(|p| p.get(1))
+                    .and_then(JsonValue::as_num)
+            })
+            .collect::<Option<Vec<f64>>>()
+            .ok_or_else(|| format!("{what}: histogram {name} has malformed buckets"))?
+            .iter()
+            .sum();
+        if bucket_total != count {
+            return Err(format!(
+                "{what}: histogram {name} bucket counts sum to {bucket_total}, count is {count}"
+            ));
+        }
+    }
+    let series = require(doc, "series", what)?
+        .as_obj()
+        .ok_or_else(|| format!("{what}: series must be an object"))?;
+    for (name, entry) in series {
+        let width =
+            require_num(entry, "bucket_width", what).map_err(|e| format!("{e} (series {name})"))?;
+        if width < 1.0 {
+            return Err(format!("{what}: series {name} bucket_width must be ≥ 1"));
+        }
+        let means = require(entry, "means", what)?
+            .as_arr()
+            .ok_or_else(|| format!("{what}: series {name}.means must be an array"))?;
+        if means.iter().any(|v| v.as_num().is_none()) {
+            return Err(format!("{what}: series {name}.means must be numeric"));
+        }
+    }
+    Ok(())
+}
+
+/// Validates a `BENCH_*.json` perf report (the `perf` binary's format).
+///
+/// # Errors
+///
+/// Returns a message naming the first violated constraint.
+pub fn validate_bench_report(doc: &JsonValue) -> Result<(), String> {
+    let what = "bench report";
+    let parallelism = require_num(doc, "host_parallelism", what)?;
+    if parallelism < 1.0 {
+        return Err(format!("{what}: host_parallelism must be ≥ 1"));
+    }
+    let samples = require_num(doc, "samples_per_scenario", what)?;
+    if samples < 1.0 {
+        return Err(format!("{what}: samples_per_scenario must be ≥ 1"));
+    }
+    let scenarios = require(doc, "scenarios", what)?
+        .as_arr()
+        .ok_or_else(|| format!("{what}: scenarios must be an array"))?;
+    if scenarios.is_empty() {
+        return Err(format!("{what}: scenarios must be non-empty"));
+    }
+    for (i, s) in scenarios.iter().enumerate() {
+        if require(s, "name", what)?.as_str().is_none() {
+            return Err(format!("{what}: scenarios[{i}].name must be a string"));
+        }
+        let threads =
+            require_num(s, "threads", what).map_err(|e| format!("{e} (scenarios[{i}])"))?;
+        if threads < 1.0 {
+            return Err(format!("{what}: scenarios[{i}].threads must be ≥ 1"));
+        }
+        let ms =
+            require_num(s, "median_wall_ms", what).map_err(|e| format!("{e} (scenarios[{i}])"))?;
+        if ms.is_nan() || ms <= 0.0 {
+            return Err(format!("{what}: scenarios[{i}].median_wall_ms must be > 0"));
+        }
+    }
+    require_numeric_object(doc, "speedups", what)?;
+    Ok(())
+}
+
+/// Validates a Chrome trace document: a `traceEvents` array whose entries
+/// all carry `ph`/`pid`/`tid`/`name`, with `ts`/`dur` on spans.
+///
+/// # Errors
+///
+/// Returns a message naming the first violated constraint.
+pub fn validate_chrome_trace(doc: &JsonValue) -> Result<(), String> {
+    let what = "chrome trace";
+    let events = require(doc, "traceEvents", what)?
+        .as_arr()
+        .ok_or_else(|| format!("{what}: traceEvents must be an array"))?;
+    for (i, event) in events.iter().enumerate() {
+        let ph = require(event, "ph", what)
+            .map_err(|e| format!("{e} (event {i})"))?
+            .as_str()
+            .ok_or_else(|| format!("{what}: event {i} ph must be a string"))?;
+        require_num(event, "pid", what).map_err(|e| format!("{e} (event {i})"))?;
+        require_num(event, "tid", what).map_err(|e| format!("{e} (event {i})"))?;
+        require(event, "name", what).map_err(|e| format!("{e} (event {i})"))?;
+        match ph {
+            "X" => {
+                let ts = require_num(event, "ts", what).map_err(|e| format!("{e} (event {i})"))?;
+                let dur =
+                    require_num(event, "dur", what).map_err(|e| format!("{e} (event {i})"))?;
+                if ts < 0.0 || dur < 0.0 {
+                    return Err(format!("{what}: event {i} has negative ts/dur"));
+                }
+            }
+            "i" => {
+                require_num(event, "ts", what).map_err(|e| format!("{e} (event {i})"))?;
+            }
+            "M" => {}
+            other => return Err(format!("{what}: event {i} has unknown phase {other:?}")),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn fresh_snapshot_validates() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("sim.total_cycles");
+        reg.inc(c, 1000);
+        let h = reg.histogram("eu.task_cycles");
+        reg.observe(h, 64);
+        let text = reg.snapshot_json(&SnapshotMeta {
+            host_threads: 2,
+            git_rev: None,
+        });
+        let doc = JsonValue::parse(&text).unwrap();
+        validate_metrics_snapshot(&doc).unwrap();
+    }
+
+    #[test]
+    fn snapshot_validation_catches_violations() {
+        let mut reg = MetricsRegistry::new();
+        let _ = reg.counter("x");
+        let good = reg.snapshot(&SnapshotMeta {
+            host_threads: 1,
+            git_rev: None,
+        });
+        // Wrong kind.
+        let mut bad = good.clone();
+        if let JsonValue::Obj(pairs) = &mut bad {
+            pairs[0].1 = JsonValue::Str("other".to_string());
+        }
+        assert!(validate_metrics_snapshot(&bad).is_err());
+        // Missing host_threads.
+        let mut bad = good.clone();
+        if let JsonValue::Obj(pairs) = &mut bad {
+            pairs.retain(|(k, _)| k != "host_threads");
+        }
+        assert!(validate_metrics_snapshot(&bad).is_err());
+    }
+
+    #[test]
+    fn bench_report_shape_is_enforced() {
+        let good = r#"{
+            "host_parallelism": 1, "samples_per_scenario": 3,
+            "scenarios": [{"name": "a", "threads": 1, "median_wall_ms": 10.5}],
+            "speedups": {"x": 1.4}
+        }"#;
+        validate_bench_report(&JsonValue::parse(good).unwrap()).unwrap();
+        let bad = r#"{"host_parallelism": 1, "samples_per_scenario": 3,
+                      "scenarios": [], "speedups": {}}"#;
+        assert!(validate_bench_report(&JsonValue::parse(bad).unwrap()).is_err());
+    }
+
+    #[test]
+    fn trace_validation_checks_span_fields() {
+        let good = r#"{"traceEvents": [
+            {"ph": "X", "pid": 1, "tid": 0, "name": "read", "ts": 0, "dur": 2}
+        ]}"#;
+        validate_chrome_trace(&JsonValue::parse(good).unwrap()).unwrap();
+        let bad = r#"{"traceEvents": [
+            {"ph": "X", "pid": 1, "tid": 0, "name": "read", "ts": 0}
+        ]}"#;
+        assert!(validate_chrome_trace(&JsonValue::parse(bad).unwrap()).is_err());
+    }
+
+    #[test]
+    fn git_revision_resolves_in_this_repo() {
+        // The test harness runs inside the repository, so a revision is
+        // available and looks like a hex object id.
+        if let Some(rev) = git_revision() {
+            assert!(rev.len() >= 7, "{rev}");
+            assert!(rev.chars().all(|c| c.is_ascii_hexdigit()), "{rev}");
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Per-unit-pool stall attribution.
+//!
+//! The paper's Fig. 12 shows *how much* of each pool is idle; answering
+//! "why is EU utilization 62%?" needs every idle unit-cycle tagged with a
+//! *cause*. [`StallTracker`] integrates, per pool, the number of busy
+//! units and the number of idle units per [`StallCause`] over time —
+//! O(causes) per state change, nothing per cycle. Because every update
+//! asserts `busy + Σ idle_by_cause == total_units`, the per-cause totals
+//! sum *exactly* to the pool's idle cycles: the invariant the metrics
+//! snapshot is validated against.
+
+use crate::registry::MetricsRegistry;
+use crate::series::TimeSeries;
+use crate::Cycle;
+
+/// Why a unit is not doing useful work.
+///
+/// The first five variants are *idle* causes (the unit holds no work);
+/// [`StallCause::HbmWait`] is a *blocked* cause — the unit is occupied but
+/// waiting on memory — and is accounted as a separate counter, never as
+/// part of the idle integral.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallCause {
+    /// EU idle: the Processing Buffer has no hits to dispatch (producers
+    /// still running, switch not yet possible).
+    EmptyHitsBuffer,
+    /// SU suspended: the Store Buffer is full (the blocking state of
+    /// Fig. 13a).
+    StoreBufferFull,
+    /// EU idle although hits are waiting: allocation-round fragmentation,
+    /// a round in flight, or the Allocate Trigger threshold unmet
+    /// (Coordinator scheduling latency).
+    AllocFragmentation,
+    /// SU idle with reads remaining: the read scheduler has not issued one
+    /// (Read-in-Batch barrier wait; never occurs under OCRA).
+    BatchBarrier,
+    /// Input exhausted: no reads (SU) or no hits will ever arrive (EU) —
+    /// the tail drain of a run.
+    Drain,
+    /// Blocked on an HBM round trip (inside a seeding chain). Tracked as
+    /// blocked cycles, not idle cycles.
+    HbmWait,
+}
+
+/// Number of idle causes tracked by [`StallTracker`] (everything except
+/// [`StallCause::HbmWait`]).
+pub const IDLE_CAUSE_COUNT: usize = 5;
+
+impl StallCause {
+    /// The idle causes, in tracker slot order.
+    pub const IDLE_CAUSES: [StallCause; IDLE_CAUSE_COUNT] = [
+        StallCause::EmptyHitsBuffer,
+        StallCause::StoreBufferFull,
+        StallCause::AllocFragmentation,
+        StallCause::BatchBarrier,
+        StallCause::Drain,
+    ];
+
+    /// Stable snake_case label used in metric names and trace spans.
+    pub fn label(self) -> &'static str {
+        match self {
+            StallCause::EmptyHitsBuffer => "empty_hits_buffer",
+            StallCause::StoreBufferFull => "store_buffer_full",
+            StallCause::AllocFragmentation => "alloc_fragmentation",
+            StallCause::BatchBarrier => "batch_barrier",
+            StallCause::Drain => "drain",
+            StallCause::HbmWait => "hbm_wait",
+        }
+    }
+
+    /// Trace-span name for a stall of this cause (`"stall:<label>"`).
+    pub fn span_name(self) -> &'static str {
+        match self {
+            StallCause::EmptyHitsBuffer => "stall:empty_hits_buffer",
+            StallCause::StoreBufferFull => "stall:store_buffer_full",
+            StallCause::AllocFragmentation => "stall:alloc_fragmentation",
+            StallCause::BatchBarrier => "stall:batch_barrier",
+            StallCause::Drain => "stall:drain",
+            StallCause::HbmWait => "stall:hbm_wait",
+        }
+    }
+
+    /// Tracker slot of an idle cause.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`StallCause::HbmWait`], which is not an idle cause.
+    pub fn idle_slot(self) -> usize {
+        Self::IDLE_CAUSES
+            .iter()
+            .position(|&c| c == self)
+            .expect("HbmWait is a blocked cause, not an idle cause")
+    }
+}
+
+/// A per-pool distribution of units at one instant: how many are busy and
+/// how many are idle for each cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolState {
+    /// Units doing useful work.
+    pub busy: u32,
+    /// Idle units per cause, indexed by [`StallCause::idle_slot`].
+    pub idle: [u32; IDLE_CAUSE_COUNT],
+}
+
+impl PoolState {
+    /// A fully-busy distribution.
+    pub fn all_busy(busy: u32) -> PoolState {
+        PoolState {
+            busy,
+            idle: [0; IDLE_CAUSE_COUNT],
+        }
+    }
+
+    /// Adds `count` idle units attributed to `cause`.
+    pub fn with_idle(mut self, cause: StallCause, count: u32) -> PoolState {
+        self.idle[cause.idle_slot()] += count;
+        self
+    }
+
+    fn total(&self) -> u32 {
+        self.busy + self.idle.iter().sum::<u32>()
+    }
+}
+
+/// Integrates a pool's busy/idle-by-cause distribution over time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StallTracker {
+    total_units: u32,
+    last_update: Cycle,
+    current: PoolState,
+    busy_integral: f64,
+    cause_integrals: [f64; IDLE_CAUSE_COUNT],
+    busy_series: TimeSeries,
+    cause_series: Vec<TimeSeries>,
+}
+
+impl StallTracker {
+    /// Creates a tracker for a pool of `total_units` with time-series
+    /// buckets of `bucket_width` cycles. All units start idle, attributed
+    /// to [`StallCause::Drain`] (nothing issued yet).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_units == 0` or `bucket_width == 0`.
+    pub fn new(total_units: u32, bucket_width: Cycle) -> StallTracker {
+        assert!(total_units > 0, "pool must have at least one unit");
+        StallTracker {
+            total_units,
+            last_update: 0,
+            current: PoolState::all_busy(0).with_idle(StallCause::Drain, total_units),
+            busy_integral: 0.0,
+            cause_integrals: [0.0; IDLE_CAUSE_COUNT],
+            busy_series: TimeSeries::new(bucket_width),
+            cause_series: (0..IDLE_CAUSE_COUNT)
+                .map(|_| TimeSeries::new(bucket_width))
+                .collect(),
+        }
+    }
+
+    /// Pool size.
+    pub fn total_units(&self) -> u32 {
+        self.total_units
+    }
+
+    /// Records that from cycle `now` onward the pool is distributed as
+    /// `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distribution does not cover the pool exactly or time
+    /// moves backwards.
+    pub fn set_state(&mut self, now: Cycle, state: PoolState) {
+        assert_eq!(
+            state.total(),
+            self.total_units,
+            "busy + idle-by-cause must cover the pool exactly"
+        );
+        assert!(now >= self.last_update, "time must be monotone");
+        let dt = (now - self.last_update) as f64;
+        if dt > 0.0 {
+            let total = self.total_units as f64;
+            self.busy_integral += self.current.busy as f64 * dt;
+            self.busy_series
+                .add_span(self.last_update, now, self.current.busy as f64 / total);
+            for (slot, &count) in self.current.idle.iter().enumerate() {
+                self.cause_integrals[slot] += count as f64 * dt;
+                if count > 0 {
+                    self.cause_series[slot].add_span(self.last_update, now, count as f64 / total);
+                }
+            }
+        }
+        self.current = state;
+        self.last_update = now;
+    }
+
+    /// Integrates the current state up to `end` without changing it.
+    pub fn finalize(&mut self, end: Cycle) {
+        let state = self.current;
+        self.set_state(end, state);
+    }
+
+    /// Busy unit-cycles integrated so far.
+    pub fn busy_cycles(&self) -> f64 {
+        self.busy_integral
+    }
+
+    /// Idle unit-cycles integrated so far (all causes).
+    pub fn idle_cycles(&self) -> f64 {
+        self.cause_integrals.iter().sum()
+    }
+
+    /// Idle unit-cycles attributed to `cause`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`StallCause::HbmWait`] (a blocked cause).
+    pub fn cause_cycles(&self, cause: StallCause) -> f64 {
+        self.cause_integrals[cause.idle_slot()]
+    }
+
+    /// Average utilization (0.0–1.0) over `[0, end]`, finalizing at `end`.
+    pub fn utilization(&mut self, end: Cycle) -> f64 {
+        self.finalize(end);
+        if end == 0 {
+            return 0.0;
+        }
+        self.busy_integral / (self.total_units as f64 * end as f64)
+    }
+
+    /// Busy-fraction time series (bucket means), finalized at `end`.
+    pub fn busy_series(&mut self, end: Cycle) -> Vec<f64> {
+        self.finalize(end);
+        self.busy_series.bucket_means()
+    }
+
+    /// Exports totals and per-cause series into `registry` under
+    /// `prefix` (e.g. `su`):
+    ///
+    /// * gauges `"<prefix>.busy_cycles"`, `"<prefix>.idle_cycles"` and
+    ///   `"<prefix>.stall.<cause>.cycles"` per idle cause;
+    /// * series `"<prefix>.stall.<cause>"` (idle fraction of the pool)
+    ///   and `"<prefix>.busy"` (busy fraction).
+    pub fn export_into(&mut self, registry: &mut MetricsRegistry, prefix: &str, end: Cycle) {
+        self.finalize(end);
+        let busy = registry.gauge(&format!("{prefix}.busy_cycles"));
+        registry.set_gauge(busy, self.busy_integral);
+        let idle = registry.gauge(&format!("{prefix}.idle_cycles"));
+        registry.set_gauge(idle, self.idle_cycles());
+        for (slot, cause) in StallCause::IDLE_CAUSES.iter().enumerate() {
+            let id = registry.gauge(&format!("{prefix}.stall.{}.cycles", cause.label()));
+            registry.set_gauge(id, self.cause_integrals[slot]);
+            registry.put_series(
+                &format!("{prefix}.stall.{}", cause.label()),
+                self.cause_series[slot].clone(),
+            );
+        }
+        registry.put_series(&format!("{prefix}.busy"), self.busy_series.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn causes_sum_to_idle_cycles_by_construction() {
+        let mut t = StallTracker::new(4, 100);
+        t.set_state(0, PoolState::all_busy(4));
+        t.set_state(
+            100,
+            PoolState::all_busy(2)
+                .with_idle(StallCause::StoreBufferFull, 1)
+                .with_idle(StallCause::EmptyHitsBuffer, 1),
+        );
+        t.set_state(300, PoolState::all_busy(0).with_idle(StallCause::Drain, 4));
+        t.finalize(400);
+        // Busy: 4×100 + 2×200 = 800. Idle: 1×200 + 1×200 + 4×100 = 800.
+        assert_eq!(t.busy_cycles(), 800.0);
+        assert_eq!(t.idle_cycles(), 800.0);
+        assert_eq!(t.cause_cycles(StallCause::StoreBufferFull), 200.0);
+        assert_eq!(t.cause_cycles(StallCause::EmptyHitsBuffer), 200.0);
+        assert_eq!(t.cause_cycles(StallCause::Drain), 400.0);
+        // The invariant: busy + idle covers the whole pool-time rectangle.
+        assert_eq!(t.busy_cycles() + t.idle_cycles(), 4.0 * 400.0);
+        assert_eq!(t.utilization(400), 0.5);
+    }
+
+    #[test]
+    fn matches_utilization_tracker_semantics() {
+        let mut t = StallTracker::new(10, 100);
+        t.set_state(0, PoolState::all_busy(10));
+        t.set_state(100, PoolState::all_busy(0).with_idle(StallCause::Drain, 10));
+        assert_eq!(t.utilization(200), 0.5);
+        let series = t.busy_series(200);
+        assert_eq!(series, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the pool exactly")]
+    fn uncovered_pool_panics() {
+        let mut t = StallTracker::new(4, 10);
+        t.set_state(0, PoolState::all_busy(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "time must be monotone")]
+    fn time_backwards_panics() {
+        let mut t = StallTracker::new(1, 10);
+        t.set_state(50, PoolState::all_busy(1));
+        t.set_state(10, PoolState::all_busy(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "blocked cause")]
+    fn hbm_wait_is_not_an_idle_cause() {
+        let _ = StallCause::HbmWait.idle_slot();
+    }
+}

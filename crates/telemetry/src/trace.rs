@@ -1,0 +1,279 @@
+//! Chrome `trace_event` recorder.
+//!
+//! Spans are recorded as complete (`"ph":"X"`) events and serialized in
+//! the [Trace Event Format] consumed by Perfetto and `chrome://tracing`.
+//! Tracks are `(pid, tid)` pairs: the simulator uses one process for the
+//! accelerator (one thread per SU/EU plus a Coordinator thread, timestamps
+//! in cycles ÷ 1000 = µs at the paper's 1 GHz clock) and the binaries add
+//! a host process whose phase spans carry wall-clock timestamps.
+//!
+//! Recording is append-only into a `Vec`; a disabled recorder is simply
+//! absent (`Option<TraceRecorder>`), so the default path pays one branch.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::json::JsonValue;
+
+/// The accelerator process id used by the simulator.
+pub const PID_ACCELERATOR: u32 = 1;
+/// The host process id used by the binaries for phase spans.
+pub const PID_HOST: u32 = 0;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Event {
+    Complete {
+        pid: u32,
+        tid: u32,
+        name: String,
+        ts_us: f64,
+        dur_us: f64,
+        args: Vec<(String, f64)>,
+    },
+    Instant {
+        pid: u32,
+        tid: u32,
+        name: String,
+        ts_us: f64,
+    },
+    ThreadName {
+        pid: u32,
+        tid: u32,
+        name: String,
+    },
+    ProcessName {
+        pid: u32,
+        name: String,
+    },
+}
+
+/// Records spans and emits Chrome trace JSON.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceRecorder {
+    events: Vec<Event>,
+}
+
+/// Converts accelerator cycles (1 GHz → 1 ns each) to trace microseconds.
+pub fn cycles_to_us(cycles: u64) -> f64 {
+    cycles as f64 / 1000.0
+}
+
+impl TraceRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> TraceRecorder {
+        TraceRecorder::default()
+    }
+
+    /// Names a process (shown as the track group header).
+    pub fn name_process(&mut self, pid: u32, name: &str) {
+        self.events.push(Event::ProcessName {
+            pid,
+            name: name.to_string(),
+        });
+    }
+
+    /// Names a thread (one track).
+    pub fn name_thread(&mut self, pid: u32, tid: u32, name: &str) {
+        self.events.push(Event::ThreadName {
+            pid,
+            tid,
+            name: name.to_string(),
+        });
+    }
+
+    /// Records a complete span.
+    pub fn complete(&mut self, pid: u32, tid: u32, name: &str, ts_us: f64, dur_us: f64) {
+        self.complete_with_args(pid, tid, name, ts_us, dur_us, &[]);
+    }
+
+    /// Records a complete span with numeric args.
+    pub fn complete_with_args(
+        &mut self,
+        pid: u32,
+        tid: u32,
+        name: &str,
+        ts_us: f64,
+        dur_us: f64,
+        args: &[(&str, f64)],
+    ) {
+        self.events.push(Event::Complete {
+            pid,
+            tid,
+            name: name.to_string(),
+            ts_us,
+            dur_us,
+            args: args.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        });
+    }
+
+    /// Records an instant (zero-duration) event.
+    pub fn instant(&mut self, pid: u32, tid: u32, name: &str, ts_us: f64) {
+        self.events.push(Event::Instant {
+            pid,
+            tid,
+            name: name.to_string(),
+            ts_us,
+        });
+    }
+
+    /// Number of recorded events (metadata included).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Sum of span durations (µs) for one `(pid, tid)` track, optionally
+    /// filtered to spans whose name starts with `name_prefix`. Used to
+    /// cross-check span integrals against utilization counters.
+    pub fn track_busy_us(&self, pid: u32, tid: u32, name_prefix: &str) -> f64 {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Complete {
+                    pid: p,
+                    tid: t,
+                    name,
+                    dur_us,
+                    ..
+                } if *p == pid && *t == tid && name.starts_with(name_prefix) => Some(*dur_us),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Builds the trace document.
+    pub fn to_json_value(&self) -> JsonValue {
+        let events = self
+            .events
+            .iter()
+            .map(|e| match e {
+                Event::Complete {
+                    pid,
+                    tid,
+                    name,
+                    ts_us,
+                    dur_us,
+                    args,
+                } => {
+                    let mut pairs = vec![
+                        ("ph", JsonValue::Str("X".to_string())),
+                        ("pid", JsonValue::Num(*pid as f64)),
+                        ("tid", JsonValue::Num(*tid as f64)),
+                        ("name", JsonValue::Str(name.clone())),
+                        ("ts", JsonValue::Num(*ts_us)),
+                        ("dur", JsonValue::Num(*dur_us)),
+                    ];
+                    if !args.is_empty() {
+                        pairs.push((
+                            "args",
+                            JsonValue::Obj(
+                                args.iter()
+                                    .map(|(k, v)| (k.clone(), JsonValue::Num(*v)))
+                                    .collect(),
+                            ),
+                        ));
+                    }
+                    JsonValue::obj(pairs)
+                }
+                Event::Instant {
+                    pid,
+                    tid,
+                    name,
+                    ts_us,
+                } => JsonValue::obj(vec![
+                    ("ph", JsonValue::Str("i".to_string())),
+                    ("pid", JsonValue::Num(*pid as f64)),
+                    ("tid", JsonValue::Num(*tid as f64)),
+                    ("name", JsonValue::Str(name.clone())),
+                    ("ts", JsonValue::Num(*ts_us)),
+                    ("s", JsonValue::Str("t".to_string())),
+                ]),
+                Event::ThreadName { pid, tid, name } => JsonValue::obj(vec![
+                    ("ph", JsonValue::Str("M".to_string())),
+                    ("pid", JsonValue::Num(*pid as f64)),
+                    ("tid", JsonValue::Num(*tid as f64)),
+                    ("name", JsonValue::Str("thread_name".to_string())),
+                    (
+                        "args",
+                        JsonValue::obj(vec![("name", JsonValue::Str(name.clone()))]),
+                    ),
+                ]),
+                Event::ProcessName { pid, name } => JsonValue::obj(vec![
+                    ("ph", JsonValue::Str("M".to_string())),
+                    ("pid", JsonValue::Num(*pid as f64)),
+                    ("tid", JsonValue::Num(0.0)),
+                    ("name", JsonValue::Str("process_name".to_string())),
+                    (
+                        "args",
+                        JsonValue::obj(vec![("name", JsonValue::Str(name.clone()))]),
+                    ),
+                ]),
+            })
+            .collect();
+        JsonValue::obj(vec![
+            ("traceEvents", JsonValue::Arr(events)),
+            ("displayTimeUnit", JsonValue::Str("ms".to_string())),
+        ])
+    }
+
+    /// Serializes the trace (pretty, one event per line block).
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_string_pretty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_valid_chrome_trace_json() {
+        let mut rec = TraceRecorder::new();
+        rec.name_process(PID_ACCELERATOR, "NvWa accelerator");
+        rec.name_thread(PID_ACCELERATOR, 0, "SU0");
+        rec.complete_with_args(
+            PID_ACCELERATOR,
+            0,
+            "read 7",
+            cycles_to_us(1000),
+            cycles_to_us(500),
+            &[("read", 7.0)],
+        );
+        rec.instant(PID_ACCELERATOR, 100, "buffer switch", cycles_to_us(1500));
+        let doc = JsonValue::parse(&rec.to_json()).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 4);
+        let span = &events[2];
+        assert_eq!(span.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(span.get("ts").unwrap().as_num(), Some(1.0));
+        assert_eq!(span.get("dur").unwrap().as_num(), Some(0.5));
+        assert_eq!(
+            span.get("args").unwrap().get("read").unwrap().as_num(),
+            Some(7.0)
+        );
+    }
+
+    #[test]
+    fn track_busy_integrates_span_durations() {
+        let mut rec = TraceRecorder::new();
+        rec.complete(1, 3, "read 1", 0.0, 2.0);
+        rec.complete(1, 3, "read 2", 5.0, 3.0);
+        rec.complete(1, 3, "stall:store_buffer_full", 2.0, 1.0);
+        rec.complete(1, 4, "read 9", 0.0, 100.0);
+        assert_eq!(rec.track_busy_us(1, 3, "read"), 5.0);
+        assert_eq!(rec.track_busy_us(1, 3, "stall:"), 1.0);
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let mut rec = TraceRecorder::new();
+        rec.name_thread(1, 0, "EU0");
+        rec.complete(1, 0, "hit", 0.25, 1.75);
+        let text = rec.to_json();
+        let doc = JsonValue::parse(&text).unwrap();
+        assert_eq!(doc.to_string_pretty(), text);
+    }
+}

@@ -64,7 +64,7 @@ fn main() {
         "accelerator: {} cycles for {} reads -> {:.1} K reads/s at 1 GHz",
         report.total_cycles,
         report.reads,
-        report.kreads_per_sec()
+        report.kreads_per_sec().unwrap_or(0.0)
     );
     println!(
         "  SU utilization {:.1}%, EU utilization {:.1}%, {} buffer switches, {} hits extended",

@@ -63,7 +63,7 @@ fn main() {
         let report = simulate(&config, &works);
         println!(
             "  {name}: {:.1} K reads/s (SU {:.0}%, EU {:.0}%, correct alloc {:.0}%)",
-            report.kreads_per_sec(),
+            report.kreads_per_sec().unwrap_or(0.0),
             report.su_utilization * 100.0,
             report.eu_utilization * 100.0,
             report.overall_correct_allocation() * 100.0

@@ -1,9 +1,23 @@
 #!/usr/bin/env sh
-# Repo gate: formatting, lints, and the tier-1 build+test suite.
-# Run from the repository root: ./scripts/check.sh
+# Repo gate: formatting, lints, the tier-1 build+test suite, and the
+# telemetry artifact checks. Run from the repository root: ./scripts/check.sh
 set -eu
 
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release
 cargo test -q
+
+# Golden Chrome-trace test (also part of the suite above; run named so a
+# drift fails loudly here even if the suite is filtered).
+cargo test -q --test telemetry_integration tiny_trace_round_trips_and_matches_golden_file
+
+# Generate fresh telemetry artifacts with the release binary and validate
+# them — plus the committed perf record — against their schemas.
+artifacts_dir="$(mktemp -d)"
+trap 'rm -rf "$artifacts_dir"' EXIT
+cargo run --release --quiet --bin nvwa -- sim --reads 500 \
+    --trace-out "$artifacts_dir/trace.json" \
+    --metrics-out "$artifacts_dir/metrics.json"
+cargo run --release --quiet -p nvwa-bench --bin validate -- \
+    BENCH_PR1.json "$artifacts_dir/trace.json" "$artifacts_dir/metrics.json"

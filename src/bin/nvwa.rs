@@ -1,27 +1,39 @@
 //! `nvwa` — command-line front end to the reproduction.
 //!
 //! ```text
+//! nvwa [sim] [--reads N] [--seed S] [--trace-out t.json] [--metrics-out m.json]
 //! nvwa synth-ref  <out.fa> [--len N] [--chromosomes N] [--seed S]
 //! nvwa synth-reads <ref.fa> <out.fq> [--count N] [--len N] [--seed S]
-//! nvwa align      <ref.fa> <reads.fq> [--sam out.sam] [--simulate] [--threads N]
+//! nvwa align      <ref.fa> <reads.fq> [--sam out.sam] [--simulate]
+//!                 [--trace-out t.json] [--metrics-out m.json] [--threads N]
 //! ```
 //!
-//! `align` runs the software seed-and-extend pipeline (emitting SAM) and,
-//! with `--simulate`, replays the workload through the NvWa accelerator
-//! model and prints the timing report. Per-read alignment is parallel
-//! (output is identical at any thread count); `--threads N` pins the pool
-//! size, otherwise `NVWA_THREADS` or the hardware parallelism decides.
+//! The default (no subcommand, or `sim`) runs the paper-scale accelerator
+//! on the calibrated synthetic workload. `align` runs the software
+//! seed-and-extend pipeline (emitting SAM) and, with `--simulate`, replays
+//! the workload through the NvWa accelerator model and prints the timing
+//! report. Per-read alignment is parallel (output is identical at any
+//! thread count); `--threads N` pins the pool size, otherwise
+//! `NVWA_THREADS` or the hardware parallelism decides.
+//!
+//! `--trace-out` writes a Chrome `trace_event` JSON (open in Perfetto or
+//! `chrome://tracing`): one track per SU/EU plus the Coordinator, and a
+//! host process with the wall-clock phase spans. `--metrics-out` writes
+//! the versioned metrics snapshot (counters, stall attribution, latency
+//! percentiles — DESIGN.md §8).
 
 use std::fs;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use nvwa::align::pipeline::{AlignerConfig, ReferenceIndex, SoftwareAligner};
 use nvwa::align::sam;
 use nvwa::core::config::NvwaConfig;
-use nvwa::core::system::simulate;
-use nvwa::core::units::workload::ReadWork;
+use nvwa::core::system::{simulate_instrumented, SimOptions, SimRun};
+use nvwa::core::units::workload::{ReadWork, SyntheticWorkloadParams};
 use nvwa::genome::fasta;
 use nvwa::genome::{ReadSimParams, ReadSimulator, ReferenceGenome, ReferenceParams};
+use nvwa::telemetry::{cycles_to_us, SnapshotMeta, PID_HOST};
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -38,9 +50,13 @@ fn flag_u64(args: &[String], name: &str, default: u64) -> u64 {
 
 fn usage() -> ExitCode {
     eprintln!("usage:");
+    eprintln!(
+        "  nvwa [sim]       [--reads N] [--seed S] [--trace-out t.json] [--metrics-out m.json]"
+    );
     eprintln!("  nvwa synth-ref   <out.fa> [--len N] [--chromosomes N] [--seed S]");
     eprintln!("  nvwa synth-reads <ref.fa> <out.fq> [--count N] [--len N] [--seed S]");
-    eprintln!("  nvwa align       <ref.fa> <reads.fq> [--sam out.sam] [--simulate] [--threads N]");
+    eprintln!("  nvwa align       <ref.fa> <reads.fq> [--sam out.sam] [--simulate]");
+    eprintln!("                   [--trace-out t.json] [--metrics-out m.json] [--threads N]");
     ExitCode::FAILURE
 }
 
@@ -53,7 +69,113 @@ fn main() -> ExitCode {
         Some("synth-ref") => synth_ref(&args[1..]),
         Some("synth-reads") => synth_reads(&args[1..]),
         Some("align") => align(&args[1..]),
+        Some("sim") => sim(&args[1..]),
+        // Bare invocation (possibly with flags only): the default scenario.
+        None => sim(&args),
+        Some(first) if first.starts_with("--") => sim(&args),
         _ => usage(),
+    }
+}
+
+/// Wall-clock phase spans for the host track of the trace (and the
+/// `host.<phase>.wall_ms` gauges of the snapshot).
+struct HostPhases {
+    epoch: Instant,
+    spans: Vec<(String, f64, f64)>, // (name, start_us, dur_us)
+}
+
+impl HostPhases {
+    fn new() -> HostPhases {
+        HostPhases {
+            epoch: Instant::now(),
+            spans: Vec::new(),
+        }
+    }
+
+    /// Times `f`, recording it as phase `name`.
+    fn run<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let start = self.epoch.elapsed().as_secs_f64() * 1e6;
+        let value = f();
+        let end = self.epoch.elapsed().as_secs_f64() * 1e6;
+        self.spans.push((name.to_string(), start, end - start));
+        value
+    }
+}
+
+/// Writes `--trace-out` / `--metrics-out` files from an instrumented run.
+/// The host phases become spans on the host process track and
+/// `host.<phase>.wall_ms` gauges in the snapshot.
+fn emit_telemetry(args: &[String], mut run: SimRun, phases: &HostPhases) -> Result<(), ExitCode> {
+    let write = |path: &str, text: &str| -> Result<(), ExitCode> {
+        fs::write(path, text).map_err(|e| {
+            eprintln!("nvwa: cannot write {path}: {e}");
+            ExitCode::FAILURE
+        })?;
+        println!("wrote {path}");
+        Ok(())
+    };
+    if let Some(path) = flag_value(args, "--trace-out") {
+        let mut trace = run.trace.take().unwrap_or_default();
+        trace.name_process(PID_HOST, "host");
+        trace.name_thread(PID_HOST, 0, "pipeline");
+        for (name, start_us, dur_us) in &phases.spans {
+            trace.complete(PID_HOST, 0, name, *start_us, *dur_us);
+        }
+        trace.instant(
+            PID_HOST,
+            0,
+            "simulated end",
+            cycles_to_us(run.report.total_cycles),
+        );
+        write(&path, &trace.to_json())?;
+    }
+    if let Some(path) = flag_value(args, "--metrics-out") {
+        for (name, _, dur_us) in &phases.spans {
+            let id = run.metrics.gauge(&format!("host.{name}.wall_ms"));
+            run.metrics.set_gauge(id, dur_us / 1e3);
+        }
+        let meta = SnapshotMeta::collect(nvwa::sim::par::current_threads());
+        write(&path, &run.metrics.snapshot_json(&meta))?;
+    }
+    Ok(())
+}
+
+fn print_report(report: &nvwa::core::SimReport) {
+    println!(
+        "NvWa model: {} cycles → {:.1} K reads/s @ 1 GHz (SU {:.1}%, EU {:.1}%, \
+         {} hits, {} buffer switches)",
+        report.total_cycles,
+        report.kreads_per_sec().unwrap_or(0.0),
+        report.su_utilization * 100.0,
+        report.eu_utilization * 100.0,
+        report.hits_dispatched,
+        report.buffer_switches
+    );
+}
+
+/// The default scenario: the paper-scale accelerator on the calibrated
+/// synthetic workload (no input files needed).
+fn sim(args: &[String]) -> ExitCode {
+    let reads = flag_u64(args, "--reads", 2_000) as usize;
+    let seed = flag_u64(args, "--seed", 42);
+    let mut phases = HostPhases::new();
+    let works = phases.run("workload build", || {
+        SyntheticWorkloadParams {
+            reads,
+            ..SyntheticWorkloadParams::default()
+        }
+        .generate(seed)
+    });
+    let opts = SimOptions {
+        trace: flag_value(args, "--trace-out").is_some(),
+    };
+    let run = phases.run("simulation", || {
+        simulate_instrumented(&NvwaConfig::paper(), &works, &opts)
+    });
+    print_report(&run.report);
+    match emit_telemetry(args, run, &phases) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(code) => code,
     }
 }
 
@@ -146,12 +268,15 @@ fn align(args: &[String]) -> ExitCode {
         genome.total_len(),
         reads.len()
     );
-    let index = ReferenceIndex::build(&genome, 32);
+    let mut phases = HostPhases::new();
+    let index = phases.run("index build", || ReferenceIndex::build(&genome, 32));
     let aligner = SoftwareAligner::new(&index, AlignerConfig::default());
 
     // Align in parallel (read order preserved), then assemble SAM and the
     // hardware workload sequentially from the ordered outcomes.
-    let outcomes = nvwa::sim::par::par_map(&reads, |read| aligner.align_read(read));
+    let outcomes = phases.run("align reads", || {
+        nvwa::sim::par::par_map(&reads, |read| aligner.align_read(read))
+    });
     let mut sam_text = sam::header(&genome);
     let mut works = Vec::with_capacity(reads.len());
     let mut mapped = 0usize;
@@ -173,18 +298,19 @@ fn align(args: &[String]) -> ExitCode {
         println!("wrote {out}");
     }
 
-    if args.iter().any(|a| a == "--simulate") {
-        let report = simulate(&NvwaConfig::paper(), &works);
-        println!(
-            "NvWa model: {} cycles → {:.1} K reads/s @ 1 GHz (SU {:.1}%, EU {:.1}%, \
-             {} hits, {} buffer switches)",
-            report.total_cycles,
-            report.kreads_per_sec(),
-            report.su_utilization * 100.0,
-            report.eu_utilization * 100.0,
-            report.hits_dispatched,
-            report.buffer_switches
-        );
+    let wants_telemetry =
+        flag_value(args, "--trace-out").is_some() || flag_value(args, "--metrics-out").is_some();
+    if args.iter().any(|a| a == "--simulate") || wants_telemetry {
+        let opts = SimOptions {
+            trace: flag_value(args, "--trace-out").is_some(),
+        };
+        let run = phases.run("simulation", || {
+            simulate_instrumented(&NvwaConfig::paper(), &works, &opts)
+        });
+        print_report(&run.report);
+        if let Err(code) = emit_telemetry(args, run, &phases) {
+            return code;
+        }
     }
     ExitCode::SUCCESS
 }

@@ -6,6 +6,8 @@
 //! * [`index`] — suffix array, BWT, FM/FMD-index, SMEM search, k-mer hash index.
 //! * [`align`] — affine-gap Smith-Waterman, chaining, GACT, software aligner.
 //! * [`sim`] — cycle-accurate event kernel, HBM model, statistics.
+//! * [`telemetry`] — metrics registry, stall attribution, Chrome-trace
+//!   export and the snapshot/validation tooling (DESIGN.md §8).
 //! * [`core`] — the NvWa accelerator itself: Seeding Scheduler (One-Cycle Read
 //!   Allocator), Extension Scheduler (Hybrid Units Strategy), Coordinator, the
 //!   full-system simulator, area/power model and the experiment drivers that
@@ -33,3 +35,4 @@ pub use nvwa_core as core;
 pub use nvwa_genome as genome;
 pub use nvwa_index as index;
 pub use nvwa_sim as sim;
+pub use nvwa_telemetry as telemetry;

@@ -62,3 +62,36 @@ fn fig13_is_thread_count_invariant() {
 fn fig14_is_thread_count_invariant() {
     assert_thread_invariant("fig14", || fig14::run(Scale::Quick));
 }
+
+#[test]
+fn telemetry_aggregation_is_thread_count_invariant() {
+    // Fan simulations out with par_map, then fold each run's registry into
+    // one aggregate in index order. The merged snapshot JSON must be
+    // byte-identical at every thread count: merge is deterministic and the
+    // fold order is fixed by the sweep, not by scheduling.
+    use nvwa::core::config::NvwaConfig;
+    use nvwa::core::system::{simulate_instrumented, SimOptions};
+    use nvwa::core::units::workload::SyntheticWorkloadParams;
+    use nvwa::telemetry::{MetricsRegistry, SnapshotMeta};
+
+    let seeds: Vec<u64> = (0..6).collect();
+    let meta = SnapshotMeta {
+        host_threads: 1,
+        git_rev: None,
+    };
+    assert_thread_invariant("telemetry aggregation", || {
+        let runs = nvwa::sim::par::par_map(&seeds, |&seed| {
+            let works = SyntheticWorkloadParams {
+                reads: 60,
+                ..SyntheticWorkloadParams::default()
+            }
+            .generate(seed);
+            simulate_instrumented(&NvwaConfig::small_test(), &works, &SimOptions::default()).metrics
+        });
+        let mut merged = MetricsRegistry::new();
+        for run in &runs {
+            merged.merge_from(run);
+        }
+        merged.snapshot_json(&meta)
+    });
+}

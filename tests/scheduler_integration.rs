@@ -139,6 +139,7 @@ fn throughput_scales_with_su_count() {
             &works,
         )
         .kreads_per_sec()
+        .expect("non-empty simulation")
     };
     let small = run(16);
     let large = run(128);

@@ -1,0 +1,146 @@
+//! End-to-end checks of the telemetry subsystem's acceptance criteria.
+//!
+//! * Chrome-trace busy spans integrate to the reported SU/EU utilization
+//!   (within 1% — in fact exactly, since spans and the stall tracker share
+//!   event-boundary endpoints).
+//! * Per-cause stall cycles sum exactly to each pool's idle cycles, and
+//!   busy + idle covers the whole pool-time rectangle.
+//! * Metrics snapshots and `BENCH_PR1.json` pass their schema validators.
+//! * The trace for a tiny 2-SU/2-EU run is byte-stable against a golden
+//!   file (regenerate with `NVWA_BLESS=1 cargo test -q --test
+//!   telemetry_integration`).
+
+use nvwa::core::config::{EuClass, NvwaConfig};
+use nvwa::core::system::{simulate_instrumented, SimOptions, SimRun};
+use nvwa::core::units::workload::SyntheticWorkloadParams;
+use nvwa::telemetry::snapshot::{
+    validate_bench_report, validate_chrome_trace, validate_metrics_snapshot,
+};
+use nvwa::telemetry::{cycles_to_us, JsonValue, SnapshotMeta, StallCause, PID_ACCELERATOR};
+
+fn instrumented_run() -> SimRun {
+    let works = SyntheticWorkloadParams {
+        reads: 400,
+        ..SyntheticWorkloadParams::default()
+    }
+    .generate(7);
+    simulate_instrumented(
+        &NvwaConfig::small_test(),
+        &works,
+        &SimOptions { trace: true },
+    )
+}
+
+#[test]
+fn trace_busy_spans_integrate_to_reported_utilization() {
+    let config = NvwaConfig::small_test();
+    let run = instrumented_run();
+    let trace = run.trace.as_ref().expect("trace requested");
+    let total_us = cycles_to_us(run.report.total_cycles);
+
+    let su_count = config.su_count;
+    let su_busy_us: f64 = (0..su_count)
+        .map(|i| trace.track_busy_us(PID_ACCELERATOR, i, "read"))
+        .sum();
+    let su_expected = run.report.su_utilization * su_count as f64 * total_us;
+    assert!(
+        (su_busy_us - su_expected).abs() <= 0.01 * su_expected,
+        "SU busy spans {su_busy_us} µs vs utilization integral {su_expected} µs"
+    );
+
+    let eu_count = config.total_eus();
+    let eu_busy_us: f64 = (0..eu_count)
+        .map(|j| trace.track_busy_us(PID_ACCELERATOR, su_count + j, "hit"))
+        .sum();
+    let eu_expected = run.report.eu_utilization * eu_count as f64 * total_us;
+    assert!(
+        (eu_busy_us - eu_expected).abs() <= 0.01 * eu_expected,
+        "EU busy spans {eu_busy_us} µs vs utilization integral {eu_expected} µs"
+    );
+}
+
+#[test]
+fn stall_cycles_sum_to_idle_cycles_in_snapshot() {
+    let config = NvwaConfig::small_test();
+    let run = instrumented_run();
+    let pool_time = run.report.total_cycles as f64;
+    for (prefix, units) in [("su", config.su_count), ("eu", config.total_eus())] {
+        let gauge = |name: &str| {
+            run.metrics
+                .gauge_value(name)
+                .unwrap_or_else(|| panic!("gauge {name} missing"))
+        };
+        let by_cause: f64 = StallCause::IDLE_CAUSES
+            .iter()
+            .map(|c| gauge(&format!("{prefix}.stall.{}.cycles", c.label())))
+            .sum();
+        let idle = gauge(&format!("{prefix}.idle_cycles"));
+        let busy = gauge(&format!("{prefix}.busy_cycles"));
+        assert_eq!(by_cause, idle, "{prefix}: per-cause sum != idle cycles");
+        assert_eq!(
+            busy + idle,
+            units as f64 * pool_time,
+            "{prefix}: busy + idle != pool-time rectangle"
+        );
+    }
+}
+
+#[test]
+fn metrics_snapshot_passes_schema_validation() {
+    let run = instrumented_run();
+    let meta = SnapshotMeta::collect(1);
+    let text = run.metrics.snapshot_json(&meta);
+    let doc = JsonValue::parse(&text).expect("snapshot parses");
+    validate_metrics_snapshot(&doc).expect("snapshot validates");
+}
+
+#[test]
+fn checked_in_bench_report_passes_schema_validation() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_PR1.json");
+    let text = std::fs::read_to_string(path).expect("BENCH_PR1.json readable");
+    let doc = JsonValue::parse(&text).expect("BENCH_PR1.json parses");
+    validate_bench_report(&doc).expect("BENCH_PR1.json validates");
+}
+
+/// A 2-SU/2-EU system small enough for a human-readable golden trace.
+fn tiny_config() -> NvwaConfig {
+    NvwaConfig {
+        su_count: 2,
+        eu_classes: vec![EuClass::new(16, 1), EuClass::new(32, 1)],
+        hits_buffer_depth: 16,
+        alloc_batch_size: 4,
+        su_cache_blocks: 64,
+        stats_bucket: 256,
+        ..NvwaConfig::paper()
+    }
+}
+
+#[test]
+fn tiny_trace_round_trips_and_matches_golden_file() {
+    let works = SyntheticWorkloadParams {
+        reads: 8,
+        ..SyntheticWorkloadParams::default()
+    }
+    .generate(0xA11CE);
+    let run = simulate_instrumented(&tiny_config(), &works, &SimOptions { trace: true });
+    let trace = run.trace.as_ref().expect("trace requested");
+    let text = trace.to_json();
+
+    // Parses, validates as a Chrome trace, and serialization is stable.
+    let doc = JsonValue::parse(&text).expect("trace parses");
+    validate_chrome_trace(&doc).expect("trace validates");
+    assert_eq!(doc.to_string_pretty(), text, "round trip is byte-stable");
+
+    let golden = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/trace_tiny.json");
+    if std::env::var_os("NVWA_BLESS").is_some() {
+        std::fs::write(golden, &text).expect("write golden trace");
+        return;
+    }
+    let expected = std::fs::read_to_string(golden)
+        .expect("golden trace missing; regenerate with NVWA_BLESS=1");
+    assert_eq!(
+        text, expected,
+        "trace for the tiny run drifted from tests/golden/trace_tiny.json \
+         (regenerate with NVWA_BLESS=1 if the change is intentional)"
+    );
+}
