@@ -2,7 +2,7 @@
 //! harness, written as JSON (scenario → median wall-ms, threads).
 //!
 //! ```text
-//! cargo run --release -p nvwa-bench --bin perf                 # writes BENCH_PR1.json
+//! cargo run --release -p nvwa-bench --bin perf                 # writes BENCH_PR3.json
 //! cargo run --release -p nvwa-bench --bin perf -- --out x.json
 //! cargo run --release -p nvwa-bench --bin perf -- --metrics-out m.json
 //! ```
@@ -21,6 +21,10 @@
 //!   at `Scale::Quick`, at 1 and 8 threads.
 //! * `sw_kernel` / `sw_kernel_naive` — the optimized and reference
 //!   Smith-Waterman fills on fixed pseudo-random inputs, single-threaded.
+//! * `serve_closed_2k` — a closed-loop serving run: 2 000 reads pushed
+//!   over loopback TCP through the full `nvwa-serve` stack (framing,
+//!   admission, length-binned batching, 2 workers). Measures end-to-end
+//!   serving overhead relative to the offline workload build.
 //!
 //! Medians of `--samples` runs (default 3). The file also records the
 //! host's available parallelism: on a single-CPU host the parallel
@@ -87,7 +91,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_PR1.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR3.json".to_string());
     let samples: usize = args
         .iter()
         .position(|a| a == "--samples")
@@ -146,6 +150,45 @@ fn main() {
             std::hint::black_box(sw::naive::global_align(q, t, &scoring));
         }
     }));
+
+    // --- serve_closed_2k ----------------------------------------------
+    // The full serving stack over loopback: same reference/index family
+    // as workload_build_10k, 2 000 reads, closed loop. One persistent
+    // server across samples (its index is the dominant fixed cost).
+    {
+        use nvwa_serve::loadgen::{run as loadgen_run, ArrivalMode, LoadgenConfig};
+        use nvwa_serve::{Server, ServerConfig};
+        let serve_reads: Vec<Vec<u8>> = reads[..2_000]
+            .iter()
+            .map(|r| r.seq.codes().to_vec())
+            .collect();
+        let server = Server::start(
+            std::sync::Arc::new(ReferenceIndex::build(&genome, 32)),
+            ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("serve scenario: server start");
+        let addr = server.local_addr().to_string();
+        records.push(run_scenario("serve_closed_2k", 2, samples, || {
+            let report = loadgen_run(
+                &addr,
+                &serve_reads,
+                &LoadgenConfig {
+                    connections: 2,
+                    mode: ArrivalMode::Closed { window: 32 },
+                    ..LoadgenConfig::default()
+                },
+            )
+            .expect("serve scenario: loadgen");
+            assert!(
+                report.is_lossless() && report.ok == serve_reads.len() as u64,
+                "serve scenario must be lossless: {report:?}"
+            );
+        }));
+        server.shutdown();
+    }
 
     let lookup = |name: &str, threads: usize| {
         records

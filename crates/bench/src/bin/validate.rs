@@ -5,21 +5,32 @@
 //! ```
 //!
 //! Each file is parsed and validated against the schema its shape
-//! announces: metrics snapshots (`"kind": "nvwa-metrics"`), bench reports
-//! (`"scenarios"` / `"speedups"`, the `BENCH_*.json` format) and Chrome
-//! traces (`"traceEvents"`). Exits non-zero on the first failure, so CI
-//! can gate on it (see `scripts/check.sh`).
+//! announces: metrics snapshots (`"kind": "nvwa-metrics"`, with the
+//! stricter serve-family schema when the snapshot came from `nvwa serve`),
+//! loadgen reports (`"kind": "nvwa-loadgen"`, conservation identities
+//! included), bench reports (`"scenarios"` / `"speedups"`, the
+//! `BENCH_*.json` format) and Chrome traces (`"traceEvents"`). Exits
+//! non-zero on the first failure, so CI can gate on it (see
+//! `scripts/check.sh`).
 
 use std::process::ExitCode;
 
 use nvwa_telemetry::snapshot::{
-    validate_bench_report, validate_chrome_trace, validate_metrics_snapshot,
+    is_serve_snapshot, validate_bench_report, validate_chrome_trace, validate_loadgen_report,
+    validate_metrics_snapshot, validate_serve_snapshot,
 };
 use nvwa_telemetry::JsonValue;
 
 fn kind_of(doc: &JsonValue) -> Option<&'static str> {
-    if doc.get("kind").and_then(|k| k.as_str()) == Some("nvwa-metrics") {
-        Some("metrics snapshot")
+    let kind = doc.get("kind").and_then(|k| k.as_str());
+    if kind == Some("nvwa-metrics") {
+        if is_serve_snapshot(doc) {
+            Some("serve metrics snapshot")
+        } else {
+            Some("metrics snapshot")
+        }
+    } else if kind == Some("nvwa-loadgen") {
+        Some("loadgen report")
     } else if doc.get("traceEvents").is_some() {
         Some("chrome trace")
     } else if doc.get("scenarios").is_some() && doc.get("speedups").is_some() {
@@ -33,11 +44,14 @@ fn validate_file(path: &str) -> Result<&'static str, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
     let doc = JsonValue::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
     let kind = kind_of(&doc).ok_or_else(|| {
-        "unrecognized document shape (expected a metrics snapshot, bench report or Chrome trace)"
+        "unrecognized document shape (expected a metrics snapshot, loadgen report, \
+         bench report or Chrome trace)"
             .to_string()
     })?;
     match kind {
         "metrics snapshot" => validate_metrics_snapshot(&doc)?,
+        "serve metrics snapshot" => validate_serve_snapshot(&doc)?,
+        "loadgen report" => validate_loadgen_report(&doc)?,
         "chrome trace" => validate_chrome_trace(&doc)?,
         "bench report" => validate_bench_report(&doc)?,
         _ => unreachable!(),

@@ -22,13 +22,10 @@ pub fn scale_from_args(args: &[String]) -> Scale {
     }
 }
 
-/// Parses `--threads N` from a CLI argument list; `None` leaves the
-/// default resolution (`NVWA_THREADS`, then hardware parallelism).
+/// Parses `--threads N` from a CLI argument list. Forwards to the
+/// canonical helper in `nvwa-sim::par` (one parser for every binary).
 pub fn threads_from_args(args: &[String]) -> Option<usize> {
-    args.iter()
-        .position(|a| a == "--threads")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
+    nvwa_sim::par::threads_from_args(args)
 }
 
 /// The experiment names the `repro` binary understands.

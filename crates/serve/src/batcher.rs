@@ -1,0 +1,295 @@
+//! The length-binned dynamic batcher.
+//!
+//! The paper's Coordinator keeps the EU pool busy by grouping hits of
+//! similar length before allocation (Fig. 10), so a long extension never
+//! convoys a queue of short ones. The serving layer faces the same
+//! problem one level up: heterogeneous reads arrive interleaved on one
+//! admission queue, and batching them FIFO would let a single long read
+//! stall a batch of short ones. The batcher therefore keeps one
+//! accumulator per read-length *bin* and flushes each bin independently,
+//! **fill-or-timeout**: a bin ships the moment it holds `max_batch`
+//! requests (fill) or when its oldest request has waited `max_wait`
+//! (timeout) — latency is bounded even at low load, and batches stay
+//! length-homogeneous at high load.
+//!
+//! The struct is a pure state machine over explicit timestamps (no clock
+//! reads, no threads), so policy behaviour is unit-testable
+//! deterministically; the server wraps it in a driver thread.
+
+use std::time::{Duration, Instant};
+
+/// Batching policy parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatcherConfig {
+    /// Upper bounds (exclusive) of the read-length bins; lengths ≥ the
+    /// last bound share one overflow bin. The defaults separate short
+    /// Illumina-class reads from mid and long reads.
+    pub bin_bounds: Vec<usize>,
+    /// Flush a bin as soon as it holds this many requests.
+    pub max_batch: usize,
+    /// Flush a bin when its oldest request has waited this long.
+    pub max_wait: Duration,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> BatcherConfig {
+        BatcherConfig {
+            bin_bounds: vec![256, 1024, 4096],
+            max_batch: 64,
+            max_wait: Duration::from_millis(2),
+        }
+    }
+}
+
+impl BatcherConfig {
+    /// Number of bins (the bounds plus the overflow bin).
+    pub fn bins(&self) -> usize {
+        self.bin_bounds.len() + 1
+    }
+
+    /// The bin index for a read of `len` bases.
+    pub fn bin_of(&self, len: usize) -> usize {
+        self.bin_bounds
+            .iter()
+            .position(|&b| len < b)
+            .unwrap_or(self.bin_bounds.len())
+    }
+}
+
+/// One queued request: an opaque payload plus the scheduling facts the
+/// batcher needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchItem<T> {
+    /// Caller payload (the server routes responses through it).
+    pub payload: T,
+    /// Read length in bases (selects the bin).
+    pub len: usize,
+    /// When the request was admitted (latency accounting).
+    pub admitted_at: Instant,
+    /// Absolute deadline; expired items are extracted at flush time.
+    pub deadline: Option<Instant>,
+}
+
+/// Why a batch shipped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushReason {
+    /// The bin reached `max_batch`.
+    Fill,
+    /// The bin's oldest request hit `max_wait`.
+    Timeout,
+    /// The server is draining.
+    Drain,
+}
+
+/// A formed batch: length-homogeneous, ready for a worker.
+#[derive(Debug)]
+pub struct Batch<T> {
+    /// Index of the source bin.
+    pub bin: usize,
+    /// Why it shipped.
+    pub reason: FlushReason,
+    /// Live requests, admission order preserved.
+    pub items: Vec<BatchItem<T>>,
+    /// Requests whose deadline expired while queued; the caller answers
+    /// these with a `deadline` status instead of processing them.
+    pub expired: Vec<BatchItem<T>>,
+}
+
+/// The batcher state machine.
+#[derive(Debug)]
+pub struct Batcher<T> {
+    config: BatcherConfig,
+    bins: Vec<Vec<BatchItem<T>>>,
+}
+
+impl<T> Batcher<T> {
+    /// Creates an empty batcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch == 0` or the bin bounds are not strictly
+    /// increasing.
+    pub fn new(config: BatcherConfig) -> Batcher<T> {
+        assert!(config.max_batch > 0, "max_batch must be positive");
+        assert!(
+            config.bin_bounds.windows(2).all(|w| w[0] < w[1]),
+            "bin bounds must be strictly increasing"
+        );
+        let bins = (0..config.bins()).map(|_| Vec::new()).collect();
+        Batcher { config, bins }
+    }
+
+    /// The policy parameters.
+    pub fn config(&self) -> &BatcherConfig {
+        &self.config
+    }
+
+    /// Requests currently buffered across all bins.
+    pub fn pending(&self) -> usize {
+        self.bins.iter().map(Vec::len).sum()
+    }
+
+    /// Admits one request, returning any batch its arrival completed.
+    pub fn offer(&mut self, item: BatchItem<T>, now: Instant) -> Option<Batch<T>> {
+        let bin = self.config.bin_of(item.len);
+        self.bins[bin].push(item);
+        if self.bins[bin].len() >= self.config.max_batch {
+            Some(self.flush_bin(bin, FlushReason::Fill, now))
+        } else {
+            None
+        }
+    }
+
+    /// Flushes every bin whose oldest request has waited `max_wait`.
+    pub fn poll(&mut self, now: Instant) -> Vec<Batch<T>> {
+        let due: Vec<usize> = (0..self.bins.len())
+            .filter(|&b| {
+                self.bins[b].first().is_some_and(|item| {
+                    now.duration_since(item.admitted_at) >= self.config.max_wait
+                })
+            })
+            .collect();
+        due.into_iter()
+            .map(|b| self.flush_bin(b, FlushReason::Timeout, now))
+            .collect()
+    }
+
+    /// The next instant at which [`Batcher::poll`] could flush something,
+    /// or `None` while empty — the driver thread sleeps until then.
+    pub fn next_flush_at(&self) -> Option<Instant> {
+        self.bins
+            .iter()
+            .filter_map(|bin| bin.first())
+            .map(|item| item.admitted_at + self.config.max_wait)
+            .min()
+    }
+
+    /// Flushes everything (shutdown drain), oldest bins first.
+    pub fn drain(&mut self, now: Instant) -> Vec<Batch<T>> {
+        (0..self.bins.len())
+            .filter(|&b| !self.bins[b].is_empty())
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|b| self.flush_bin(b, FlushReason::Drain, now))
+            .collect()
+    }
+
+    fn flush_bin(&mut self, bin: usize, reason: FlushReason, now: Instant) -> Batch<T> {
+        let drained = std::mem::take(&mut self.bins[bin]);
+        let (expired, items): (Vec<_>, Vec<_>) = drained
+            .into_iter()
+            .partition(|item| item.deadline.is_some_and(|d| d <= now));
+        Batch {
+            bin,
+            reason,
+            items,
+            expired,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(len: usize, at: Instant) -> BatchItem<u64> {
+        BatchItem {
+            payload: len as u64,
+            len,
+            admitted_at: at,
+            deadline: None,
+        }
+    }
+
+    fn config(max_batch: usize, wait_ms: u64) -> BatcherConfig {
+        BatcherConfig {
+            bin_bounds: vec![256, 1024],
+            max_batch,
+            max_wait: Duration::from_millis(wait_ms),
+        }
+    }
+
+    #[test]
+    fn bin_selection_covers_the_length_axis() {
+        let c = BatcherConfig::default();
+        assert_eq!(c.bin_of(0), 0);
+        assert_eq!(c.bin_of(101), 0);
+        assert_eq!(c.bin_of(256), 1);
+        assert_eq!(c.bin_of(5000), 3);
+        assert_eq!(c.bins(), 4);
+    }
+
+    #[test]
+    fn fill_flushes_exactly_at_max_batch() {
+        let mut b = Batcher::new(config(3, 1000));
+        let t0 = Instant::now();
+        assert!(b.offer(item(100, t0), t0).is_none());
+        assert!(b.offer(item(100, t0), t0).is_none());
+        let batch = b.offer(item(100, t0), t0).expect("third item fills");
+        assert_eq!(batch.items.len(), 3);
+        assert_eq!(batch.reason, FlushReason::Fill);
+        assert_eq!(b.pending(), 0);
+    }
+
+    #[test]
+    fn short_and_long_reads_do_not_share_batches() {
+        let mut b = Batcher::new(config(2, 1000));
+        let t0 = Instant::now();
+        assert!(b.offer(item(100, t0), t0).is_none());
+        // A long read lands in another bin: the short bin keeps waiting.
+        assert!(b.offer(item(2000, t0), t0).is_none());
+        let batch = b.offer(item(101, t0), t0).expect("short bin fills");
+        assert_eq!(batch.bin, 0);
+        assert!(batch.items.iter().all(|i| i.len < 256));
+        assert_eq!(b.pending(), 1, "long read still buffered");
+    }
+
+    #[test]
+    fn timeout_flushes_a_partial_bin() {
+        let mut b = Batcher::new(config(64, 5));
+        let t0 = Instant::now();
+        b.offer(item(100, t0), t0);
+        assert!(b.poll(t0).is_empty(), "not due yet");
+        assert_eq!(b.next_flush_at(), Some(t0 + Duration::from_millis(5)));
+        let later = t0 + Duration::from_millis(6);
+        let batches = b.poll(later);
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].reason, FlushReason::Timeout);
+        assert_eq!(batches[0].items.len(), 1);
+        assert!(b.next_flush_at().is_none());
+    }
+
+    #[test]
+    fn expired_items_are_separated_at_flush() {
+        let mut b = Batcher::new(config(64, 5));
+        let t0 = Instant::now();
+        b.offer(
+            BatchItem {
+                payload: 1u64,
+                len: 100,
+                admitted_at: t0,
+                deadline: Some(t0 + Duration::from_millis(2)),
+            },
+            t0,
+        );
+        b.offer(item(100, t0), t0);
+        let later = t0 + Duration::from_millis(6);
+        let batches = b.poll(later);
+        assert_eq!(batches[0].items.len(), 1);
+        assert_eq!(batches[0].expired.len(), 1);
+        assert_eq!(batches[0].expired[0].payload, 1);
+    }
+
+    #[test]
+    fn drain_empties_every_bin() {
+        let mut b = Batcher::new(config(64, 1000));
+        let t0 = Instant::now();
+        b.offer(item(100, t0), t0);
+        b.offer(item(500, t0), t0);
+        b.offer(item(2000, t0), t0);
+        let batches = b.drain(t0);
+        assert_eq!(batches.len(), 3);
+        assert!(batches.iter().all(|b| b.reason == FlushReason::Drain));
+        assert_eq!(b.pending(), 0);
+    }
+}

@@ -1,0 +1,159 @@
+//! `nvwa-loadgen` — drive a running `nvwa serve` instance.
+//!
+//! ```text
+//! nvwa-loadgen [--addr H:P | --addr-file PATH] [--reads N] [--connections C]
+//!              [--mode closed|open] [--window W] [--rate RPS] [--burst B]
+//!              [--deadline-ms D] [--ref-len N] [--ref-seed S] [--read-seed S]
+//!              [--out report.json] [--shutdown] [--threads N]
+//! ```
+//!
+//! Synthesizes `--reads` reads against the same synthetic reference the
+//! server built (`--ref-len`/`--ref-seed` must match), pushes them using
+//! the chosen arrival discipline, prints a human summary and writes the
+//! machine-readable report (`validate` checks it, conservation identities
+//! included). Exits non-zero if any request was lost or duplicated —
+//! the CI smoke test's response-conservation check.
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use nvwa_serve::loadgen::{self, ArrivalMode, LoadgenConfig};
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn flag_u64(args: &[String], name: &str, default: u64) -> u64 {
+    flag_value(args, name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: nvwa-loadgen [--addr H:P | --addr-file PATH] [--reads N]");
+    eprintln!("                    [--connections C] [--mode closed|open] [--window W]");
+    eprintln!("                    [--rate RPS] [--burst B] [--deadline-ms D]");
+    eprintln!("                    [--ref-len N] [--ref-seed S] [--read-seed S]");
+    eprintln!("                    [--out report.json] [--shutdown] [--threads N]");
+    ExitCode::FAILURE
+}
+
+/// Resolves the target address: `--addr` directly, or `--addr-file`
+/// (polls up to 10 s for the server to write it — scripts start the
+/// server in the background and race us to the file).
+fn resolve_addr(args: &[String]) -> Result<String, ExitCode> {
+    if let Some(addr) = flag_value(args, "--addr") {
+        return Ok(addr);
+    }
+    let Some(path) = flag_value(args, "--addr-file") else {
+        return Ok("127.0.0.1:7878".to_string());
+    };
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match std::fs::read_to_string(&path) {
+            Ok(text) if !text.trim().is_empty() => return Ok(text.trim().to_string()),
+            _ if Instant::now() >= deadline => {
+                eprintln!("nvwa-loadgen: no address in {path} after 10s");
+                return Err(ExitCode::FAILURE);
+            }
+            _ => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        return usage();
+    }
+    nvwa_sim::par::configure_threads_from_args(&args);
+    let addr = match resolve_addr(&args) {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let mode = match flag_value(&args, "--mode").as_deref().unwrap_or("closed") {
+        "closed" => ArrivalMode::Closed {
+            window: flag_u64(&args, "--window", 32) as usize,
+        },
+        "open" => ArrivalMode::Open {
+            rate_rps: flag_value(&args, "--rate")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(500.0),
+            burst: flag_u64(&args, "--burst", 1) as usize,
+        },
+        other => {
+            eprintln!("nvwa-loadgen: unknown mode {other:?}");
+            return usage();
+        }
+    };
+    let reads_n = flag_u64(&args, "--reads", 1_000) as usize;
+    let ref_len = flag_u64(&args, "--ref-len", 100_000) as usize;
+    let ref_seed = flag_u64(&args, "--ref-seed", 5);
+    let read_seed = flag_u64(&args, "--read-seed", 11);
+    let config = LoadgenConfig {
+        connections: flag_u64(&args, "--connections", 2) as usize,
+        mode,
+        deadline_ms: flag_value(&args, "--deadline-ms").and_then(|v| v.parse().ok()),
+        arrival_seed: read_seed,
+        collect_responses: false,
+        shutdown_after: args.iter().any(|a| a == "--shutdown"),
+    };
+
+    eprintln!("synthesizing {reads_n} reads (ref {ref_len} bp, seed {ref_seed}) ...");
+    let reads =
+        loadgen::generate_reads(&loadgen::ref_params(ref_len), ref_seed, read_seed, reads_n);
+    eprintln!(
+        "driving {addr}: {} mode, {} connections ...",
+        config.mode.as_str(),
+        config.connections
+    );
+    let report = match loadgen::run(&addr, &reads, &config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("nvwa-loadgen: {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let fmt_us = |v: Option<f64>| v.map_or("-".to_string(), |us| format!("{:.1}", us / 1e3));
+    println!(
+        "sent {} received {} (ok {} shed {} deadline {} error {}) lost {} dup {}",
+        report.sent,
+        report.received,
+        report.ok,
+        report.shed,
+        report.deadline,
+        report.errors,
+        report.lost,
+        report.duplicates
+    );
+    println!(
+        "mapped {}/{} | {:.0} req/s | latency ms p50 {} p90 {} p99 {} max {}",
+        report.mapped,
+        report.ok,
+        report.throughput_rps,
+        fmt_us(report.latency.p50),
+        fmt_us(report.latency.p90),
+        fmt_us(report.latency.p99),
+        fmt_us(report.latency.max)
+    );
+    if let Some(out) = flag_value(&args, "--out") {
+        let doc = report.to_json().to_string_pretty();
+        if let Err(e) = std::fs::write(&out, doc) {
+            eprintln!("nvwa-loadgen: cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {out}");
+    }
+    if !report.is_lossless() {
+        eprintln!(
+            "nvwa-loadgen: FAILED response conservation: lost {} duplicates {}",
+            report.lost, report.duplicates
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,40 @@
+//! `nvwa-serve` — a batched alignment serving subsystem.
+//!
+//! The offline pipeline (`nvwa align`) answers "how fast can we align a
+//! corpus"; this crate answers the system question the NvWa paper's
+//! hardware scheduler poses one level up: **how do you keep an alignment
+//! engine busy when requests arrive one at a time, with deadlines, from
+//! many clients?** The design mirrors the paper's Coordinator:
+//!
+//! * a TCP front end speaking length-prefixed JSON ([`protocol`]),
+//! * a bounded admission queue with explicit load-shedding ([`queue`]) —
+//!   backpressure is a protocol answer (`shed`), never unbounded memory,
+//! * a length-binned fill-or-timeout batcher ([`batcher`]) so short reads
+//!   never convoy behind long ones,
+//! * a worker pool executing batches bit-identically to the offline
+//!   aligner, optionally replaying each batch through the cycle-accurate
+//!   accelerator model ([`backend`]),
+//! * graceful drain on shutdown — every admitted request is answered
+//!   ([`server`]),
+//! * full telemetry: queue-depth gauges, batch/latency histograms,
+//!   shed/deadline counters, Chrome-trace spans per batch ([`metrics`]),
+//! * and a calibrated open/closed-loop load generator ([`loadgen`]).
+//!
+//! Everything is std-only (DESIGN.md §7): no async runtime, no
+//! serialization crates — threads, mutexes, condvars and sockets.
+
+pub mod backend;
+pub mod batcher;
+pub mod loadgen;
+pub mod metrics;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod signal;
+
+pub use backend::BackendKind;
+pub use batcher::BatcherConfig;
+pub use loadgen::{ArrivalMode, LoadReport, LoadgenConfig};
+pub use metrics::ServeMetrics;
+pub use protocol::{AlignResponse, Request, Status};
+pub use server::{Server, ServerConfig};

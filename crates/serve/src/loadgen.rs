@@ -1,0 +1,600 @@
+//! Load generation against a running server, as a library (the
+//! `nvwa-loadgen` binary and the perf harness both call [`run`]).
+//!
+//! Two arrival disciplines:
+//!
+//! * **Closed loop** — each connection keeps a fixed window of requests in
+//!   flight and sends the next the moment a response lands. Measures
+//!   saturated throughput; the window is the offered concurrency.
+//! * **Open loop** — requests are injected on a schedule that ignores
+//!   responses: Poisson arrivals at a target rate, optionally clustered
+//!   into back-to-back bursts. Measures latency under a fixed offered
+//!   load, including overload (where shedding is the *correct* outcome).
+//!
+//! Every request is tracked until its response arrives; the report proves
+//! conservation: `sent == received + lost` and
+//! `received == ok + shed + deadline + errors`, with duplicates counted
+//! separately. A healthy run has `lost == 0 && duplicates == 0`.
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use nvwa_genome::{ReadSimParams, ReadSimulator, ReferenceGenome, ReferenceParams};
+use nvwa_telemetry::JsonValue;
+
+use crate::protocol::{read_frame, write_frame, AlignResponse, Request, Status};
+
+/// How long a connection waits for a response before declaring the
+/// remainder lost.
+const RESPONSE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Arrival discipline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalMode {
+    /// Fixed-window pipelining per connection.
+    Closed {
+        /// Requests kept in flight per connection.
+        window: usize,
+    },
+    /// Rate-driven injection, blind to responses.
+    Open {
+        /// Offered load in requests per second (aggregate).
+        rate_rps: f64,
+        /// Requests per burst; `1` is plain Poisson, larger values send
+        /// bursts whose epochs are Poisson at `rate_rps / burst`.
+        burst: usize,
+    },
+}
+
+impl ArrivalMode {
+    /// The report's `mode` string.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ArrivalMode::Closed { .. } => "closed",
+            ArrivalMode::Open { .. } => "open",
+        }
+    }
+}
+
+/// Loadgen parameters (the reads come separately — see [`generate_reads`]).
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Parallel client connections.
+    pub connections: usize,
+    /// Arrival discipline.
+    pub mode: ArrivalMode,
+    /// Deadline attached to every request, if any.
+    pub deadline_ms: Option<u64>,
+    /// PRNG seed for arrival-time sampling (open loop).
+    pub arrival_seed: u64,
+    /// Keep every decoded response in the report (for bit-identical
+    /// verification against the offline aligner).
+    pub collect_responses: bool,
+    /// Send a `shutdown` request after the run completes.
+    pub shutdown_after: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> LoadgenConfig {
+        LoadgenConfig {
+            connections: 2,
+            mode: ArrivalMode::Closed { window: 32 },
+            deadline_ms: None,
+            arrival_seed: 1,
+            collect_responses: false,
+            shutdown_after: false,
+        }
+    }
+}
+
+/// Exact latency summary (microseconds) from the full sample vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Mean, or `None` when empty.
+    pub mean: Option<f64>,
+    /// Nearest-rank percentiles, or `None` when empty.
+    pub p50: Option<f64>,
+    /// 90th percentile.
+    pub p90: Option<f64>,
+    /// 99th percentile.
+    pub p99: Option<f64>,
+    /// Minimum.
+    pub min: Option<f64>,
+    /// Maximum.
+    pub max: Option<f64>,
+}
+
+impl LatencySummary {
+    /// Summarizes a sample vector (consumed; sorted internally).
+    pub fn from_us(mut samples: Vec<f64>) -> LatencySummary {
+        if samples.is_empty() {
+            return LatencySummary {
+                count: 0,
+                mean: None,
+                p50: None,
+                p90: None,
+                p99: None,
+                min: None,
+                max: None,
+            };
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = samples.len();
+        let pct = |q: f64| -> f64 {
+            let rank = ((q / 100.0) * n as f64).ceil() as usize;
+            samples[rank.clamp(1, n) - 1]
+        };
+        LatencySummary {
+            count: n as u64,
+            mean: Some(samples.iter().sum::<f64>() / n as f64),
+            p50: Some(pct(50.0)),
+            p90: Some(pct(90.0)),
+            p99: Some(pct(99.0)),
+            min: Some(samples[0]),
+            max: Some(samples[n - 1]),
+        }
+    }
+
+    fn to_json(&self) -> JsonValue {
+        let num = |v: Option<f64>| v.map_or(JsonValue::Null, JsonValue::Num);
+        JsonValue::obj(vec![
+            ("count", JsonValue::Num(self.count as f64)),
+            ("mean", num(self.mean)),
+            ("p50", num(self.p50)),
+            ("p90", num(self.p90)),
+            ("p99", num(self.p99)),
+            ("min", num(self.min)),
+            ("max", num(self.max)),
+        ])
+    }
+}
+
+/// The outcome of one loadgen run.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Arrival discipline (`"closed"` or `"open"`).
+    pub mode: &'static str,
+    /// Requests written to sockets.
+    pub sent: u64,
+    /// Unique responses received.
+    pub received: u64,
+    /// Requests with no response (timeout or connection drop).
+    pub lost: u64,
+    /// Responses for an id already answered.
+    pub duplicates: u64,
+    /// `ok` responses.
+    pub ok: u64,
+    /// `shed` responses (explicit backpressure).
+    pub shed: u64,
+    /// `deadline` responses.
+    pub deadline: u64,
+    /// `error` responses.
+    pub errors: u64,
+    /// `ok` responses carrying an alignment.
+    pub mapped: u64,
+    /// Connections used.
+    pub connections: u64,
+    /// Reads offered.
+    pub reads: u64,
+    /// Wall-clock duration of the run in milliseconds.
+    pub wall_ms: f64,
+    /// Unique responses per second.
+    pub throughput_rps: f64,
+    /// Client-observed end-to-end latency (send → response), `ok` only.
+    pub latency: LatencySummary,
+    /// Decoded responses by request id (when `collect_responses`).
+    pub responses: HashMap<u64, AlignResponse>,
+}
+
+impl LoadReport {
+    /// The report document (`validate` checks it against the
+    /// `nvwa-loadgen` schema, conservation identities included).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("kind", JsonValue::Str("nvwa-loadgen".to_string())),
+            ("schema_version", JsonValue::Num(1.0)),
+            ("mode", JsonValue::Str(self.mode.to_string())),
+            ("sent", JsonValue::Num(self.sent as f64)),
+            ("received", JsonValue::Num(self.received as f64)),
+            ("lost", JsonValue::Num(self.lost as f64)),
+            ("duplicates", JsonValue::Num(self.duplicates as f64)),
+            ("ok", JsonValue::Num(self.ok as f64)),
+            ("shed", JsonValue::Num(self.shed as f64)),
+            ("deadline", JsonValue::Num(self.deadline as f64)),
+            ("errors", JsonValue::Num(self.errors as f64)),
+            ("mapped", JsonValue::Num(self.mapped as f64)),
+            ("connections", JsonValue::Num(self.connections as f64)),
+            ("reads", JsonValue::Num(self.reads as f64)),
+            ("wall_ms", JsonValue::Num(self.wall_ms)),
+            ("throughput_rps", JsonValue::Num(self.throughput_rps)),
+            ("latency_us", self.latency.to_json()),
+        ])
+    }
+
+    /// `lost == 0 && duplicates == 0` — the healthy-run invariant.
+    pub fn is_lossless(&self) -> bool {
+        self.lost == 0 && self.duplicates == 0
+    }
+}
+
+/// The canonical synthetic-reference shape for serving: both the `nvwa
+/// serve` CLI and `nvwa-loadgen` build from `(ref_params(len), ref_seed)`,
+/// so a loadgen pointed at a default server produces reads that map.
+pub fn ref_params(total_len: usize) -> ReferenceParams {
+    ReferenceParams {
+        total_len,
+        chromosomes: 2,
+        repeat_families: 8,
+        ..ReferenceParams::default()
+    }
+}
+
+/// Synthesizes a read set against the same reference the server built
+/// (`ref_seed` must match the server's), so reads actually map.
+pub fn generate_reads(
+    params: &ReferenceParams,
+    ref_seed: u64,
+    read_seed: u64,
+    n: usize,
+) -> Vec<Vec<u8>> {
+    let genome = ReferenceGenome::synthesize(params, ref_seed);
+    let mut sim = ReadSimulator::new(&genome, ReadSimParams::illumina_101(), read_seed);
+    sim.simulate_reads(n)
+        .into_iter()
+        .map(|r| r.seq.codes().to_vec())
+        .collect()
+}
+
+/// splitmix64 — deterministic arrival-time sampling with zero deps.
+struct Prng(u64);
+
+impl Prng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `(0, 1]` (never 0, so `ln` is safe).
+    fn next_f64(&mut self) -> f64 {
+        ((self.next_u64() >> 11) + 1) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Exponential with the given rate (events/second), in seconds.
+    fn next_exp(&mut self, rate: f64) -> f64 {
+        -self.next_f64().ln() / rate
+    }
+}
+
+/// Per-connection tally, merged into the final report.
+#[derive(Default)]
+struct ConnTally {
+    sent: u64,
+    received: u64,
+    lost: u64,
+    duplicates: u64,
+    ok: u64,
+    shed: u64,
+    deadline: u64,
+    errors: u64,
+    mapped: u64,
+    latencies_us: Vec<f64>,
+    responses: HashMap<u64, AlignResponse>,
+}
+
+impl ConnTally {
+    fn record(&mut self, doc: &JsonValue, sent_at: &mut HashMap<u64, Instant>, collect: bool) {
+        let Ok(resp) = AlignResponse::decode(doc) else {
+            return; // undecodable frame; the request will surface as lost
+        };
+        let Some(at) = sent_at.remove(&resp.id) else {
+            self.duplicates += 1;
+            return;
+        };
+        self.received += 1;
+        match resp.status {
+            Status::Ok => {
+                self.ok += 1;
+                if resp.alignment.is_some() {
+                    self.mapped += 1;
+                }
+                self.latencies_us.push(at.elapsed().as_secs_f64() * 1e6);
+            }
+            Status::Shed => self.shed += 1,
+            Status::Deadline => self.deadline += 1,
+            Status::Error => self.errors += 1,
+        }
+        if collect {
+            self.responses.insert(resp.id, resp);
+        }
+    }
+}
+
+fn connect(addr: &str) -> std::io::Result<TcpStream> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(RESPONSE_TIMEOUT))?;
+    Ok(stream)
+}
+
+fn align_request(id: u64, codes: &[u8], deadline_ms: Option<u64>) -> JsonValue {
+    Request::Align {
+        id,
+        codes: codes.to_vec(),
+        deadline_ms,
+    }
+    .encode()
+}
+
+/// One closed-loop connection: keep `window` requests in flight.
+fn closed_conn(
+    addr: &str,
+    reads: &[(u64, &[u8])],
+    window: usize,
+    deadline_ms: Option<u64>,
+    collect: bool,
+) -> std::io::Result<ConnTally> {
+    let mut stream = connect(addr)?;
+    let mut tally = ConnTally::default();
+    let mut sent_at: HashMap<u64, Instant> = HashMap::new();
+    let mut next = 0usize;
+    let window = window.max(1);
+    while next < reads.len() || !sent_at.is_empty() {
+        while next < reads.len() && sent_at.len() < window {
+            let (id, codes) = reads[next];
+            write_frame(&mut stream, &align_request(id, codes, deadline_ms))?;
+            sent_at.insert(id, Instant::now());
+            tally.sent += 1;
+            next += 1;
+        }
+        match read_frame(&mut stream) {
+            Ok(Some(doc)) => tally.record(&doc, &mut sent_at, collect),
+            Ok(None) => break,
+            Err(_) => break,
+        }
+    }
+    tally.lost += sent_at.len() as u64;
+    Ok(tally)
+}
+
+/// One open-loop connection: a sender thread injects on schedule while
+/// this thread drains responses.
+fn open_conn(
+    addr: &str,
+    reads: &[(u64, &[u8])],
+    rate_rps: f64,
+    burst: usize,
+    deadline_ms: Option<u64>,
+    seed: u64,
+    collect: bool,
+) -> std::io::Result<ConnTally> {
+    let stream = connect(addr)?;
+    let mut read_half = stream.try_clone()?;
+    let sent_at: Arc<Mutex<HashMap<u64, Instant>>> = Arc::new(Mutex::new(HashMap::new()));
+    let sender_done = Arc::new(AtomicBool::new(false));
+    let owned: Vec<(u64, Vec<u8>)> = reads.iter().map(|(id, c)| (*id, c.to_vec())).collect();
+    let sender = {
+        let sent_at = Arc::clone(&sent_at);
+        let done = Arc::clone(&sender_done);
+        let mut write_half = stream;
+        std::thread::spawn(move || -> u64 {
+            let mut prng = Prng(seed ^ 0xda7a_5eed);
+            let burst = burst.max(1);
+            let epoch_rate = (rate_rps / burst as f64).max(1e-6);
+            let start = Instant::now();
+            let mut at = 0.0f64;
+            let mut sent = 0u64;
+            for chunk in owned.chunks(burst) {
+                at += prng.next_exp(epoch_rate);
+                let due = start + Duration::from_secs_f64(at);
+                let now = Instant::now();
+                if due > now {
+                    std::thread::sleep(due - now);
+                }
+                for (id, codes) in chunk {
+                    sent_at.lock().unwrap().insert(*id, Instant::now());
+                    if write_frame(&mut write_half, &align_request(*id, codes, deadline_ms))
+                        .is_err()
+                    {
+                        sent_at.lock().unwrap().remove(id);
+                        done.store(true, Ordering::SeqCst);
+                        return sent;
+                    }
+                    sent += 1;
+                }
+            }
+            let _ = write_half.flush();
+            done.store(true, Ordering::SeqCst);
+            sent
+        })
+    };
+    let mut tally = ConnTally::default();
+    loop {
+        if sender_done.load(Ordering::Relaxed) && sent_at.lock().unwrap().is_empty() {
+            break;
+        }
+        match read_frame(&mut read_half) {
+            Ok(Some(doc)) => {
+                let mut pending = sent_at.lock().unwrap();
+                tally.record(&doc, &mut pending, collect);
+            }
+            Ok(None) => break,
+            Err(_) => break, // timeout — remainder is lost
+        }
+    }
+    tally.sent = sender.join().unwrap_or(0);
+    tally.lost += sent_at.lock().unwrap().len() as u64;
+    Ok(tally)
+}
+
+/// Runs the load against `addr`. Read `i` of `reads` is request id `i`.
+///
+/// # Errors
+///
+/// Returns connection errors; per-request failures are tallied, not
+/// returned.
+pub fn run(addr: &str, reads: &[Vec<u8>], config: &LoadgenConfig) -> std::io::Result<LoadReport> {
+    let connections = config.connections.max(1);
+    // Round-robin partition, global ids preserved.
+    let partitions: Vec<Vec<(u64, &[u8])>> = (0..connections)
+        .map(|c| {
+            reads
+                .iter()
+                .enumerate()
+                .skip(c)
+                .step_by(connections)
+                .map(|(i, codes)| (i as u64, codes.as_slice()))
+                .collect()
+        })
+        .collect();
+    let start = Instant::now();
+    let tallies: Vec<std::io::Result<ConnTally>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = partitions
+            .iter()
+            .enumerate()
+            .map(|(c, part)| {
+                let mode = config.mode;
+                let deadline_ms = config.deadline_ms;
+                let collect = config.collect_responses;
+                let seed = config.arrival_seed.wrapping_add(c as u64);
+                scope.spawn(move || match mode {
+                    ArrivalMode::Closed { window } => {
+                        closed_conn(addr, part, window, deadline_ms, collect)
+                    }
+                    ArrivalMode::Open { rate_rps, burst } => {
+                        open_conn(addr, part, rate_rps, burst, deadline_ms, seed, collect)
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall_ms = (start.elapsed().as_secs_f64() * 1e3).max(0.001);
+    let mut merged = ConnTally::default();
+    for tally in tallies {
+        let tally = tally?;
+        merged.sent += tally.sent;
+        merged.received += tally.received;
+        merged.lost += tally.lost;
+        merged.duplicates += tally.duplicates;
+        merged.ok += tally.ok;
+        merged.shed += tally.shed;
+        merged.deadline += tally.deadline;
+        merged.errors += tally.errors;
+        merged.mapped += tally.mapped;
+        merged.latencies_us.extend(tally.latencies_us);
+        merged.responses.extend(tally.responses);
+    }
+    if config.shutdown_after {
+        let _ = send_shutdown(addr);
+    }
+    Ok(LoadReport {
+        mode: config.mode.as_str(),
+        sent: merged.sent,
+        received: merged.received,
+        lost: merged.lost,
+        duplicates: merged.duplicates,
+        ok: merged.ok,
+        shed: merged.shed,
+        deadline: merged.deadline,
+        errors: merged.errors,
+        mapped: merged.mapped,
+        connections: connections as u64,
+        reads: reads.len() as u64,
+        wall_ms,
+        throughput_rps: merged.received as f64 / (wall_ms / 1e3),
+        latency: LatencySummary::from_us(merged.latencies_us),
+        responses: merged.responses,
+    })
+}
+
+/// Sends a `shutdown` request on a fresh connection and waits for the ack.
+///
+/// # Errors
+///
+/// Returns connection/write errors.
+pub fn send_shutdown(addr: &str) -> std::io::Result<()> {
+    let mut stream = connect(addr)?;
+    write_frame(&mut stream, &Request::Shutdown.encode())?;
+    let _ = read_frame(&mut stream);
+    Ok(())
+}
+
+/// Fetches the server's metrics snapshot on a fresh connection.
+///
+/// # Errors
+///
+/// Returns connection errors, or `InvalidData` if the server closed
+/// without answering.
+pub fn fetch_stats(addr: &str) -> std::io::Result<JsonValue> {
+    let mut stream = connect(addr)?;
+    write_frame(&mut stream, &Request::Stats.encode())?;
+    read_frame(&mut stream)?.ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "server closed before answering stats",
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvwa_telemetry::snapshot::validate_loadgen_report;
+
+    #[test]
+    fn latency_summary_is_exact_on_known_samples() {
+        let s = LatencySummary::from_us(vec![10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.mean, Some(30.0));
+        assert_eq!(s.p50, Some(30.0));
+        assert_eq!(s.p90, Some(50.0));
+        assert_eq!(s.p99, Some(50.0));
+        assert_eq!(s.min, Some(10.0));
+        assert_eq!(s.max, Some(50.0));
+        let empty = LatencySummary::from_us(Vec::new());
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.p99, None);
+    }
+
+    #[test]
+    fn prng_exponential_is_positive_and_finite() {
+        let mut p = Prng(42);
+        for _ in 0..1000 {
+            let dt = p.next_exp(100.0);
+            assert!(dt.is_finite() && dt > 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_report_passes_the_schema() {
+        let report = LoadReport {
+            mode: "closed",
+            sent: 0,
+            received: 0,
+            lost: 0,
+            duplicates: 0,
+            ok: 0,
+            shed: 0,
+            deadline: 0,
+            errors: 0,
+            mapped: 0,
+            connections: 1,
+            reads: 0,
+            wall_ms: 1.0,
+            throughput_rps: 0.0,
+            latency: LatencySummary::from_us(Vec::new()),
+            responses: HashMap::new(),
+        };
+        validate_loadgen_report(&report.to_json()).unwrap();
+        assert!(report.is_lossless());
+    }
+}

@@ -1,0 +1,301 @@
+//! Serve-path telemetry: one shared [`MetricsRegistry`] plus an optional
+//! Chrome-trace recorder.
+//!
+//! Every metric the `validate` bin's serve schema requires is registered
+//! at construction (see `nvwa_telemetry::snapshot::SERVE_REQUIRED_*`), so
+//! a snapshot taken before the first request is already schema-complete.
+//! The registry sits behind one mutex — serving events are coarse
+//! (per request / per batch), so contention is negligible next to an
+//! alignment.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::batcher::FlushReason;
+use nvwa_telemetry::snapshot::{
+    SERVE_REQUIRED_COUNTERS, SERVE_REQUIRED_GAUGES, SERVE_REQUIRED_HISTOGRAMS,
+};
+use nvwa_telemetry::{
+    CounterId, GaugeId, HistogramId, JsonValue, MetricsRegistry, SnapshotMeta, TraceRecorder,
+};
+
+/// Trace process id for the serving layer (the simulator uses 0 and 1).
+pub const PID_SERVE: u32 = 2;
+
+struct Inner {
+    registry: MetricsRegistry,
+    trace: Option<TraceRecorder>,
+    queue_depth_max: f64,
+    admitted: CounterId,
+    shed: CounterId,
+    deadline_expired: CounterId,
+    responses_ok: CounterId,
+    protocol_errors: CounterId,
+    batches_formed: CounterId,
+    connections: CounterId,
+    batch_fill: CounterId,
+    batch_timeout: CounterId,
+    batch_drain: CounterId,
+    write_errors: CounterId,
+    sim_cycles: CounterId,
+    queue_depth: GaugeId,
+    queue_depth_max_g: GaugeId,
+    batch_size: HistogramId,
+    e2e_latency_us: HistogramId,
+    queue_wait_us: HistogramId,
+    batch_exec_us: HistogramId,
+}
+
+/// Thread-safe serve metrics hub.
+pub struct ServeMetrics {
+    inner: Mutex<Inner>,
+    /// Server start; all trace timestamps are relative to it.
+    epoch: Instant,
+}
+
+impl ServeMetrics {
+    /// Creates the hub with the full serve metric family pre-registered.
+    /// `trace` enables the per-batch Chrome-trace recorder.
+    pub fn new(queue_capacity: usize, workers: usize, trace: bool) -> ServeMetrics {
+        let mut registry = MetricsRegistry::new();
+        // Pre-register the schema-required names (plus extras) so even an
+        // idle server emits a schema-complete serve snapshot.
+        for name in SERVE_REQUIRED_COUNTERS {
+            registry.counter(name);
+        }
+        for name in SERVE_REQUIRED_GAUGES {
+            registry.gauge(name);
+        }
+        for name in SERVE_REQUIRED_HISTOGRAMS {
+            registry.histogram(name);
+        }
+        let admitted = registry.counter("serve.requests_admitted");
+        let shed = registry.counter("serve.requests_shed");
+        let deadline_expired = registry.counter("serve.deadline_expired");
+        let responses_ok = registry.counter("serve.responses_ok");
+        let protocol_errors = registry.counter("serve.protocol_errors");
+        let batches_formed = registry.counter("serve.batches_formed");
+        let connections = registry.counter("serve.connections_accepted");
+        let batch_fill = registry.counter("serve.batch_flush_fill");
+        let batch_timeout = registry.counter("serve.batch_flush_timeout");
+        let batch_drain = registry.counter("serve.batch_flush_drain");
+        let write_errors = registry.counter("serve.write_errors");
+        let sim_cycles = registry.counter("serve.sim_cycles_total");
+        let queue_depth = registry.gauge("serve.queue_depth");
+        let queue_depth_max_g = registry.gauge("serve.queue_depth_max");
+        let capacity_g = registry.gauge("serve.queue_capacity");
+        registry.set_gauge(capacity_g, queue_capacity as f64);
+        let workers_g = registry.gauge("serve.workers");
+        registry.set_gauge(workers_g, workers as f64);
+        let batch_size = registry.histogram("serve.batch_size");
+        let e2e_latency_us = registry.histogram("serve.e2e_latency_us");
+        let queue_wait_us = registry.histogram("serve.queue_wait_us");
+        let batch_exec_us = registry.histogram("serve.batch_exec_us");
+        let trace = trace.then(|| {
+            let mut t = TraceRecorder::new();
+            t.name_process(PID_SERVE, "nvwa-serve");
+            t
+        });
+        ServeMetrics {
+            inner: Mutex::new(Inner {
+                registry,
+                trace,
+                queue_depth_max: 0.0,
+                admitted,
+                shed,
+                deadline_expired,
+                responses_ok,
+                protocol_errors,
+                batches_formed,
+                connections,
+                batch_fill,
+                batch_timeout,
+                batch_drain,
+                write_errors,
+                sim_cycles,
+                queue_depth,
+                queue_depth_max_g,
+                batch_size,
+                e2e_latency_us,
+                queue_wait_us,
+                batch_exec_us,
+            }),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Microseconds since server start (the trace time base).
+    pub fn now_us(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64() * 1e6
+    }
+
+    fn with(&self, f: impl FnOnce(&mut Inner)) {
+        f(&mut self.inner.lock().unwrap());
+    }
+
+    /// One request admitted; `depth` is the queue depth just after.
+    pub fn admitted(&self, depth: usize) {
+        self.with(|m| {
+            m.registry.inc(m.admitted, 1);
+            m.queue_depth_max = m.queue_depth_max.max(depth as f64);
+            let (q, qm, max) = (m.queue_depth, m.queue_depth_max_g, m.queue_depth_max);
+            m.registry.set_gauge(q, depth as f64);
+            m.registry.set_gauge(qm, max);
+        });
+    }
+
+    /// One request shed by backpressure.
+    pub fn shed(&self) {
+        self.with(|m| m.registry.inc(m.shed, 1));
+    }
+
+    /// `n` requests expired before execution.
+    pub fn deadline_expired(&self, n: u64) {
+        self.with(|m| m.registry.inc(m.deadline_expired, n));
+    }
+
+    /// One connection accepted.
+    pub fn connection_accepted(&self) {
+        self.with(|m| m.registry.inc(m.connections, 1));
+    }
+
+    /// One malformed frame/request.
+    pub fn protocol_error(&self) {
+        self.with(|m| m.registry.inc(m.protocol_errors, 1));
+    }
+
+    /// One failed response write (client went away).
+    pub fn write_error(&self) {
+        self.with(|m| m.registry.inc(m.write_errors, 1));
+    }
+
+    /// A batch shipped from the batcher; `depth` is the admission-queue
+    /// depth observed by the batcher loop.
+    pub fn batch_formed(&self, reason: FlushReason, size: usize, depth: usize) {
+        self.with(|m| {
+            m.registry.inc(m.batches_formed, 1);
+            let reason_id = match reason {
+                FlushReason::Fill => m.batch_fill,
+                FlushReason::Timeout => m.batch_timeout,
+                FlushReason::Drain => m.batch_drain,
+            };
+            m.registry.inc(reason_id, 1);
+            let (h, q) = (m.batch_size, m.queue_depth);
+            m.registry.observe(h, size as u64);
+            m.registry.set_gauge(q, depth as f64);
+        });
+    }
+
+    /// One `ok` response: end-to-end latency and pre-batch queue wait.
+    pub fn response_ok(&self, e2e_us: f64, wait_us: f64) {
+        self.with(|m| {
+            m.registry.inc(m.responses_ok, 1);
+            let (e, w) = (m.e2e_latency_us, m.queue_wait_us);
+            m.registry.observe(e, e2e_us.max(0.0) as u64);
+            m.registry.observe(w, wait_us.max(0.0) as u64);
+        });
+    }
+
+    /// Batch execution finished on a worker: records the exec-time
+    /// histogram, simulated cycles (hardware-in-the-loop) and, when
+    /// tracing, a span on the worker's track.
+    pub fn batch_executed(
+        &self,
+        worker: usize,
+        label: &str,
+        start_us: f64,
+        dur_us: f64,
+        sim_cycles: Option<u64>,
+    ) {
+        self.with(|m| {
+            let h = m.batch_exec_us;
+            m.registry.observe(h, dur_us.max(0.0) as u64);
+            if let Some(c) = sim_cycles {
+                m.registry.inc(m.sim_cycles, c);
+            }
+            if let Some(trace) = m.trace.as_mut() {
+                trace.complete(PID_SERVE, worker as u32, label, start_us, dur_us);
+            }
+        });
+    }
+
+    /// Names a worker's trace track (no-op when tracing is off).
+    pub fn name_worker(&self, worker: usize) {
+        self.with(|m| {
+            if let Some(trace) = m.trace.as_mut() {
+                trace.name_thread(PID_SERVE, worker as u32, &format!("worker {worker}"));
+            }
+        });
+    }
+
+    /// The snapshot document (always serve-schema-complete).
+    pub fn snapshot(&self, meta: &SnapshotMeta) -> JsonValue {
+        self.inner.lock().unwrap().registry.snapshot(meta)
+    }
+
+    /// The Chrome trace JSON, when tracing was enabled.
+    pub fn trace_json(&self) -> Option<String> {
+        self.inner
+            .lock()
+            .unwrap()
+            .trace
+            .as_ref()
+            .map(TraceRecorder::to_json)
+    }
+
+    /// Value of a counter by name (tests and the CLI summary).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner
+            .lock()
+            .unwrap()
+            .registry
+            .counter_value(name)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvwa_telemetry::snapshot::validate_serve_snapshot;
+
+    #[test]
+    fn idle_hub_emits_schema_complete_snapshot() {
+        let metrics = ServeMetrics::new(128, 4, false);
+        let meta = SnapshotMeta {
+            host_threads: 4,
+            git_rev: None,
+        };
+        validate_serve_snapshot(&metrics.snapshot(&meta)).unwrap();
+        assert!(metrics.trace_json().is_none());
+    }
+
+    #[test]
+    fn events_land_in_the_registry_and_trace() {
+        let metrics = ServeMetrics::new(8, 1, true);
+        metrics.admitted(3);
+        metrics.admitted(5);
+        metrics.shed();
+        metrics.batch_formed(FlushReason::Fill, 4, 1);
+        metrics.response_ok(1500.0, 300.0);
+        metrics.batch_executed(0, "batch b0 n4", 10.0, 250.0, Some(777));
+        let meta = SnapshotMeta {
+            host_threads: 1,
+            git_rev: None,
+        };
+        let doc = metrics.snapshot(&meta);
+        validate_serve_snapshot(&doc).unwrap();
+        assert_eq!(metrics.counter("serve.requests_admitted"), 2);
+        assert_eq!(metrics.counter("serve.requests_shed"), 1);
+        assert_eq!(metrics.counter("serve.sim_cycles_total"), 777);
+        let gauges = doc.get("gauges").unwrap();
+        assert_eq!(
+            gauges.get("serve.queue_depth_max").unwrap().as_num(),
+            Some(5.0)
+        );
+        let trace = metrics.trace_json().unwrap();
+        assert!(trace.contains("batch b0 n4"));
+        nvwa_telemetry::snapshot::validate_chrome_trace(&JsonValue::parse(&trace).unwrap())
+            .unwrap();
+    }
+}

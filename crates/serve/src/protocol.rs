@@ -1,0 +1,443 @@
+//! The wire protocol: length-prefixed JSON frames over TCP.
+//!
+//! Every message is a 4-byte big-endian length followed by that many bytes
+//! of UTF-8 JSON (one [`JsonValue`] document). The framing is symmetric —
+//! requests and responses use the same encoding — and deliberately boring:
+//! no external serialization crates (DESIGN.md §7), and any JSON client in
+//! any language can speak it with ~10 lines of code.
+//!
+//! Requests (`kind` selects the operation, defaulting to `"align"`):
+//!
+//! ```json
+//! {"kind": "align", "id": 7, "seq": "ACGTACGT...", "deadline_ms": 50}
+//! {"kind": "stats"}
+//! {"kind": "shutdown"}
+//! ```
+//!
+//! Align responses carry a `status` of `"ok"` (aligned; `mapped` tells
+//! whether a best alignment exists), `"shed"` (admission queue full or
+//! server draining — explicit backpressure, the request was *not*
+//! processed), `"deadline"` (expired before a batch formed) or `"error"`
+//! (malformed request). Alignment fields are bit-identical to the offline
+//! `nvwa-align` output for the same sequence.
+
+use std::io::{Read, Write};
+
+use nvwa_align::pipeline::Alignment;
+use nvwa_telemetry::JsonValue;
+
+/// Frames larger than this are rejected (protects the server from a
+/// garbage length prefix allocating gigabytes).
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Writes one length-prefixed JSON frame.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_frame(w: &mut impl Write, doc: &JsonValue) -> std::io::Result<()> {
+    let body = doc.to_string_compact();
+    let len = body.len() as u32;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(body.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one length-prefixed JSON frame. Returns `Ok(None)` on a clean EOF
+/// at a frame boundary.
+///
+/// # Errors
+///
+/// Propagates I/O errors (including timeouts), and returns
+/// `InvalidData` for oversized frames or malformed JSON.
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<JsonValue>> {
+    let mut len_buf = [0u8; 4];
+    // EOF before any length byte is a clean close; EOF mid-frame is an error.
+    match r.read(&mut len_buf) {
+        Ok(0) => return Ok(None),
+        Ok(n) => r.read_exact(&mut len_buf[n..])?,
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    let text = String::from_utf8(body)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let doc = JsonValue::parse(&text)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    Ok(Some(doc))
+}
+
+/// A decoded client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Align one read.
+    Align {
+        /// Client-chosen request id, echoed in the response.
+        id: u64,
+        /// 2-bit base codes decoded from the `seq` string.
+        codes: Vec<u8>,
+        /// Per-request deadline in milliseconds (queueing budget), if any.
+        deadline_ms: Option<u64>,
+    },
+    /// Return the server's current metrics snapshot.
+    Stats,
+    /// Begin a graceful drain and exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Decodes a request document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a client-facing message naming the violated constraint.
+    pub fn decode(doc: &JsonValue) -> Result<Request, String> {
+        let kind = doc
+            .get("kind")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("align");
+        match kind {
+            "align" => {
+                let id = doc
+                    .get("id")
+                    .and_then(JsonValue::as_num)
+                    .filter(|n| *n >= 0.0 && n.fract() == 0.0)
+                    .ok_or("align request needs a non-negative integer \"id\"")?
+                    as u64;
+                let seq = doc
+                    .get("seq")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("align request needs a \"seq\" string")?;
+                if seq.is_empty() {
+                    return Err("\"seq\" must be non-empty".to_string());
+                }
+                let codes = seq
+                    .parse::<nvwa_genome::DnaSeq>()
+                    .map_err(|e| e.to_string())?
+                    .codes()
+                    .to_vec();
+                let deadline_ms = doc
+                    .get("deadline_ms")
+                    .and_then(JsonValue::as_num)
+                    .filter(|n| *n >= 0.0)
+                    .map(|n| n as u64);
+                Ok(Request::Align {
+                    id,
+                    codes,
+                    deadline_ms,
+                })
+            }
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown request kind {other:?}")),
+        }
+    }
+
+    /// Encodes the request (the client side of [`Request::decode`]).
+    pub fn encode(&self) -> JsonValue {
+        match self {
+            Request::Align {
+                id,
+                codes,
+                deadline_ms,
+            } => {
+                let seq: String = codes
+                    .iter()
+                    .map(|&c| nvwa_genome::Base::from_code(c).map_or('N', |b| b.to_char()))
+                    .collect();
+                let mut pairs = vec![
+                    ("kind", JsonValue::Str("align".to_string())),
+                    ("id", JsonValue::Num(*id as f64)),
+                    ("seq", JsonValue::Str(seq)),
+                ];
+                if let Some(ms) = deadline_ms {
+                    pairs.push(("deadline_ms", JsonValue::Num(*ms as f64)));
+                }
+                JsonValue::obj(pairs)
+            }
+            Request::Stats => JsonValue::obj(vec![("kind", JsonValue::Str("stats".to_string()))]),
+            Request::Shutdown => {
+                JsonValue::obj(vec![("kind", JsonValue::Str("shutdown".to_string()))])
+            }
+        }
+    }
+}
+
+/// Terminal status of an align request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Processed; `mapped` distinguishes aligned from unmapped reads.
+    Ok,
+    /// Rejected by backpressure (queue full or draining); not processed.
+    Shed,
+    /// Deadline expired while queued; not processed.
+    Deadline,
+    /// Malformed request.
+    Error,
+}
+
+impl Status {
+    /// The wire string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Shed => "shed",
+            Status::Deadline => "deadline",
+            Status::Error => "error",
+        }
+    }
+
+    /// Parses the wire string.
+    pub fn from_wire(s: &str) -> Option<Status> {
+        Some(match s {
+            "ok" => Status::Ok,
+            "shed" => Status::Shed,
+            "deadline" => Status::Deadline,
+            "error" => Status::Error,
+            _ => return None,
+        })
+    }
+}
+
+/// A decoded align response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlignResponse {
+    /// Echo of the request id.
+    pub id: u64,
+    /// Terminal status.
+    pub status: Status,
+    /// Human-readable detail for non-`ok` statuses.
+    pub error: Option<String>,
+    /// Alignment (for `ok` + mapped), bit-identical to the offline aligner.
+    pub alignment: Option<WireAlignment>,
+    /// Size of the batch this request executed in (`ok` only).
+    pub batch_size: Option<u64>,
+    /// Simulated accelerator cycles for the batch (hardware-in-the-loop
+    /// backend only).
+    pub sim_cycles: Option<u64>,
+}
+
+/// The alignment fields carried on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireAlignment {
+    /// Leftmost reference position (flat coordinates).
+    pub pos: u64,
+    /// Strand.
+    pub is_rc: bool,
+    /// Alignment score.
+    pub score: i32,
+    /// CIGAR string.
+    pub cigar: String,
+    /// Mapping quality (0–60).
+    pub mapq: u8,
+}
+
+impl WireAlignment {
+    /// Projects an [`Alignment`] onto the wire fields.
+    pub fn from_alignment(a: &Alignment) -> WireAlignment {
+        WireAlignment {
+            pos: a.flat_pos,
+            is_rc: a.is_rc,
+            score: a.score,
+            cigar: a.cigar.to_string(),
+            mapq: a.mapq,
+        }
+    }
+}
+
+impl AlignResponse {
+    /// An `ok` response from an optional alignment.
+    pub fn ok(id: u64, alignment: Option<&Alignment>, batch_size: u64) -> AlignResponse {
+        AlignResponse {
+            id,
+            status: Status::Ok,
+            error: None,
+            alignment: alignment.map(WireAlignment::from_alignment),
+            batch_size: Some(batch_size),
+            sim_cycles: None,
+        }
+    }
+
+    /// A terminal failure response (`shed` / `deadline` / `error`).
+    pub fn failure(id: u64, status: Status, detail: &str) -> AlignResponse {
+        AlignResponse {
+            id,
+            status,
+            error: Some(detail.to_string()),
+            alignment: None,
+            batch_size: None,
+            sim_cycles: None,
+        }
+    }
+
+    /// Encodes the response document.
+    pub fn encode(&self) -> JsonValue {
+        let mut pairs = vec![
+            ("id", JsonValue::Num(self.id as f64)),
+            ("status", JsonValue::Str(self.status.as_str().to_string())),
+            ("mapped", JsonValue::Bool(self.alignment.is_some())),
+        ];
+        if let Some(a) = &self.alignment {
+            pairs.push(("pos", JsonValue::Num(a.pos as f64)));
+            pairs.push(("is_rc", JsonValue::Bool(a.is_rc)));
+            pairs.push(("score", JsonValue::Num(a.score as f64)));
+            pairs.push(("cigar", JsonValue::Str(a.cigar.clone())));
+            pairs.push(("mapq", JsonValue::Num(a.mapq as f64)));
+        }
+        if let Some(b) = self.batch_size {
+            pairs.push(("batch_size", JsonValue::Num(b as f64)));
+        }
+        if let Some(c) = self.sim_cycles {
+            pairs.push(("sim_cycles", JsonValue::Num(c as f64)));
+        }
+        if let Some(e) = &self.error {
+            pairs.push(("error", JsonValue::Str(e.clone())));
+        }
+        JsonValue::obj(pairs)
+    }
+
+    /// Decodes a response document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed field.
+    pub fn decode(doc: &JsonValue) -> Result<AlignResponse, String> {
+        let id = doc
+            .get("id")
+            .and_then(JsonValue::as_num)
+            .ok_or("response missing numeric \"id\"")? as u64;
+        let status = doc
+            .get("status")
+            .and_then(JsonValue::as_str)
+            .and_then(Status::from_wire)
+            .ok_or("response missing valid \"status\"")?;
+        let mapped = matches!(doc.get("mapped"), Some(JsonValue::Bool(true)));
+        let alignment = if mapped {
+            Some(WireAlignment {
+                pos: doc
+                    .get("pos")
+                    .and_then(JsonValue::as_num)
+                    .ok_or("mapped response missing \"pos\"")? as u64,
+                is_rc: matches!(doc.get("is_rc"), Some(JsonValue::Bool(true))),
+                score: doc
+                    .get("score")
+                    .and_then(JsonValue::as_num)
+                    .ok_or("mapped response missing \"score\"")? as i32,
+                cigar: doc
+                    .get("cigar")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("mapped response missing \"cigar\"")?
+                    .to_string(),
+                mapq: doc
+                    .get("mapq")
+                    .and_then(JsonValue::as_num)
+                    .ok_or("mapped response missing \"mapq\"")? as u8,
+            })
+        } else {
+            None
+        };
+        Ok(AlignResponse {
+            id,
+            status,
+            error: doc
+                .get("error")
+                .and_then(JsonValue::as_str)
+                .map(str::to_string),
+            alignment,
+            batch_size: doc
+                .get("batch_size")
+                .and_then(JsonValue::as_num)
+                .map(|n| n as u64),
+            sim_cycles: doc
+                .get("sim_cycles")
+                .and_then(JsonValue::as_num)
+                .map(|n| n as u64),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let doc = Request::Align {
+            id: 42,
+            codes: vec![0, 1, 2, 3],
+            deadline_ms: Some(50),
+        }
+        .encode();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &doc).unwrap();
+        let back = read_frame(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!(back, doc);
+        assert_eq!(
+            Request::decode(&back).unwrap(),
+            Request::Align {
+                id: 42,
+                codes: vec![0, 1, 2, 3],
+                deadline_ms: Some(50),
+            }
+        );
+    }
+
+    #[test]
+    fn clean_eof_is_none_and_oversize_is_rejected() {
+        let empty: &[u8] = &[];
+        assert!(read_frame(&mut { empty }).unwrap().is_none());
+        let huge = (MAX_FRAME_BYTES as u32 + 1).to_be_bytes();
+        let err = read_frame(&mut huge.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error() {
+        let doc = JsonValue::obj(vec![("kind", JsonValue::Str("stats".to_string()))]);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &doc).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_frame(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn request_decode_rejects_garbage() {
+        let bad = JsonValue::obj(vec![("kind", JsonValue::Str("align".to_string()))]);
+        assert!(Request::decode(&bad).unwrap_err().contains("id"));
+        let bad_seq = JsonValue::obj(vec![
+            ("id", JsonValue::Num(1.0)),
+            ("seq", JsonValue::Str("ACGTX".to_string())),
+        ]);
+        assert!(Request::decode(&bad_seq).is_err());
+        let unknown = JsonValue::obj(vec![("kind", JsonValue::Str("nope".to_string()))]);
+        assert!(Request::decode(&unknown).unwrap_err().contains("nope"));
+    }
+
+    #[test]
+    fn responses_round_trip_with_and_without_alignment() {
+        let mapped = AlignResponse {
+            id: 9,
+            status: Status::Ok,
+            error: None,
+            alignment: Some(WireAlignment {
+                pos: 1234,
+                is_rc: true,
+                score: 99,
+                cigar: "101=".to_string(),
+                mapq: 60,
+            }),
+            batch_size: Some(16),
+            sim_cycles: Some(5000),
+        };
+        assert_eq!(AlignResponse::decode(&mapped.encode()).unwrap(), mapped);
+        let shed = AlignResponse::failure(3, Status::Shed, "queue full");
+        assert_eq!(AlignResponse::decode(&shed.encode()).unwrap(), shed);
+    }
+}

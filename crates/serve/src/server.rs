@@ -1,0 +1,523 @@
+//! The batched alignment server.
+//!
+//! Thread topology (all std, one `Arc<Shared>` of queues + metrics):
+//!
+//! ```text
+//! acceptor ──▶ reader (per conn) ──▶ admission queue ──▶ batcher ──▶ batch
+//!                   ▲    try_push / shed  (bounded)    fill-or-timeout  queue
+//!                   │                                                    │
+//!                   └───────────── responses (per-conn writer) ◀── workers (pool)
+//! ```
+//!
+//! * **Backpressure is explicit and bounded**: the admission queue has a
+//!   hard capacity; when full, the reader answers immediately with a
+//!   `shed` response instead of buffering — memory use is bounded by
+//!   `queue_capacity + workers × max_batch` requests no matter how fast
+//!   clients push.
+//! * **Deadlines** cover the queueing phase: a request that is still
+//!   waiting when its deadline passes is answered `deadline` at batch
+//!   formation and never executed. Once batched, it runs to completion.
+//! * **Graceful drain**: shutdown stops admission (new requests shed with
+//!   `draining`), flushes every batcher bin, lets the workers finish all
+//!   formed batches, answers everything, then joins all threads — an
+//!   admitted request is never dropped.
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use nvwa_align::pipeline::{AlignerConfig, ReferenceIndex};
+use nvwa_telemetry::{JsonValue, SnapshotMeta};
+
+use crate::backend::{execute_batch, BackendKind};
+use crate::batcher::{Batch, BatchItem, Batcher, BatcherConfig};
+use crate::metrics::ServeMetrics;
+use crate::protocol::{write_frame, AlignResponse, Request, Status, MAX_FRAME_BYTES};
+use crate::queue::{BoundedQueue, Popped, PushError};
+
+/// How often blocked loops re-check the shutdown flags.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// Server parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Admission-queue capacity — the backpressure bound.
+    pub queue_capacity: usize,
+    /// Worker threads executing batches.
+    pub workers: usize,
+    /// Batching policy.
+    pub batch: BatcherConfig,
+    /// Batch execution backend.
+    pub backend: BackendKind,
+    /// Software-aligner parameters (shared with the offline pipeline).
+    pub aligner: AlignerConfig,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline: Option<Duration>,
+    /// Record a Chrome trace of batch execution spans.
+    pub trace: bool,
+    /// Test hook: artificial delay per batch execution, to provoke
+    /// backpressure and deadline expiry deterministically in tests.
+    pub worker_delay: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            queue_capacity: 1024,
+            workers: nvwa_sim::par::current_threads(),
+            batch: BatcherConfig::default(),
+            backend: BackendKind::Software,
+            aligner: AlignerConfig::default(),
+            default_deadline: None,
+            trace: false,
+            worker_delay: None,
+        }
+    }
+}
+
+/// A request travelling through the queues: the decoded read plus the
+/// connection to answer on.
+struct PendingRead {
+    conn: Arc<ConnWriter>,
+    id: u64,
+    codes: Vec<u8>,
+}
+
+/// The write half of a connection, shared by readers, the batcher and the
+/// workers; frames are written under the mutex so responses never
+/// interleave.
+struct ConnWriter {
+    stream: Mutex<TcpStream>,
+}
+
+impl ConnWriter {
+    fn send(&self, doc: &JsonValue) -> std::io::Result<()> {
+        let mut stream = self.stream.lock().unwrap();
+        write_frame(&mut *stream, doc)
+    }
+}
+
+struct Shared {
+    admission: BoundedQueue<BatchItem<PendingRead>>,
+    batches: BoundedQueue<Batch<PendingRead>>,
+    metrics: Arc<ServeMetrics>,
+    index: Arc<ReferenceIndex>,
+    config: ServerConfig,
+    /// Stop admitting: readers shed, the acceptor exits.
+    draining: AtomicBool,
+    /// Everything drained: readers exit.
+    closed: AtomicBool,
+    /// A client sent `shutdown`; the owner should call [`Server::shutdown`].
+    shutdown_requested: AtomicBool,
+}
+
+/// A running server. Dropping it without calling [`Server::shutdown`]
+/// leaves threads running; always shut down explicitly.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    batcher: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds and starts all threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error.
+    pub fn start(index: Arc<ReferenceIndex>, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let metrics = Arc::new(ServeMetrics::new(
+            config.queue_capacity,
+            workers,
+            config.trace,
+        ));
+        let shared = Arc::new(Shared {
+            admission: BoundedQueue::new(config.queue_capacity),
+            // Room for one in-flight batch per worker plus a small backlog;
+            // when workers fall behind, the batcher blocks here, the
+            // admission queue fills, and the edge sheds — bounded end to end.
+            batches: BoundedQueue::new(workers * 2),
+            metrics,
+            index,
+            config,
+            draining: AtomicBool::new(false),
+            closed: AtomicBool::new(false),
+            shutdown_requested: AtomicBool::new(false),
+        });
+        let readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let readers = Arc::clone(&readers);
+            std::thread::spawn(move || accept_loop(listener, shared, readers))
+        };
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || batcher_loop(shared))
+        };
+        let worker_handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                shared.metrics.name_worker(i);
+                std::thread::spawn(move || worker_loop(shared, i))
+            })
+            .collect();
+        Ok(Server {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+            batcher: Some(batcher),
+            workers: worker_handles,
+            readers,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The metrics hub (live; snapshot any time).
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.shared.metrics
+    }
+
+    /// Whether a client requested shutdown via the protocol.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown_requested.load(Ordering::Relaxed)
+    }
+
+    /// Graceful drain: stop admission, flush every bin, execute and answer
+    /// every formed batch, join all threads. Returns the metrics hub.
+    pub fn shutdown(mut self) -> Arc<ServeMetrics> {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.admission.close();
+        if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        self.shared.closed.store(true, Ordering::SeqCst);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        let readers = std::mem::take(&mut *self.readers.lock().unwrap());
+        for h in readers {
+            let _ = h.join();
+        }
+        // The hub outlives the server so callers can snapshot post-drain.
+        Arc::clone(&self.shared.metrics)
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    loop {
+        if shared.draining.load(Ordering::Relaxed) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+                let writer = match stream.try_clone() {
+                    Ok(w) => Arc::new(ConnWriter {
+                        stream: Mutex::new(w),
+                    }),
+                    Err(_) => continue,
+                };
+                shared.metrics.connection_accepted();
+                let shared = Arc::clone(&shared);
+                let handle = std::thread::spawn(move || reader_loop(shared, stream, writer));
+                readers.lock().unwrap().push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+/// Reads `buf` fully, riding out read-timeout ticks (they exist so the
+/// loop can observe shutdown). Returns `false` on EOF before any byte of
+/// this frame, errors on EOF mid-frame.
+fn read_patient(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shared: &Shared,
+    allow_eof: bool,
+) -> std::io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if shared.closed.load(Ordering::Relaxed) {
+            return Ok(false);
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if allow_eof && filled == 0 {
+                    return Ok(false);
+                }
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+fn read_request_frame(
+    stream: &mut TcpStream,
+    shared: &Shared,
+) -> std::io::Result<Option<JsonValue>> {
+    let mut len_buf = [0u8; 4];
+    if !read_patient(stream, &mut len_buf, shared, true)? {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    if !read_patient(stream, &mut body, shared, false)? {
+        return Ok(None);
+    }
+    let text = String::from_utf8(body)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    JsonValue::parse(&text)
+        .map(Some)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+fn reader_loop(shared: Arc<Shared>, mut stream: TcpStream, writer: Arc<ConnWriter>) {
+    loop {
+        let doc = match read_request_frame(&mut stream, &shared) {
+            Ok(Some(doc)) => doc,
+            Ok(None) => return,
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                shared.metrics.protocol_error();
+                let resp = AlignResponse::failure(0, Status::Error, &e.to_string());
+                let _ = writer.send(&resp.encode());
+                return; // framing may be lost — drop the connection
+            }
+            Err(_) => return,
+        };
+        let request = match Request::decode(&doc) {
+            Ok(r) => r,
+            Err(msg) => {
+                shared.metrics.protocol_error();
+                let id = doc.get("id").and_then(JsonValue::as_num).unwrap_or(0.0) as u64;
+                let resp = AlignResponse::failure(id, Status::Error, &msg);
+                if writer.send(&resp.encode()).is_err() {
+                    shared.metrics.write_error();
+                }
+                continue;
+            }
+        };
+        match request {
+            Request::Align {
+                id,
+                codes,
+                deadline_ms,
+            } => handle_align(&shared, &writer, id, codes, deadline_ms),
+            Request::Stats => {
+                let meta = SnapshotMeta::collect(nvwa_sim::par::current_threads());
+                if writer.send(&shared.metrics.snapshot(&meta)).is_err() {
+                    shared.metrics.write_error();
+                }
+            }
+            Request::Shutdown => {
+                shared.shutdown_requested.store(true, Ordering::SeqCst);
+                let ack = JsonValue::obj(vec![
+                    ("kind", JsonValue::Str("shutdown".to_string())),
+                    ("ok", JsonValue::Bool(true)),
+                ]);
+                if writer.send(&ack).is_err() {
+                    shared.metrics.write_error();
+                }
+            }
+        }
+    }
+}
+
+fn handle_align(
+    shared: &Shared,
+    writer: &Arc<ConnWriter>,
+    id: u64,
+    codes: Vec<u8>,
+    deadline_ms: Option<u64>,
+) {
+    if shared.draining.load(Ordering::Relaxed) {
+        shed(shared, writer, id, "server draining");
+        return;
+    }
+    let now = Instant::now();
+    let deadline = deadline_ms
+        .map(Duration::from_millis)
+        .or(shared.config.default_deadline)
+        .map(|d| now + d);
+    let len = codes.len();
+    let item = BatchItem {
+        payload: PendingRead {
+            conn: Arc::clone(writer),
+            id,
+            codes,
+        },
+        len,
+        admitted_at: now,
+        deadline,
+    };
+    match shared.admission.try_push(item) {
+        Ok(()) => shared.metrics.admitted(shared.admission.depth()),
+        Err(PushError::Full(_)) => shed(shared, writer, id, "admission queue full"),
+        Err(PushError::Closed(_)) => shed(shared, writer, id, "server draining"),
+    }
+}
+
+fn shed(shared: &Shared, writer: &Arc<ConnWriter>, id: u64, why: &str) {
+    shared.metrics.shed();
+    let resp = AlignResponse::failure(id, Status::Shed, why);
+    if writer.send(&resp.encode()).is_err() {
+        shared.metrics.write_error();
+    }
+}
+
+fn batcher_loop(shared: Arc<Shared>) {
+    let mut batcher: Batcher<PendingRead> = Batcher::new(shared.config.batch.clone());
+    loop {
+        let now = Instant::now();
+        let wait = batcher
+            .next_flush_at()
+            .map(|at| at.saturating_duration_since(now))
+            .unwrap_or(POLL_INTERVAL)
+            .min(POLL_INTERVAL);
+        match shared.admission.pop_wait(Some(wait)) {
+            Popped::Item(item) => {
+                if let Some(batch) = batcher.offer(item, Instant::now()) {
+                    ship(&shared, batch);
+                }
+            }
+            Popped::TimedOut => {}
+            Popped::Closed => {
+                for batch in batcher.drain(Instant::now()) {
+                    ship(&shared, batch);
+                }
+                shared.batches.close();
+                return;
+            }
+        }
+        for batch in batcher.poll(Instant::now()) {
+            ship(&shared, batch);
+        }
+    }
+}
+
+fn ship(shared: &Shared, batch: Batch<PendingRead>) {
+    // Expired requests are answered here and never executed.
+    if !batch.expired.is_empty() {
+        shared.metrics.deadline_expired(batch.expired.len() as u64);
+        for item in &batch.expired {
+            let resp = AlignResponse::failure(
+                item.payload.id,
+                Status::Deadline,
+                "deadline expired while queued",
+            );
+            if item.payload.conn.send(&resp.encode()).is_err() {
+                shared.metrics.write_error();
+            }
+        }
+    }
+    if batch.items.is_empty() {
+        return;
+    }
+    shared
+        .metrics
+        .batch_formed(batch.reason, batch.items.len(), shared.admission.depth());
+    // push_wait blocks when all workers are busy — backpressure propagates
+    // backwards to the admission queue, whose edge sheds. The queue is
+    // closed only by this thread (after this loop), so the push succeeds.
+    if shared.batches.push_wait(batch).is_err() {
+        unreachable!("batch queue closed while the batcher is live");
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, worker: usize) {
+    loop {
+        let batch = match shared.batches.pop_wait(None) {
+            Popped::Item(b) => b,
+            Popped::Closed => return,
+            Popped::TimedOut => continue,
+        };
+        execute_and_respond(&shared, worker, batch);
+    }
+}
+
+fn execute_and_respond(shared: &Shared, worker: usize, batch: Batch<PendingRead>) {
+    let start = Instant::now();
+    let start_us = shared.metrics.now_us();
+    if let Some(delay) = shared.config.worker_delay {
+        std::thread::sleep(delay);
+    }
+    let pairs: Vec<(u64, Vec<u8>)> = batch
+        .items
+        .iter()
+        .map(|item| (item.payload.id, item.payload.codes.clone()))
+        .collect();
+    let outcome = execute_batch(
+        &shared.index,
+        &shared.config.aligner,
+        &shared.config.backend,
+        &pairs,
+    );
+    let exec_done = Instant::now();
+    let batch_size = batch.items.len() as u64;
+    for (item, (id, alignment)) in batch.items.iter().zip(&outcome.results) {
+        debug_assert_eq!(item.payload.id, *id);
+        let mut resp = AlignResponse::ok(*id, alignment.as_ref(), batch_size);
+        resp.sim_cycles = outcome.sim_cycles;
+        let wait_us = start.duration_since(item.admitted_at).as_secs_f64() * 1e6;
+        if item.payload.conn.send(&resp.encode()).is_err() {
+            shared.metrics.write_error();
+        }
+        let e2e_us = item.admitted_at.elapsed().as_secs_f64() * 1e6;
+        shared.metrics.response_ok(e2e_us, wait_us);
+    }
+    let dur_us = exec_done.duration_since(start).as_secs_f64() * 1e6;
+    shared.metrics.batch_executed(
+        worker,
+        &format!("batch bin{} n{}", batch.bin, batch_size),
+        start_us,
+        dur_us,
+        outcome.sim_cycles,
+    );
+}

@@ -1,0 +1,66 @@
+//! Minimal SIGINT latch — no external deps.
+//!
+//! `std` links `libc` on Unix, so binding `signal(2)` directly costs
+//! nothing; the handler only flips an `AtomicBool` (async-signal-safe).
+//! On non-Unix targets the latch exists but is never set by a signal.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod unix {
+    use super::{AtomicBool, Ordering, INTERRUPTED};
+
+    pub(super) static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+
+    pub(super) fn install() {
+        if INSTALLED.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+/// Installs the SIGINT/SIGTERM latch (idempotent; no-op off Unix).
+pub fn install() {
+    #[cfg(unix)]
+    unix::install();
+}
+
+/// Whether SIGINT/SIGTERM has been received since [`install`].
+pub fn interrupted() -> bool {
+    INTERRUPTED.load(Ordering::SeqCst)
+}
+
+/// Test hook: simulate an interrupt.
+pub fn raise() {
+    INTERRUPTED.store(true, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latch_observes_raise() {
+        install();
+        raise();
+        assert!(interrupted());
+    }
+}

@@ -250,6 +250,82 @@ mod tests {
     }
 
     #[test]
+    fn queue_delay_grows_with_same_channel_conflict_depth() {
+        // Bursts of k simultaneous requests to ONE channel: the k-th
+        // waits (k-1) service intervals, so mean delay must grow
+        // monotonically (and match the closed form (k-1)/2 · interval).
+        let mut previous = -1.0;
+        for burst in [1u64, 2, 4, 8, 16, 32] {
+            let mut hbm = Hbm::new(HbmConfig::default());
+            for _ in 0..burst {
+                let _ = hbm.request(0, 0); // all on channel 0
+            }
+            let mean = hbm.mean_queue_delay();
+            assert!(
+                mean > previous,
+                "burst {burst}: mean {mean} not above {previous}"
+            );
+            let interval = hbm.config().service_interval as f64;
+            let expected = (burst - 1) as f64 / 2.0 * interval;
+            assert!(
+                (mean - expected).abs() < 1e-9,
+                "burst {burst}: mean {mean} vs closed form {expected}"
+            );
+            previous = mean;
+        }
+    }
+
+    #[test]
+    fn disjoint_channel_streams_stay_flat() {
+        // The same offered load spread one-request-per-channel sees zero
+        // queueing at any burst count: channels are independent servers.
+        let channels = HbmConfig::default().channels as u64;
+        for bursts in [1u64, 4, 16, 64] {
+            let mut hbm = Hbm::new(HbmConfig::default());
+            let interval = hbm.config().service_interval;
+            for b in 0..bursts {
+                // One request per channel per service slot: conflict-free.
+                let now = b * interval;
+                for ch in 0..channels {
+                    let done = hbm.request(now, ch);
+                    assert_eq!(done, now + hbm.config().latency);
+                }
+            }
+            assert_eq!(
+                hbm.total_queue_delay(),
+                0,
+                "disjoint channels must not queue (bursts={bursts})"
+            );
+        }
+        // Control: the identical request count on a single channel queues.
+        let mut hot = Hbm::new(HbmConfig::default());
+        for _ in 0..channels {
+            let _ = hot.request(0, 0);
+        }
+        assert!(hot.total_queue_delay() > 0);
+    }
+
+    #[test]
+    fn access_energy_matches_transaction_counts_exactly() {
+        let config = HbmConfig::default();
+        for n in [0u64, 1, 17, 1000] {
+            let mut hbm = Hbm::new(config);
+            for i in 0..n {
+                let _ = hbm.request(i * 3, i * 7 + 1);
+            }
+            assert_eq!(hbm.requests(), n);
+            assert_eq!(hbm.bytes_transferred(), n * config.transaction_bytes);
+            let expected_j =
+                (n * config.transaction_bytes) as f64 * 8.0 * config.energy_pj_per_bit * 1e-12;
+            assert!(
+                (hbm.energy_joules() - expected_j).abs() <= 1e-18,
+                "n={n}: {} vs {expected_j}",
+                hbm.energy_joules()
+            );
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "at least one channel")]
     fn zero_channels_panics() {
         let _ = Hbm::new(HbmConfig {

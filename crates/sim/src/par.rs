@@ -43,6 +43,27 @@ pub fn set_default_threads(threads: usize) {
     DEFAULT_THREADS.store(threads, Ordering::Relaxed);
 }
 
+/// Parses `--threads N` from a CLI argument list; `None` leaves the
+/// default resolution (`NVWA_THREADS`, then hardware parallelism).
+/// Shared by every binary that exposes the flag (`nvwa`, `repro`,
+/// `perf`, `nvwa-loadgen`).
+pub fn threads_from_args(args: &[String]) -> Option<usize> {
+    args.iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+}
+
+/// Applies `--threads N` from `args` to the process-wide default (no-op
+/// when absent) and returns the resolved thread count either way.
+pub fn configure_threads_from_args(args: &[String]) -> usize {
+    if let Some(n) = threads_from_args(args) {
+        set_default_threads(n);
+    }
+    current_threads()
+}
+
 /// The thread count [`par_map`] will use, after applying the full
 /// resolution order (override → default → `NVWA_THREADS` → hardware).
 pub fn current_threads() -> usize {
@@ -211,6 +232,20 @@ mod tests {
             assert_eq!(row.len(), 16);
             assert_eq!(row[3], i * 100 + 3);
         }
+    }
+
+    #[test]
+    fn threads_flag_parsing() {
+        let args = |s: &[&str]| s.iter().map(|a| a.to_string()).collect::<Vec<_>>();
+        assert_eq!(threads_from_args(&args(&["--threads", "4"])), Some(4));
+        assert_eq!(
+            threads_from_args(&args(&["x", "--threads", "2", "y"])),
+            Some(2)
+        );
+        assert_eq!(threads_from_args(&args(&["--threads"])), None);
+        assert_eq!(threads_from_args(&args(&["--threads", "zero"])), None);
+        assert_eq!(threads_from_args(&args(&["--threads", "0"])), None);
+        assert_eq!(threads_from_args(&args(&[])), None);
     }
 
     #[test]

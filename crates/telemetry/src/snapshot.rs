@@ -173,6 +173,147 @@ pub fn validate_metrics_snapshot(doc: &JsonValue) -> Result<(), String> {
     Ok(())
 }
 
+/// Counter names every serve metrics snapshot must carry. The server
+/// pre-registers these at startup, so the snapshot is schema-complete even
+/// before the first request; [`validate_serve_snapshot`] requires them.
+pub const SERVE_REQUIRED_COUNTERS: &[&str] = &[
+    "serve.requests_admitted",
+    "serve.requests_shed",
+    "serve.deadline_expired",
+    "serve.responses_ok",
+    "serve.protocol_errors",
+    "serve.batches_formed",
+    "serve.connections_accepted",
+];
+
+/// Gauge names every serve metrics snapshot must carry.
+pub const SERVE_REQUIRED_GAUGES: &[&str] = &[
+    "serve.queue_depth",
+    "serve.queue_depth_max",
+    "serve.queue_capacity",
+    "serve.workers",
+];
+
+/// Histogram names every serve metrics snapshot must carry.
+pub const SERVE_REQUIRED_HISTOGRAMS: &[&str] = &[
+    "serve.batch_size",
+    "serve.e2e_latency_us",
+    "serve.queue_wait_us",
+];
+
+/// Whether a (valid) metrics snapshot came from the serving subsystem —
+/// recognized by the presence of the serve counter family.
+pub fn is_serve_snapshot(doc: &JsonValue) -> bool {
+    doc.get("counters")
+        .and_then(|c| c.get(SERVE_REQUIRED_COUNTERS[0]))
+        .is_some()
+}
+
+/// Validates a serve metrics snapshot: the base schema of
+/// [`validate_metrics_snapshot`] plus the serve metric family
+/// ([`SERVE_REQUIRED_COUNTERS`], [`SERVE_REQUIRED_GAUGES`],
+/// [`SERVE_REQUIRED_HISTOGRAMS`]).
+///
+/// # Errors
+///
+/// Returns a message naming the first violated constraint.
+pub fn validate_serve_snapshot(doc: &JsonValue) -> Result<(), String> {
+    validate_metrics_snapshot(doc)?;
+    let what = "serve metrics snapshot";
+    let family = [
+        ("counters", SERVE_REQUIRED_COUNTERS),
+        ("gauges", SERVE_REQUIRED_GAUGES),
+        ("histograms", SERVE_REQUIRED_HISTOGRAMS),
+    ];
+    for (section, names) in family {
+        let obj = require(doc, section, what)?;
+        for name in names {
+            if obj.get(name).is_none() {
+                return Err(format!("{what}: missing {section} entry {name:?}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates a loadgen report (`"kind": "nvwa-loadgen"`, schema version 1):
+/// the accounting identities (`sent = received + lost`,
+/// `received = ok + shed + deadline + errors`) and the latency summary,
+/// whose percentiles are null exactly when no latency was sampled.
+///
+/// # Errors
+///
+/// Returns a message naming the first violated constraint.
+pub fn validate_loadgen_report(doc: &JsonValue) -> Result<(), String> {
+    let what = "loadgen report";
+    let kind = require(doc, "kind", what)?.as_str();
+    if kind != Some("nvwa-loadgen") {
+        return Err(format!(
+            "{what}: kind must be \"nvwa-loadgen\", got {kind:?}"
+        ));
+    }
+    let version = require_num(doc, "schema_version", what)?;
+    if version != 1.0 {
+        return Err(format!("{what}: unsupported schema_version {version}"));
+    }
+    let mode = require(doc, "mode", what)?.as_str();
+    if !matches!(mode, Some("closed") | Some("open")) {
+        return Err(format!(
+            "{what}: mode must be \"closed\" or \"open\", got {mode:?}"
+        ));
+    }
+    let count_of = |key: &str| -> Result<f64, String> {
+        let v = require_num(doc, key, what)?;
+        if v < 0.0 || v.fract() != 0.0 {
+            return Err(format!("{what}: {key} must be a non-negative integer"));
+        }
+        Ok(v)
+    };
+    let sent = count_of("sent")?;
+    let received = count_of("received")?;
+    let ok = count_of("ok")?;
+    let shed = count_of("shed")?;
+    let deadline = count_of("deadline")?;
+    let errors = count_of("errors")?;
+    let lost = count_of("lost")?;
+    count_of("duplicates")?;
+    count_of("mapped")?;
+    count_of("connections")?;
+    if sent != received + lost {
+        return Err(format!(
+            "{what}: sent ({sent}) must equal received ({received}) + lost ({lost})"
+        ));
+    }
+    if received != ok + shed + deadline + errors {
+        return Err(format!(
+            "{what}: received ({received}) must equal ok+shed+deadline+errors \
+             ({ok}+{shed}+{deadline}+{errors})"
+        ));
+    }
+    let wall_ms = require_num(doc, "wall_ms", what)?;
+    if wall_ms.is_nan() || wall_ms <= 0.0 {
+        return Err(format!("{what}: wall_ms must be > 0, got {wall_ms}"));
+    }
+    let rps = require_num(doc, "throughput_rps", what)?;
+    if rps < 0.0 {
+        return Err(format!("{what}: throughput_rps must be ≥ 0"));
+    }
+    let latency = require(doc, "latency_us", what)?;
+    let count = require_num(latency, "count", what).map_err(|e| format!("{e} (latency_us)"))?;
+    for key in ["mean", "p50", "p90", "p99", "min", "max"] {
+        match require(latency, key, what).map_err(|e| format!("{e} (latency_us)"))? {
+            JsonValue::Null if count == 0.0 => {}
+            JsonValue::Num(_) if count > 0.0 => {}
+            other => {
+                return Err(format!(
+                    "{what}: latency_us.{key} inconsistent with count {count}: {other}"
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Validates a `BENCH_*.json` perf report (the `perf` binary's format).
 ///
 /// # Errors
@@ -316,6 +457,75 @@ mod tests {
             {"ph": "X", "pid": 1, "tid": 0, "name": "read", "ts": 0}
         ]}"#;
         assert!(validate_chrome_trace(&JsonValue::parse(bad).unwrap()).is_err());
+    }
+
+    #[test]
+    fn serve_snapshot_requires_the_metric_family() {
+        let mut reg = MetricsRegistry::new();
+        for name in SERVE_REQUIRED_COUNTERS {
+            reg.counter(name);
+        }
+        for name in SERVE_REQUIRED_GAUGES {
+            reg.gauge(name);
+        }
+        for name in SERVE_REQUIRED_HISTOGRAMS {
+            reg.histogram(name);
+        }
+        let meta = SnapshotMeta {
+            host_threads: 1,
+            git_rev: None,
+        };
+        let doc = reg.snapshot(&meta);
+        assert!(is_serve_snapshot(&doc));
+        validate_serve_snapshot(&doc).unwrap();
+
+        // A snapshot missing one histogram fails the serve schema while
+        // still passing the base schema.
+        let mut partial = MetricsRegistry::new();
+        for name in SERVE_REQUIRED_COUNTERS {
+            partial.counter(name);
+        }
+        for name in SERVE_REQUIRED_GAUGES {
+            partial.gauge(name);
+        }
+        let doc = partial.snapshot(&meta);
+        validate_metrics_snapshot(&doc).unwrap();
+        let err = validate_serve_snapshot(&doc).unwrap_err();
+        assert!(err.contains("serve.batch_size"), "{err}");
+    }
+
+    #[test]
+    fn loadgen_report_identities_are_enforced() {
+        let good = r#"{
+            "kind": "nvwa-loadgen", "schema_version": 1, "mode": "closed",
+            "connections": 2, "reads": 100, "sent": 100, "received": 100,
+            "ok": 95, "mapped": 90, "shed": 5, "deadline": 0, "errors": 0,
+            "lost": 0, "duplicates": 0, "wall_ms": 12.5,
+            "throughput_rps": 8000.0,
+            "latency_us": {"count": 95, "mean": 900.0, "p50": 800.0,
+                           "p90": 1500.0, "p99": 2100.0, "min": 300.0,
+                           "max": 2500.0}
+        }"#;
+        validate_loadgen_report(&JsonValue::parse(good).unwrap()).unwrap();
+
+        let lossy = good.replace("\"lost\": 0", "\"lost\": 3");
+        let err = validate_loadgen_report(&JsonValue::parse(&lossy).unwrap()).unwrap_err();
+        assert!(err.contains("lost"), "{err}");
+
+        let bad_mode = good.replace("\"closed\"", "\"sideways\"");
+        assert!(validate_loadgen_report(&JsonValue::parse(&bad_mode).unwrap()).is_err());
+
+        // Zero-sample latency must use nulls.
+        let empty = r#"{
+            "kind": "nvwa-loadgen", "schema_version": 1, "mode": "open",
+            "connections": 1, "reads": 0, "sent": 0, "received": 0,
+            "ok": 0, "mapped": 0, "shed": 0, "deadline": 0, "errors": 0,
+            "lost": 0, "duplicates": 0, "wall_ms": 1.0,
+            "throughput_rps": 0,
+            "latency_us": {"count": 0, "mean": null, "p50": null,
+                           "p90": null, "p99": null, "min": null, "max": null}
+        }"#;
+        validate_loadgen_report(&JsonValue::parse(empty).unwrap()).unwrap();
     }
 
     #[test]

@@ -1,6 +1,11 @@
 #!/usr/bin/env sh
-# Repo gate: formatting, lints, the tier-1 build+test suite, and the
-# telemetry artifact checks. Run from the repository root: ./scripts/check.sh
+# Repo gate: formatting, lints, the tier-1 build+test suite, the
+# telemetry artifact checks and the serve smoke test. Run from the
+# repository root: ./scripts/check.sh
+#
+# ARTIFACTS_DIR (optional): where generated artifacts land. Defaults to a
+# temp dir removed on exit; CI points it at a persistent path and uploads
+# the contents.
 set -eu
 
 cargo fmt --all -- --check
@@ -12,12 +17,43 @@ cargo test -q
 # drift fails loudly here even if the suite is filtered).
 cargo test -q --test telemetry_integration tiny_trace_round_trips_and_matches_golden_file
 
+if [ -n "${ARTIFACTS_DIR:-}" ]; then
+    artifacts_dir="$ARTIFACTS_DIR"
+    mkdir -p "$artifacts_dir"
+else
+    artifacts_dir="$(mktemp -d)"
+    trap 'rm -rf "$artifacts_dir"' EXIT
+fi
+
 # Generate fresh telemetry artifacts with the release binary and validate
-# them — plus the committed perf record — against their schemas.
-artifacts_dir="$(mktemp -d)"
-trap 'rm -rf "$artifacts_dir"' EXIT
+# them — plus the committed perf records — against their schemas.
 cargo run --release --quiet --bin nvwa -- sim --reads 500 \
     --trace-out "$artifacts_dir/trace.json" \
     --metrics-out "$artifacts_dir/metrics.json"
 cargo run --release --quiet -p nvwa-bench --bin validate -- \
-    BENCH_PR1.json "$artifacts_dir/trace.json" "$artifacts_dir/metrics.json"
+    BENCH_PR1.json BENCH_PR3.json \
+    "$artifacts_dir/trace.json" "$artifacts_dir/metrics.json"
+
+# Serve smoke test: start the server in the background on an ephemeral
+# port, push 2 000 reads closed-loop, request a graceful shutdown, and
+# assert (a) the loadgen saw zero lost/duplicated responses (nvwa-loadgen
+# exits non-zero otherwise), (b) the server drained and exited cleanly,
+# (c) the serve snapshot, trace and loadgen report all pass validation.
+rm -f "$artifacts_dir/serve_addr"
+cargo run --release --quiet --bin nvwa -- serve \
+    --addr 127.0.0.1:0 --addr-file "$artifacts_dir/serve_addr" \
+    --ref-len 60000 --workers 2 \
+    --metrics-out "$artifacts_dir/serve_metrics.json" \
+    --trace-out "$artifacts_dir/serve_trace.json" &
+serve_pid=$!
+cargo run --release --quiet -p nvwa-serve --bin nvwa-loadgen -- \
+    --addr-file "$artifacts_dir/serve_addr" \
+    --reads 2000 --connections 2 --mode closed --window 32 \
+    --ref-len 60000 \
+    --out "$artifacts_dir/loadgen_report.json" --shutdown
+wait "$serve_pid"
+cargo run --release --quiet -p nvwa-bench --bin validate -- \
+    "$artifacts_dir/serve_metrics.json" \
+    "$artifacts_dir/serve_trace.json" \
+    "$artifacts_dir/loadgen_report.json"
+echo "serve smoke test: clean drain, zero lost responses"

@@ -6,6 +6,10 @@
 //! nvwa synth-reads <ref.fa> <out.fq> [--count N] [--len N] [--seed S]
 //! nvwa align      <ref.fa> <reads.fq> [--sam out.sam] [--simulate]
 //!                 [--trace-out t.json] [--metrics-out m.json] [--threads N]
+//! nvwa serve      [--addr H:P] [--addr-file PATH] [--ref ref.fa]
+//!                 [--ref-len N] [--ref-seed S] [--queue-cap N] [--workers N]
+//!                 [--batch-max N] [--batch-wait-us U] [--deadline-ms D]
+//!                 [--backend sw|hil] [--metrics-out m.json] [--trace-out t.json]
 //! ```
 //!
 //! The default (no subcommand, or `sim`) runs the paper-scale accelerator
@@ -57,18 +61,21 @@ fn usage() -> ExitCode {
     eprintln!("  nvwa synth-reads <ref.fa> <out.fq> [--count N] [--len N] [--seed S]");
     eprintln!("  nvwa align       <ref.fa> <reads.fq> [--sam out.sam] [--simulate]");
     eprintln!("                   [--trace-out t.json] [--metrics-out m.json] [--threads N]");
+    eprintln!("  nvwa serve       [--addr H:P] [--addr-file PATH] [--ref ref.fa]");
+    eprintln!("                   [--ref-len N] [--ref-seed S] [--queue-cap N] [--workers N]");
+    eprintln!("                   [--batch-max N] [--batch-wait-us U] [--deadline-ms D]");
+    eprintln!("                   [--backend sw|hil] [--metrics-out m.json] [--trace-out t.json]");
     ExitCode::FAILURE
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if let Some(n) = flag_value(&args, "--threads").and_then(|v| v.parse::<usize>().ok()) {
-        nvwa::sim::par::set_default_threads(n);
-    }
+    nvwa::sim::par::configure_threads_from_args(&args);
     match args.first().map(String::as_str) {
         Some("synth-ref") => synth_ref(&args[1..]),
         Some("synth-reads") => synth_reads(&args[1..]),
         Some("align") => align(&args[1..]),
+        Some("serve") => serve(&args[1..]),
         Some("sim") => sim(&args[1..]),
         // Bare invocation (possibly with flags only): the default scenario.
         None => sim(&args),
@@ -237,6 +244,113 @@ fn synth_reads(args: &[String]) -> ExitCode {
         reads.len(),
         params.read_len
     );
+    ExitCode::SUCCESS
+}
+
+/// The serving front end: builds (or loads) a reference, starts the
+/// batched TCP server and runs until SIGINT/SIGTERM or a protocol
+/// `shutdown` request, then drains gracefully and optionally writes the
+/// serve metrics snapshot and Chrome trace.
+fn serve(args: &[String]) -> ExitCode {
+    use nvwa::serve::loadgen::ref_params;
+    use nvwa::serve::{signal, BackendKind, BatcherConfig, Server, ServerConfig};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let genome = if let Some(ref_path) = flag_value(args, "--ref") {
+        match load_genome(&ref_path) {
+            Ok(g) => g,
+            Err(code) => return code,
+        }
+    } else {
+        let len = flag_u64(args, "--ref-len", 100_000) as usize;
+        let seed = flag_u64(args, "--ref-seed", 5);
+        eprintln!("synthesizing {len} bp reference (seed {seed}) ...");
+        ReferenceGenome::synthesize(&ref_params(len), seed)
+    };
+    eprintln!("indexing {} bp ...", genome.total_len());
+    let index = Arc::new(ReferenceIndex::build(&genome, 32));
+
+    let backend = match flag_value(args, "--backend").as_deref().unwrap_or("sw") {
+        "sw" => BackendKind::Software,
+        "hil" => BackendKind::hil_default(),
+        other => {
+            eprintln!("nvwa: unknown backend {other:?} (want sw or hil)");
+            return usage();
+        }
+    };
+    let config = ServerConfig {
+        addr: flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:0".to_string()),
+        queue_capacity: flag_u64(args, "--queue-cap", 1024) as usize,
+        workers: flag_value(args, "--workers")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(nvwa::sim::par::current_threads),
+        batch: BatcherConfig {
+            max_batch: flag_u64(args, "--batch-max", 64) as usize,
+            max_wait: std::time::Duration::from_micros(flag_u64(args, "--batch-wait-us", 2_000)),
+            ..BatcherConfig::default()
+        },
+        backend,
+        aligner: AlignerConfig::default(),
+        default_deadline: flag_value(args, "--deadline-ms")
+            .and_then(|v| v.parse().ok())
+            .map(Duration::from_millis),
+        trace: flag_value(args, "--trace-out").is_some(),
+        worker_delay: flag_value(args, "--debug-worker-delay-us")
+            .and_then(|v| v.parse().ok())
+            .map(Duration::from_micros),
+    };
+    signal::install();
+    let server = match Server::start(index, config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("nvwa: cannot start server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.local_addr();
+    println!("serving on {addr} (SIGINT or a shutdown request drains and exits)");
+    if let Some(path) = flag_value(args, "--addr-file") {
+        if let Err(e) = fs::write(&path, addr.to_string()) {
+            eprintln!("nvwa: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    while !signal::interrupted() && !server.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("draining ...");
+    let metrics = server.shutdown();
+    println!(
+        "served {} ok / {} shed / {} deadline across {} batches ({} connections)",
+        metrics.counter("serve.responses_ok"),
+        metrics.counter("serve.requests_shed"),
+        metrics.counter("serve.deadline_expired"),
+        metrics.counter("serve.batches_formed"),
+        metrics.counter("serve.connections_accepted"),
+    );
+    let write = |path: &str, text: &str| -> Result<(), ExitCode> {
+        fs::write(path, text).map_err(|e| {
+            eprintln!("nvwa: cannot write {path}: {e}");
+            ExitCode::FAILURE
+        })?;
+        println!("wrote {path}");
+        Ok(())
+    };
+    if let Some(path) = flag_value(args, "--metrics-out") {
+        let meta = SnapshotMeta::collect(nvwa::sim::par::current_threads());
+        let doc = metrics.snapshot(&meta).to_string_pretty();
+        if let Err(code) = write(&path, &doc) {
+            return code;
+        }
+    }
+    if let Some(path) = flag_value(args, "--trace-out") {
+        if let Some(trace) = metrics.trace_json() {
+            if let Err(code) = write(&path, &trace) {
+                return code;
+            }
+        }
+    }
     ExitCode::SUCCESS
 }
 

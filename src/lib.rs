@@ -12,6 +12,10 @@
 //!   Allocator), Extension Scheduler (Hybrid Units Strategy), Coordinator, the
 //!   full-system simulator, area/power model and the experiment drivers that
 //!   regenerate every table and figure of the paper.
+//! * [`serve`] — the online serving subsystem: TCP front end, bounded
+//!   admission with load-shedding, length-binned dynamic batching,
+//!   deadlines, software and hardware-in-the-loop backends, and the
+//!   open/closed-loop load generator (`nvwa serve` / `nvwa-loadgen`).
 //!
 //! # Quickstart
 //!
@@ -34,5 +38,6 @@ pub use nvwa_align as align;
 pub use nvwa_core as core;
 pub use nvwa_genome as genome;
 pub use nvwa_index as index;
+pub use nvwa_serve as serve;
 pub use nvwa_sim as sim;
 pub use nvwa_telemetry as telemetry;
