@@ -8,7 +8,9 @@
 
 use crate::cigar::Cigar;
 use crate::scoring::Scoring;
-use crate::sw::{traceback, ExtensionAlignment, E_EXT, F_EXT, H_DIAG, H_FROM_E, H_FROM_F, NEG_INF};
+use crate::sw::{
+    traceback, DpScratch, ExtensionAlignment, E_EXT, F_EXT, H_DIAG, H_FROM_E, H_FROM_F, NEG_INF,
+};
 
 /// Number of DP cells a banded fill touches (workload accounting).
 pub fn banded_cells(query_len: usize, target_len: usize, band: usize) -> u64 {
@@ -33,6 +35,22 @@ pub fn banded_extend(
     scoring: &Scoring,
     band: usize,
 ) -> ExtensionAlignment {
+    banded_extend_with(query, target, scoring, band, &mut DpScratch::new())
+}
+
+/// [`banded_extend`] with caller-provided DP buffers (zero allocations at
+/// steady state, bit-identical result).
+///
+/// # Panics
+///
+/// Panics if `band == 0`.
+pub fn banded_extend_with(
+    query: &[u8],
+    target: &[u8],
+    scoring: &Scoring,
+    band: usize,
+    s: &mut DpScratch,
+) -> ExtensionAlignment {
     assert!(band > 0, "band width must be positive");
     let m = query.len();
     let n = target.len();
@@ -45,10 +63,19 @@ pub fn banded_extend(
         };
     }
 
-    let mut h_prev = vec![NEG_INF; n + 1];
-    let mut h_curr = vec![NEG_INF; n + 1];
-    let mut f_col = vec![NEG_INF; n + 1];
-    let mut tb = vec![0u8; (m + 1) * (n + 1)];
+    let DpScratch {
+        tb, h, h2, f_col, ..
+    } = s;
+    let mut h_prev = h;
+    let mut h_curr = h2;
+    h_prev.clear();
+    h_prev.resize(n + 1, NEG_INF);
+    h_curr.clear();
+    h_curr.resize(n + 1, NEG_INF);
+    f_col.clear();
+    f_col.resize(n + 1, NEG_INF);
+    tb.clear();
+    tb.resize((m + 1) * (n + 1), 0);
 
     // Row 0 within the band: target-consuming gaps from the anchor.
     h_prev[0] = 0;
@@ -127,7 +154,7 @@ pub fn banded_extend(
             cigar: Cigar::new(),
         };
     }
-    let (cigar, qi, tj) = traceback(&tb, n, bi, bj, query, target, false);
+    let (cigar, qi, tj) = traceback(tb, n, bi, bj, query, target, false);
     debug_assert_eq!((qi, tj), (0, 0), "banded traceback must reach anchor");
     ExtensionAlignment {
         score,

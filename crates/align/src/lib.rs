@@ -37,5 +37,6 @@ pub mod seeding;
 pub mod sw;
 
 pub use cigar::{Cigar, CigarOp};
-pub use pipeline::{AlignerConfig, Alignment, AlignmentOutcome, SoftwareAligner};
+pub use pipeline::{AlignScratch, AlignerConfig, Alignment, AlignmentOutcome, SoftwareAligner};
 pub use scoring::Scoring;
+pub use sw::DpScratch;

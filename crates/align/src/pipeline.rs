@@ -10,25 +10,27 @@
 //!    FM-index memory-access trace (seeding-unit workload) and the list of
 //!    [`HitTask`]s with their DP dimensions (extension-unit workload).
 
+use std::sync::Arc;
+
 use nvwa_genome::reads::Read;
 use nvwa_genome::reference::ReferenceGenome;
-use nvwa_index::fmd_index::FmdIndex;
+use nvwa_index::fmd_index::{FmdIndex, PrefixLut};
 use nvwa_index::sampled_sa::SampledSa;
-use nvwa_index::smem::{collect_smems, SmemConfig};
+use nvwa_index::smem::{collect_smems_into, Smem, SmemConfig, SmemScratch};
 use nvwa_index::suffix_array::build_suffix_array;
-use nvwa_index::trace::{MemAddr, VecTrace};
+use nvwa_index::trace::{MemAddr, NullTrace, TraceSink, VecTrace};
 use nvwa_index::{bwt::Bwt, fm_index::FmIndex};
 
-use crate::banded::banded_extend;
+use crate::banded::banded_extend_with;
 use crate::chain::{chain_seeds, Chain, ChainConfig, Seed};
 use crate::cigar::{Cigar, CigarOp};
 use crate::scoring::Scoring;
-use crate::sw::global_align;
+use crate::sw::{global_align_with, DpScratch};
 
 /// A reference genome plus the search structures built over it.
 #[derive(Debug)]
 pub struct ReferenceIndex {
-    flat: Vec<u8>,
+    flat: Arc<[u8]>,
     fmd: FmdIndex,
     ssa: SampledSa,
 }
@@ -37,24 +39,33 @@ impl ReferenceIndex {
     /// Builds the FMD-index and sampled SA over a genome's flattened
     /// sequence (one suffix-array construction, shared by both).
     pub fn build(genome: &ReferenceGenome, sa_rate: u32) -> ReferenceIndex {
-        ReferenceIndex::from_codes(genome.flat().codes().to_vec(), sa_rate)
+        ReferenceIndex::from_codes(genome.flat().codes(), sa_rate)
     }
 
-    /// Builds the index directly from forward codes.
+    /// Builds the index directly from forward codes. Accepts anything that
+    /// converts into a shared `Arc<[u8]>` (`Vec<u8>`, `&[u8]`, an existing
+    /// `Arc`), so callers that already hold the codes share them instead of
+    /// copying.
+    ///
+    /// Also builds the k-mer prefix LUT ([`PrefixLut::DEFAULT_K`], clamped
+    /// to the text size) used by the software fast path.
     ///
     /// # Panics
     ///
     /// Panics if `codes` is empty or `sa_rate == 0`.
-    pub fn from_codes(codes: Vec<u8>, sa_rate: u32) -> ReferenceIndex {
+    pub fn from_codes(codes: impl Into<Arc<[u8]>>, sa_rate: u32) -> ReferenceIndex {
+        let codes: Arc<[u8]> = codes.into();
         assert!(!codes.is_empty(), "reference must be non-empty");
         let doubled = FmdIndex::doubled_text(&codes);
         let sa = build_suffix_array(&doubled);
         let bwt = Bwt::from_text_and_sa(&doubled, &sa);
         let fm = FmIndex::from_bwt(bwt);
         let ssa = SampledSa::from_sa(&sa, sa_rate);
+        let mut fmd = FmdIndex::from_parts(fm, doubled.len() / 2);
+        fmd.build_prefix_lut(PrefixLut::DEFAULT_K);
         ReferenceIndex {
             flat: codes,
-            fmd: FmdIndex::from_parts(fm, doubled.len() / 2),
+            fmd,
             ssa,
         }
     }
@@ -62,6 +73,11 @@ impl ReferenceIndex {
     /// The forward reference codes.
     pub fn flat(&self) -> &[u8] {
         &self.flat
+    }
+
+    /// A shared handle to the forward reference codes (cheap clone).
+    pub fn flat_shared(&self) -> Arc<[u8]> {
+        Arc::clone(&self.flat)
     }
 
     /// The FMD-index.
@@ -107,6 +123,57 @@ impl Default for AlignerConfig {
             max_chains_extended: 3,
         }
     }
+}
+
+/// Reusable per-worker scratch for the whole alignment pipeline.
+///
+/// Holds every buffer the per-read hot path would otherwise allocate fresh:
+/// the SMEM search scratch (with its occ-block cache), the SMEM/seed vectors,
+/// the reverse-complement and candidate buffers, and the DP scratch used by
+/// chain extension. One instance per worker thread; reusing it across reads
+/// makes the steady-state pipeline allocation-free. Results are bit-identical
+/// to the allocating path.
+#[derive(Debug, Default)]
+pub struct AlignScratch {
+    smem: SmemScratch,
+    smems: Vec<Smem>,
+    seeds: Vec<Seed>,
+    rc_codes: Vec<u8>,
+    candidates: Vec<Alignment>,
+    ext: ExtendScratch,
+}
+
+impl AlignScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> AlignScratch {
+        AlignScratch::default()
+    }
+
+    /// `(hits, lookups)` of the seeding occ-block cache since the last
+    /// [`AlignScratch::reset_seed_cache_stats`].
+    pub fn seed_cache_stats(&self) -> (u64, u64) {
+        self.smem.cache_stats()
+    }
+
+    /// Clears the seeding cache hit/lookup counters (after publishing them).
+    pub fn reset_seed_cache_stats(&mut self) {
+        self.smem.reset_cache_stats();
+    }
+
+    /// Invalidates the occ-block cache; required when the scratch is reused
+    /// against a different [`ReferenceIndex`].
+    pub fn reset_for_index(&mut self) {
+        self.smem.reset_for_index();
+    }
+}
+
+/// Scratch buffers for [`SoftwareAligner`] chain extension.
+#[derive(Debug, Default)]
+struct ExtendScratch {
+    segments: Vec<Seed>,
+    left_q: Vec<u8>,
+    left_t: Vec<u8>,
+    dp: DpScratch,
 }
 
 /// One extension-unit work item: a hit plus its DP dimensions.
@@ -214,32 +281,88 @@ impl<'r> SoftwareAligner<'r> {
         &self.config
     }
 
-    /// Aligns a simulated read.
+    /// Aligns a simulated read (fresh scratch, hardware-trace mode).
     pub fn align_read(&self, read: &Read) -> AlignmentOutcome {
         self.align_codes(read.id, read.seq.codes())
     }
 
-    /// Aligns raw 2-bit read codes.
+    /// Aligns a simulated read with caller-provided scratch, recording the
+    /// seeding memory-access trace (the simulator's workload input).
+    pub fn align_read_with(&self, read: &Read, scratch: &mut AlignScratch) -> AlignmentOutcome {
+        self.align_codes_with(read.id, read.seq.codes(), scratch)
+    }
+
+    /// Aligns raw 2-bit read codes (fresh scratch, hardware-trace mode).
     pub fn align_codes(&self, read_id: u64, codes: &[u8]) -> AlignmentOutcome {
-        let mut profile = ReadProfile::default();
+        self.align_codes_with(read_id, codes, &mut AlignScratch::new())
+    }
+
+    /// Hardware-trace mode: aligns with caller-provided scratch and records
+    /// the seeding memory-access trace in the profile. The k-mer prefix LUT
+    /// is bypassed so every FM-index block read is observable; the occ-block
+    /// cache still engages (it is trace-invisible).
+    pub fn align_codes_with(
+        &self,
+        read_id: u64,
+        codes: &[u8],
+        scratch: &mut AlignScratch,
+    ) -> AlignmentOutcome {
         let mut trace = VecTrace::default();
+        let mut outcome = self.align_codes_inner(read_id, codes, scratch, &mut trace);
+        outcome.profile.seeding_trace = trace.0;
+        outcome
+    }
+
+    /// Software fast path: no trace is recorded, which enables the k-mer
+    /// prefix LUT (and keeps the occ-block cache). Alignments are
+    /// bit-identical to [`SoftwareAligner::align_codes_with`]; only the
+    /// profile's `seeding_trace` is empty.
+    pub fn align_codes_fast(
+        &self,
+        read_id: u64,
+        codes: &[u8],
+        scratch: &mut AlignScratch,
+    ) -> AlignmentOutcome {
+        self.align_codes_inner(read_id, codes, scratch, &mut NullTrace)
+    }
+
+    fn align_codes_inner<T: TraceSink>(
+        &self,
+        read_id: u64,
+        codes: &[u8],
+        scratch: &mut AlignScratch,
+        trace: &mut T,
+    ) -> AlignmentOutcome {
+        let mut profile = ReadProfile::default();
+        let AlignScratch {
+            smem: smem_scratch,
+            smems,
+            seeds,
+            rc_codes,
+            candidates,
+            ext,
+        } = scratch;
 
         // --- Seeding phase (Step-❶): SMEM search + locate. ---
-        let smems = collect_smems(self.index.fmd(), codes, &self.config.smem, &mut trace);
+        collect_smems_into(
+            self.index.fmd(),
+            codes,
+            &self.config.smem,
+            smem_scratch,
+            smems,
+            trace,
+        );
         profile.smem_count = smems.len() as u32;
-        let mut seeds: Vec<Seed> = Vec::new();
+        seeds.clear();
         let read_len = codes.len();
-        for smem in &smems {
+        for smem in smems.iter() {
             if smem.occ() > self.config.max_smem_occ {
                 continue;
             }
             let take = (smem.occ() as usize).min(self.config.max_hits_per_smem);
             for i in 0..take {
                 let rank = smem.interval.k + i as u64;
-                let pos = self
-                    .index
-                    .ssa
-                    .locate(self.index.fmd().fm(), rank, &mut trace);
+                let pos = self.index.ssa.locate(self.index.fmd().fm(), rank, trace);
                 let Some(hit) = self.index.fmd().resolve_hit(pos as usize, smem.len()) else {
                     continue; // seam artifact
                 };
@@ -257,17 +380,18 @@ impl<'r> SoftwareAligner<'r> {
                 });
             }
         }
-        profile.seeding_trace = trace.0;
 
         // --- Filter & chain (Step-❷). ---
-        let chains = chain_seeds(&seeds, &self.config.chain);
+        let chains = chain_seeds(seeds, &self.config.chain);
 
         // --- Seed extension (Step-❸). ---
-        let rc_codes: Vec<u8> = codes.iter().rev().map(|&c| 3 - c).collect();
-        let mut candidates: Vec<Alignment> = Vec::new();
+        rc_codes.clear();
+        rc_codes.extend(codes.iter().rev().map(|&c| 3 - c));
+        candidates.clear();
         for chain in chains.iter().take(self.config.max_chains_extended) {
-            let oriented: &[u8] = if chain.is_rc { &rc_codes } else { codes };
-            if let Some(alignment) = self.extend_chain(read_id, chain, oriented, &mut profile) {
+            let oriented: &[u8] = if chain.is_rc { rc_codes } else { codes };
+            if let Some(alignment) = self.extend_chain(read_id, chain, oriented, &mut profile, ext)
+            {
                 candidates.push(alignment);
             }
         }
@@ -293,14 +417,21 @@ impl<'r> SoftwareAligner<'r> {
         chain: &Chain,
         oriented: &[u8],
         profile: &mut ReadProfile,
+        ext: &mut ExtendScratch,
     ) -> Option<Alignment> {
+        let ExtendScratch {
+            segments,
+            left_q,
+            left_t,
+            dp,
+        } = ext;
         let flat = self.index.flat();
         let scoring = &self.config.scoring;
         let read_len = oriented.len();
         let mut hit_idx = profile.hit_tasks.len() as u32;
 
         // Normalize the chain's seeds into strictly advancing segments.
-        let mut segments: Vec<Seed> = Vec::new();
+        segments.clear();
         for &seed in &chain.seeds {
             let mut s = seed;
             if let Some(prev) = segments.last() {
@@ -328,7 +459,7 @@ impl<'r> SoftwareAligner<'r> {
             let prev_ref_end = (prev.ref_pos + prev.len() as u64) as usize;
             let r_gap = &flat[prev_ref_end..seg.ref_pos as usize];
             if !q_gap.is_empty() || !r_gap.is_empty() {
-                let glue = global_align(q_gap, r_gap, scoring);
+                let glue = global_align_with(q_gap, r_gap, scoring, dp);
                 profile.dp_cells += crate::sw::dp_cells(q_gap.len(), r_gap.len());
                 profile.hit_tasks.push(HitTask {
                     read_id,
@@ -347,19 +478,18 @@ impl<'r> SoftwareAligner<'r> {
         }
 
         // Left flank: extend leftwards (reversed sequences).
-        let left_q: Vec<u8> = oriented[..first.query_start]
-            .iter()
-            .rev()
-            .copied()
-            .collect();
+        left_q.clear();
+        left_q.extend(oriented[..first.query_start].iter().rev().copied());
         let window = first.query_start + self.config.band;
         let left_t_start = (first.ref_pos as usize).saturating_sub(window);
-        let left_t: Vec<u8> = flat[left_t_start..first.ref_pos as usize]
-            .iter()
-            .rev()
-            .copied()
-            .collect();
-        let left = banded_extend(&left_q, &left_t, scoring, self.config.band.max(1));
+        left_t.clear();
+        left_t.extend(
+            flat[left_t_start..first.ref_pos as usize]
+                .iter()
+                .rev()
+                .copied(),
+        );
+        let left = banded_extend_with(left_q, left_t, scoring, self.config.band.max(1), dp);
         if !left_q.is_empty() {
             profile.dp_cells +=
                 crate::banded::banded_cells(left_q.len(), left_t.len(), self.config.band.max(1));
@@ -380,7 +510,7 @@ impl<'r> SoftwareAligner<'r> {
         let last_ref_end = (last.ref_pos + last.len() as u64) as usize;
         let right_t_end = (last_ref_end + right_q.len() + self.config.band).min(flat.len());
         let right_t = &flat[last_ref_end..right_t_end];
-        let right = banded_extend(right_q, right_t, scoring, self.config.band.max(1));
+        let right = banded_extend_with(right_q, right_t, scoring, self.config.band.max(1), dp);
         if !right_q.is_empty() {
             profile.dp_cells +=
                 crate::banded::banded_cells(right_q.len(), right_t.len(), self.config.band.max(1));
@@ -564,6 +694,47 @@ mod tests {
                 assert_eq!(a.cigar.score(&aligner.config().scoring), a.score);
             }
         }
+    }
+
+    #[test]
+    fn fast_path_and_scratch_reuse_are_bit_identical() {
+        let (genome, index) = test_setup();
+        let aligner = SoftwareAligner::new(&index, AlignerConfig::default());
+        let mut sim = ReadSimulator::new(&genome, ReadSimParams::illumina_101(), 17);
+        let mut scratch = AlignScratch::new();
+        let mut traced_total = 0usize;
+        for _ in 0..25 {
+            let read = sim.simulate_read();
+            // Fresh-scratch traced path is the reference.
+            let reference = aligner.align_read(&read);
+            // Reused scratch, traced: everything identical including trace.
+            let reused = aligner.align_read_with(&read, &mut scratch);
+            assert_eq!(reused, reference, "read {}", read.id);
+            // Fast path (LUT + cache, no trace): same alignment, same
+            // workload counts, empty seeding trace.
+            let fast = aligner.align_codes_fast(read.id, read.seq.codes(), &mut scratch);
+            assert_eq!(fast.alignment, reference.alignment, "read {}", read.id);
+            assert_eq!(fast.profile.smem_count, reference.profile.smem_count);
+            assert_eq!(fast.profile.located_hits, reference.profile.located_hits);
+            assert_eq!(fast.profile.hit_tasks, reference.profile.hit_tasks);
+            assert_eq!(fast.profile.dp_cells, reference.profile.dp_cells);
+            assert!(fast.profile.seeding_trace.is_empty());
+            traced_total += reference.profile.seeding_trace.len();
+        }
+        assert!(traced_total > 0, "traced path must record block reads");
+        let (hits, lookups) = scratch.seed_cache_stats();
+        assert!(lookups > 0, "occ cache must be exercised");
+        assert!(hits > 0, "occ cache must hit on real reads");
+    }
+
+    #[test]
+    fn reference_codes_are_shared_not_copied() {
+        let (_, index) = test_setup();
+        let shared = index.flat_shared();
+        assert!(std::ptr::eq(shared.as_ptr(), index.flat().as_ptr()));
+        // An index built from an existing Arc shares, not copies.
+        let index2 = ReferenceIndex::from_codes(index.flat_shared(), 32);
+        assert!(std::ptr::eq(index2.flat().as_ptr(), index.flat().as_ptr()));
     }
 
     #[test]

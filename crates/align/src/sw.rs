@@ -64,59 +64,88 @@ pub fn dp_cells(query_len: usize, target_len: usize) -> u64 {
     query_len as u64 * target_len as u64
 }
 
-/// Output of the forward fill: the packed traceback matrix, the best cell
-/// (score, i, j) and the last cell's score (for global alignment).
-struct Fill {
-    tb: Vec<u8>,
-    best: (i32, usize, usize),
-    last: i32,
+/// Reusable DP buffers for the SW and banded kernels: the packed traceback
+/// matrix, rolling H rows, column-local F, and the 4×n score profile. One
+/// instance per worker (inside `AlignScratch`) removes every per-call
+/// allocation of the extension stage; results are bit-identical to the
+/// allocating entry points.
+#[derive(Debug, Clone, Default)]
+pub struct DpScratch {
+    pub(crate) tb: Vec<u8>,
+    pub(crate) h: Vec<i32>,
+    pub(crate) h2: Vec<i32>,
+    pub(crate) f_col: Vec<i32>,
+    score_tab: Vec<i32>,
+    profile_row: Vec<i32>,
 }
 
-/// Shared forward DP fill. `LOCAL` selects the zero-floored local
-/// recurrence; otherwise the anchored (extension/global) recurrence with
-/// gap-scored boundaries. Comparisons are strict `>` in diag → E → F
-/// order, exactly as in [`naive`], so scores, best cells and tracebacks
-/// are identical.
-fn fill<const LOCAL: bool>(query: &[u8], target: &[u8], scoring: &Scoring) -> Fill {
+impl DpScratch {
+    /// An empty scratch.
+    pub fn new() -> DpScratch {
+        DpScratch::default()
+    }
+}
+
+/// Shared forward DP fill into caller-provided buffers. `LOCAL` selects the
+/// zero-floored local recurrence; otherwise the anchored (extension/global)
+/// recurrence with gap-scored boundaries. Comparisons are strict `>` in
+/// diag → E → F order, exactly as in [`naive`], so scores, best cells and
+/// tracebacks are identical. Returns the best cell `(score, i, j)` and the
+/// last cell's score (for global alignment); the traceback matrix is left
+/// in `s.tb`.
+fn fill_into<const LOCAL: bool>(
+    query: &[u8],
+    target: &[u8],
+    scoring: &Scoring,
+    s: &mut DpScratch,
+) -> ((i32, usize, usize), i32) {
     let m = query.len();
     let n = target.len();
     let go1 = scoring.gap_cost(1);
     let ge = scoring.gap_extend;
+    let DpScratch {
+        tb,
+        h,
+        f_col,
+        score_tab,
+        profile_row,
+        ..
+    } = s;
 
-    let mut tb = vec![0u8; (m + 1) * (n + 1)];
+    tb.clear();
+    tb.resize((m + 1) * (n + 1), 0);
     // The rolling H row, holding row i-1 while row i is computed in place.
-    let mut h: Vec<i32> = if LOCAL {
-        vec![0; n + 1]
+    h.clear();
+    if LOCAL {
+        h.resize(n + 1, 0);
     } else {
-        let mut row = Vec::with_capacity(n + 1);
-        row.push(0);
+        h.reserve(n + 1);
+        h.push(0);
         let mut b = -go1;
         for _ in 1..=n {
-            row.push(b);
+            h.push(b);
             b -= ge;
         }
-        row
-    };
-    if !LOCAL {
         // Row 0 comes from E-gaps; mark for traceback.
         for (j, cell) in tb.iter_mut().enumerate().take(n + 1).skip(1) {
             *cell = H_FROM_E | if j > 1 { E_EXT } else { 0 };
         }
     }
     // F is column-local (gap consuming query): persists across rows.
-    let mut f_col = vec![NEG_INF; n + 1];
+    f_col.clear();
+    f_col.resize(n + 1, NEG_INF);
 
     // 4×n substitution profile: row `c` scores code `c` against every
     // target base. A target code ≥ 4 equals none of 0..=3, so -mismatch
     // is exact for it too; query codes ≥ 4 fall back to direct scoring.
-    let mut score_tab = vec![0i32; 4 * n];
+    score_tab.clear();
+    score_tab.resize(4 * n, 0);
     for c in 0..4u8 {
         let row = &mut score_tab[c as usize * n..(c as usize + 1) * n];
         for (s, &t) in row.iter_mut().zip(target) {
             *s = scoring.score(c, t);
         }
     }
-    let mut scratch: Vec<i32> = Vec::new();
 
     let mut best = (0i32, 0usize, 0usize);
     let mut boundary = -go1;
@@ -125,9 +154,9 @@ fn fill<const LOCAL: bool>(query: &[u8], target: &[u8], scoring: &Scoring) -> Fi
         let row_scores: &[i32] = if qc < 4 {
             &score_tab[qc * n..(qc + 1) * n]
         } else {
-            scratch.clear();
-            scratch.extend(target.iter().map(|&t| scoring.score(qc as u8, t)));
-            &scratch
+            profile_row.clear();
+            profile_row.extend(target.iter().map(|&t| scoring.score(qc as u8, t)));
+            profile_row
         };
         let tb_row = &mut tb[i * (n + 1)..(i + 1) * (n + 1)];
         // E is row-local (gap consuming target): resets each row.
@@ -190,21 +219,29 @@ fn fill<const LOCAL: bool>(query: &[u8], target: &[u8], scoring: &Scoring) -> Fi
             }
         }
     }
-    Fill {
-        best,
-        last: h[n],
-        tb,
-    }
+    (best, h[n])
 }
 
 /// Classic affine-gap local alignment (Smith-Waterman-Gotoh).
 ///
 /// Returns the best-scoring local alignment; for the empty input or an
 /// all-negative matrix the result has `score == 0` and an empty CIGAR.
+/// Convenience wrapper over [`local_align_with`] with fresh buffers.
 pub fn local_align(query: &[u8], target: &[u8], scoring: &Scoring) -> LocalAlignment {
+    local_align_with(query, target, scoring, &mut DpScratch::new())
+}
+
+/// [`local_align`] with caller-provided DP buffers (zero allocations at
+/// steady state, bit-identical result).
+pub fn local_align_with(
+    query: &[u8],
+    target: &[u8],
+    scoring: &Scoring,
+    s: &mut DpScratch,
+) -> LocalAlignment {
     let n = target.len();
-    let filled = fill::<true>(query, target, scoring);
-    let (score, bi, bj) = filled.best;
+    let (best, _) = fill_into::<true>(query, target, scoring, s);
+    let (score, bi, bj) = best;
     if score <= 0 {
         return LocalAlignment {
             score: 0,
@@ -215,7 +252,7 @@ pub fn local_align(query: &[u8], target: &[u8], scoring: &Scoring) -> LocalAlign
             cigar: Cigar::new(),
         };
     }
-    let (cigar, qi, tj) = traceback(&filled.tb, n, bi, bj, query, target, true);
+    let (cigar, qi, tj) = traceback(&s.tb, n, bi, bj, query, target, true);
     LocalAlignment {
         score,
         query_start: qi,
@@ -232,9 +269,19 @@ pub fn local_align(query: &[u8], target: &[u8], scoring: &Scoring) -> LocalAlign
 /// This is the flank-extension step of seed-and-extend: the query flank is
 /// extended into the reference window, soft-clipping whatever does not pay.
 pub fn extend_align(query: &[u8], target: &[u8], scoring: &Scoring) -> ExtensionAlignment {
+    extend_align_with(query, target, scoring, &mut DpScratch::new())
+}
+
+/// [`extend_align`] with caller-provided DP buffers.
+pub fn extend_align_with(
+    query: &[u8],
+    target: &[u8],
+    scoring: &Scoring,
+    s: &mut DpScratch,
+) -> ExtensionAlignment {
     let n = target.len();
-    let filled = fill::<false>(query, target, scoring);
-    let (score, bi, bj) = filled.best;
+    let (best, _) = fill_into::<false>(query, target, scoring, s);
+    let (score, bi, bj) = best;
     if bi == 0 && bj == 0 {
         return ExtensionAlignment {
             score: 0,
@@ -243,7 +290,7 @@ pub fn extend_align(query: &[u8], target: &[u8], scoring: &Scoring) -> Extension
             cigar: Cigar::new(),
         };
     }
-    let (cigar, qi, tj) = traceback(&filled.tb, n, bi, bj, query, target, false);
+    let (cigar, qi, tj) = traceback(&s.tb, n, bi, bj, query, target, false);
     debug_assert_eq!((qi, tj), (0, 0), "extension traceback must reach anchor");
     ExtensionAlignment {
         score,
@@ -258,6 +305,16 @@ pub fn extend_align(query: &[u8], target: &[u8], scoring: &Scoring) -> Extension
 /// Both sequences are consumed entirely; used to glue the gaps between
 /// chained seeds, where both endpoints are fixed by the flanking seeds.
 pub fn global_align(query: &[u8], target: &[u8], scoring: &Scoring) -> ExtensionAlignment {
+    global_align_with(query, target, scoring, &mut DpScratch::new())
+}
+
+/// [`global_align`] with caller-provided DP buffers.
+pub fn global_align_with(
+    query: &[u8],
+    target: &[u8],
+    scoring: &Scoring,
+    s: &mut DpScratch,
+) -> ExtensionAlignment {
     let m = query.len();
     let n = target.len();
     if m == 0 || n == 0 {
@@ -276,12 +333,11 @@ pub fn global_align(query: &[u8], target: &[u8], scoring: &Scoring) -> Extension
             cigar,
         };
     }
-    let filled = fill::<false>(query, target, scoring);
-    let score = filled.last;
-    let (cigar, qi, tj) = traceback(&filled.tb, n, m, n, query, target, false);
+    let (_, last) = fill_into::<false>(query, target, scoring, s);
+    let (cigar, qi, tj) = traceback(&s.tb, n, m, n, query, target, false);
     debug_assert_eq!((qi, tj), (0, 0), "global traceback must reach origin");
     ExtensionAlignment {
-        score,
+        score: last,
         query_len: m,
         target_len: n,
         cigar,

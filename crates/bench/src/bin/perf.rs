@@ -2,15 +2,21 @@
 //! harness, written as JSON (scenario → median wall-ms, threads).
 //!
 //! ```text
-//! cargo run --release -p nvwa-bench --bin perf                 # writes BENCH_PR3.json
+//! cargo run --release -p nvwa-bench --bin perf                 # writes BENCH_PR4.json
 //! cargo run --release -p nvwa-bench --bin perf -- --out x.json
 //! cargo run --release -p nvwa-bench --bin perf -- --metrics-out m.json
+//! cargo run --release -p nvwa-bench --bin perf -- --only seed
+//! cargo run --release -p nvwa-bench --bin perf -- --only seed \
+//!     --min-speedup seed_short_fast_vs_baseline_1t:1.3
 //! ```
 //!
 //! `--metrics-out` additionally writes a metrics snapshot carrying one
 //! `perf.<scenario>.t<threads>.median_wall_ms` gauge per scenario plus the
 //! speedup gauges — the same numbers as the bench report, in the uniform
-//! snapshot schema.
+//! snapshot schema. `--only <substr>` runs only scenarios whose name
+//! contains the substring (speedups whose inputs did not run are omitted).
+//! `--min-speedup NAME:VALUE` (repeatable) exits non-zero when the named
+//! speedup is missing or below the floor — the CI perf gate.
 //!
 //! Scenarios:
 //!
@@ -21,6 +27,15 @@
 //!   at `Scale::Quick`, at 1 and 8 threads.
 //! * `sw_kernel` / `sw_kernel_naive` — the optimized and reference
 //!   Smith-Waterman fills on fixed pseudo-random inputs, single-threaded.
+//! * `seed_short` / `seed_short_baseline` — SMEM seeding of 2 000 × 101 bp
+//!   reads: the software fast path (single-pass occ4 + occ-block cache +
+//!   k-mer prefix LUT + reusable scratch) vs the pre-optimization scalar
+//!   oracle (`smem::oracle`).
+//! * `seed_long` / `seed_long_baseline` — the same comparison over
+//!   100 × 2 000 bp noisy long reads.
+//! * `e2e_align` / `e2e_align_baseline` — the full align pipeline over
+//!   500 reads: fast path with one reusable `AlignScratch` vs the
+//!   allocating trace-recording path (the pre-PR default).
 //! * `serve_closed_2k` — a closed-loop serving run: 2 000 reads pushed
 //!   over loopback TCP through the full `nvwa-serve` stack (framing,
 //!   admission, length-binned batching, 2 workers). Measures end-to-end
@@ -32,13 +47,15 @@
 
 use std::time::Instant;
 
-use nvwa_align::pipeline::{AlignerConfig, ReferenceIndex, SoftwareAligner};
+use nvwa_align::pipeline::{AlignScratch, AlignerConfig, ReferenceIndex, SoftwareAligner};
 use nvwa_align::scoring::Scoring;
 use nvwa_align::sw;
 use nvwa_core::experiments::{fig11, Scale};
 use nvwa_core::units::workload::build_workload;
 use nvwa_genome::reads::{ReadSimParams, ReadSimulator};
 use nvwa_genome::reference::{ReferenceGenome, ReferenceParams};
+use nvwa_index::smem::{self, collect_smems_into, SmemConfig, SmemScratch};
+use nvwa_index::trace::NullTrace;
 use nvwa_sim::par;
 use nvwa_telemetry::{MetricsRegistry, SnapshotMeta};
 
@@ -84,6 +101,27 @@ fn prng_codes(len: usize, mut state: u64) -> Vec<u8> {
         .collect()
 }
 
+/// Parses every `--min-speedup NAME:VALUE` occurrence.
+fn min_speedup_gates(args: &[String]) -> Vec<(String, f64)> {
+    let mut gates = Vec::new();
+    for (i, a) in args.iter().enumerate() {
+        if a != "--min-speedup" {
+            continue;
+        }
+        let spec = args.get(i + 1).map(String::as_str).unwrap_or("");
+        let Some((name, floor)) = spec.split_once(':') else {
+            eprintln!("perf: --min-speedup expects NAME:VALUE, got {spec:?}");
+            std::process::exit(2);
+        };
+        let Ok(floor) = floor.parse::<f64>() else {
+            eprintln!("perf: --min-speedup floor {floor:?} is not a number");
+            std::process::exit(2);
+        };
+        gates.push((name.to_string(), floor));
+    }
+    gates
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let out = args
@@ -91,13 +129,20 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_PR3.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR4.json".to_string());
     let samples: usize = args
         .iter()
         .position(|a| a == "--samples")
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(3);
+    let only: Option<String> = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let gates = min_speedup_gates(&args);
+    let want = |name: &str| only.as_deref().is_none_or(|f| name.contains(f));
     let host_cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -119,16 +164,20 @@ fn main() {
     let mut sim = ReadSimulator::new(&genome, ReadSimParams::illumina_101(), 0x10c);
     let reads = sim.simulate_reads(10_000);
     for threads in [1usize, 8] {
-        records.push(run_scenario("workload_build_10k", threads, samples, || {
-            std::hint::black_box(build_workload(&aligner, &reads));
-        }));
+        if want("workload_build_10k") {
+            records.push(run_scenario("workload_build_10k", threads, samples, || {
+                std::hint::black_box(build_workload(&aligner, &reads));
+            }));
+        }
     }
 
     // --- fig11_chain ---------------------------------------------------
     for threads in [1usize, 8] {
-        records.push(run_scenario("fig11_chain", threads, samples, || {
-            std::hint::black_box(fig11::run(Scale::Quick));
-        }));
+        if want("fig11_chain") {
+            records.push(run_scenario("fig11_chain", threads, samples, || {
+                std::hint::black_box(fig11::run(Scale::Quick));
+            }));
+        }
     }
 
     // --- sw_kernel -----------------------------------------------------
@@ -136,26 +185,99 @@ fn main() {
         .map(|k| (prng_codes(192, 11 + k), prng_codes(240, 77 + k)))
         .collect();
     let scoring = Scoring::bwa_mem();
-    records.push(run_scenario("sw_kernel", 1, samples, || {
-        for (q, t) in &pairs {
-            std::hint::black_box(sw::local_align(q, t, &scoring));
-            std::hint::black_box(sw::extend_align(q, t, &scoring));
-            std::hint::black_box(sw::global_align(q, t, &scoring));
-        }
-    }));
-    records.push(run_scenario("sw_kernel_naive", 1, samples, || {
-        for (q, t) in &pairs {
-            std::hint::black_box(sw::naive::local_align(q, t, &scoring));
-            std::hint::black_box(sw::naive::extend_align(q, t, &scoring));
-            std::hint::black_box(sw::naive::global_align(q, t, &scoring));
-        }
-    }));
+    if want("sw_kernel") {
+        records.push(run_scenario("sw_kernel", 1, samples, || {
+            for (q, t) in &pairs {
+                std::hint::black_box(sw::local_align(q, t, &scoring));
+                std::hint::black_box(sw::extend_align(q, t, &scoring));
+                std::hint::black_box(sw::global_align(q, t, &scoring));
+            }
+        }));
+    }
+    if want("sw_kernel_naive") {
+        records.push(run_scenario("sw_kernel_naive", 1, samples, || {
+            for (q, t) in &pairs {
+                std::hint::black_box(sw::naive::local_align(q, t, &scoring));
+                std::hint::black_box(sw::naive::extend_align(q, t, &scoring));
+                std::hint::black_box(sw::naive::global_align(q, t, &scoring));
+            }
+        }));
+    }
+
+    // --- seed_short / seed_long ---------------------------------------
+    // Seeding hot path: the optimized fast path (single-pass occ4,
+    // occ-block cache, k-mer prefix LUT, reusable scratch, NullTrace) vs
+    // the retained pre-optimization oracle (`smem::oracle`: four scalar
+    // occ scans per extension, fresh allocations per read). Both produce
+    // identical SMEMs (enforced by tests/proptests); the delta is pure
+    // seeding-kernel speed.
+    let smem_cfg = SmemConfig::default();
+    let fmd = index.fmd();
+    let short_queries: Vec<&[u8]> = reads[..2_000].iter().map(|r| r.seq.codes()).collect();
+    if want("seed_short") {
+        records.push(run_scenario("seed_short", 1, samples, || {
+            let mut scratch = SmemScratch::new();
+            let mut out = Vec::new();
+            for q in &short_queries {
+                collect_smems_into(fmd, q, &smem_cfg, &mut scratch, &mut out, &mut NullTrace);
+                std::hint::black_box(out.len());
+            }
+        }));
+        records.push(run_scenario("seed_short_baseline", 1, samples, || {
+            for q in &short_queries {
+                std::hint::black_box(smem::oracle::collect_smems(fmd, q, &smem_cfg));
+            }
+        }));
+    }
+    let long_reads = {
+        let mut sim = ReadSimulator::new(&genome, ReadSimParams::long_read(2_000), 0x701);
+        sim.simulate_reads(100)
+    };
+    if want("seed_long") {
+        records.push(run_scenario("seed_long", 1, samples, || {
+            let mut scratch = SmemScratch::new();
+            let mut out = Vec::new();
+            for r in &long_reads {
+                collect_smems_into(
+                    fmd,
+                    r.seq.codes(),
+                    &smem_cfg,
+                    &mut scratch,
+                    &mut out,
+                    &mut NullTrace,
+                );
+                std::hint::black_box(out.len());
+            }
+        }));
+        records.push(run_scenario("seed_long_baseline", 1, samples, || {
+            for r in &long_reads {
+                std::hint::black_box(smem::oracle::collect_smems(fmd, r.seq.codes(), &smem_cfg));
+            }
+        }));
+    }
+
+    // --- e2e_align -----------------------------------------------------
+    // Whole pipeline per read: fast path with one reusable AlignScratch vs
+    // the allocating, trace-recording path (the pre-PR default behavior).
+    if want("e2e_align") {
+        records.push(run_scenario("e2e_align", 1, samples, || {
+            let mut scratch = AlignScratch::new();
+            for r in &reads[..500] {
+                std::hint::black_box(aligner.align_codes_fast(r.id, r.seq.codes(), &mut scratch));
+            }
+        }));
+        records.push(run_scenario("e2e_align_baseline", 1, samples, || {
+            for r in &reads[..500] {
+                std::hint::black_box(aligner.align_read(r));
+            }
+        }));
+    }
 
     // --- serve_closed_2k ----------------------------------------------
     // The full serving stack over loopback: same reference/index family
     // as workload_build_10k, 2 000 reads, closed loop. One persistent
     // server across samples (its index is the dominant fixed cost).
-    {
+    if want("serve_closed_2k") {
         use nvwa_serve::loadgen::{run as loadgen_run, ArrivalMode, LoadgenConfig};
         use nvwa_serve::{Server, ServerConfig};
         let serve_reads: Vec<Vec<u8>> = reads[..2_000]
@@ -195,14 +317,53 @@ fn main() {
             .iter()
             .find(|r| r.name == name && r.threads == threads)
             .map(|r| r.median_wall_ms)
-            .unwrap_or(f64::NAN)
     };
-    let speedup_build = lookup("workload_build_10k", 1) / lookup("workload_build_10k", 8);
-    let speedup_fig11 = lookup("fig11_chain", 1) / lookup("fig11_chain", 8);
-    let speedup_sw = lookup("sw_kernel_naive", 1) / lookup("sw_kernel", 1);
-    eprintln!(
-        "speedups: workload_build_10k {speedup_build:.2}x (8t), fig11_chain {speedup_fig11:.2}x (8t), sw_kernel {speedup_sw:.2}x (1t vs naive)"
-    );
+    // Each speedup is `slow / fast` of two recorded scenarios; pairs whose
+    // scenarios were filtered out by --only are simply omitted.
+    type SpeedupPair = (&'static str, (&'static str, usize), (&'static str, usize));
+    let pairs: [SpeedupPair; 6] = [
+        (
+            "workload_build_10k_8t_vs_1t",
+            ("workload_build_10k", 1),
+            ("workload_build_10k", 8),
+        ),
+        (
+            "fig11_chain_8t_vs_1t",
+            ("fig11_chain", 1),
+            ("fig11_chain", 8),
+        ),
+        (
+            "sw_kernel_opt_vs_naive_1t",
+            ("sw_kernel_naive", 1),
+            ("sw_kernel", 1),
+        ),
+        (
+            "seed_short_fast_vs_baseline_1t",
+            ("seed_short_baseline", 1),
+            ("seed_short", 1),
+        ),
+        (
+            "seed_long_fast_vs_baseline_1t",
+            ("seed_long_baseline", 1),
+            ("seed_long", 1),
+        ),
+        (
+            "e2e_align_fast_vs_baseline_1t",
+            ("e2e_align_baseline", 1),
+            ("e2e_align", 1),
+        ),
+    ];
+    let speedups: Vec<(&str, f64)> = pairs
+        .iter()
+        .filter_map(|(name, slow, fast)| {
+            let slow = lookup(slow.0, slow.1)?;
+            let fast = lookup(fast.0, fast.1)?;
+            Some((*name, slow / fast))
+        })
+        .collect();
+    for (name, v) in &speedups {
+        eprintln!("speedup {name}: {v:.2}x");
+    }
 
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"host_parallelism\": {host_cpus},\n"));
@@ -219,21 +380,38 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str("  \"speedups\": {\n");
-    json.push_str(&format!(
-        "    \"workload_build_10k_8t_vs_1t\": {speedup_build:.3},\n"
-    ));
-    json.push_str(&format!(
-        "    \"fig11_chain_8t_vs_1t\": {speedup_fig11:.3},\n"
-    ));
-    json.push_str(&format!(
-        "    \"sw_kernel_opt_vs_naive_1t\": {speedup_sw:.3}\n"
-    ));
+    for (i, (name, v)) in speedups.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{name}\": {v:.3}{}\n",
+            if i + 1 < speedups.len() { "," } else { "" }
+        ));
+    }
     json.push_str("  }\n}\n");
     if let Err(e) = std::fs::write(&out, &json) {
         eprintln!("perf: cannot write {out}: {e}");
         std::process::exit(1);
     }
     println!("wrote {out}");
+
+    let mut gate_failed = false;
+    for (name, floor) in &gates {
+        match speedups.iter().find(|(n, _)| n == name) {
+            Some((_, v)) if v >= floor => {
+                eprintln!("perf gate ok: {name} {v:.2}x >= {floor:.2}x");
+            }
+            Some((_, v)) => {
+                eprintln!("perf gate FAILED: {name} {v:.2}x < {floor:.2}x");
+                gate_failed = true;
+            }
+            None => {
+                eprintln!("perf gate FAILED: speedup {name} was not measured");
+                gate_failed = true;
+            }
+        }
+    }
+    if gate_failed {
+        std::process::exit(1);
+    }
 
     if let Some(metrics_out) = args
         .iter()
@@ -252,21 +430,9 @@ fn main() {
                 r.median_wall_ms,
             );
         }
-        g(
-            &mut metrics,
-            "perf.speedup.workload_build_10k_8t_vs_1t",
-            speedup_build,
-        );
-        g(
-            &mut metrics,
-            "perf.speedup.fig11_chain_8t_vs_1t",
-            speedup_fig11,
-        );
-        g(
-            &mut metrics,
-            "perf.speedup.sw_kernel_opt_vs_naive_1t",
-            speedup_sw,
-        );
+        for (name, v) in &speedups {
+            g(&mut metrics, &format!("perf.speedup.{name}"), *v);
+        }
         let meta = SnapshotMeta::collect(host_cpus);
         if let Err(e) = std::fs::write(metrics_out, metrics.snapshot_json(&meta)) {
             eprintln!("perf: cannot write {metrics_out}: {e}");

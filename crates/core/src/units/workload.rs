@@ -1,7 +1,7 @@
 //! Workload descriptors bridging the software pipeline and the hardware
 //! timing model.
 
-use nvwa_align::pipeline::{AlignmentOutcome, SoftwareAligner};
+use nvwa_align::pipeline::{AlignScratch, AlignmentOutcome, SoftwareAligner};
 use nvwa_genome::distribution::LengthHistogram;
 use nvwa_genome::reads::Read;
 use rand::rngs::StdRng;
@@ -50,11 +50,15 @@ impl ReadWork {
 /// hardware workloads (the faithful, execution-driven path).
 ///
 /// Reads are independent (the aligner is shared immutably), so they are
-/// aligned in parallel via [`nvwa_sim::par::par_map`]; results land in
-/// read order, so the workload is identical at any thread count.
+/// aligned in parallel via [`nvwa_sim::par::par_map_with`], each worker
+/// reusing one [`AlignScratch`] across its whole read stream (zero
+/// steady-state allocation); results land in read order, so the workload is
+/// identical at any thread count. This stays on the hardware-trace path —
+/// the simulator consumes the seeding memory-access trace, so the k-mer
+/// prefix LUT must not short-circuit it.
 pub fn build_workload(aligner: &SoftwareAligner<'_>, reads: &[Read]) -> Vec<ReadWork> {
-    nvwa_sim::par::par_map(reads, |r| {
-        ReadWork::from_outcome(r.id, &aligner.align_read(r))
+    nvwa_sim::par::par_map_with(reads, AlignScratch::new, |scratch, r| {
+        ReadWork::from_outcome(r.id, &aligner.align_read_with(r, scratch))
     })
 }
 

@@ -154,8 +154,45 @@ impl FmIndex {
         self.blocks.len() * (4 * 8 + WORDS_PER_BLOCK * 8)
     }
 
+    /// Converts a conceptual rank to a stored-BWT index by skipping the
+    /// sentinel slot.
+    #[inline]
+    fn stored_index(&self, i: u64) -> usize {
+        (if i as usize > self.primary { i - 1 } else { i }) as usize
+    }
+
+    /// Maps a stored-BWT index `j` to `(block index, offset within block)`.
+    ///
+    /// Invariant: callers pass `j <= text_len`. Every `j < text_len` lands
+    /// strictly inside a block. The single index past the last block start
+    /// is `j == text_len` when `text_len` is an exact multiple of
+    /// [`OCC_INTERVAL`]; it means "count the whole last block" and maps to
+    /// `(blocks.len() - 1, OCC_INTERVAL)`. Anything else past the end is a
+    /// caller bug, so it asserts in debug builds instead of being silently
+    /// clamped into the last block.
+    #[inline]
+    fn block_of(&self, j: usize) -> (usize, usize) {
+        let block_idx = j / OCC_INTERVAL;
+        if block_idx >= self.blocks.len() {
+            debug_assert!(
+                block_idx == self.blocks.len()
+                    && j == self.text_len
+                    && self.text_len.is_multiple_of(OCC_INTERVAL),
+                "stored-BWT index {j} out of range for {} blocks (text_len {})",
+                self.blocks.len(),
+                self.text_len
+            );
+            (self.blocks.len() - 1, OCC_INTERVAL)
+        } else {
+            (block_idx, j - block_idx * OCC_INTERVAL)
+        }
+    }
+
     /// occ(c, i): occurrences of code `c` in the conceptual BWT prefix
     /// `[0, i)`. Records exactly one block access on `trace`.
+    ///
+    /// Kept as the scalar oracle for [`FmIndex::occ4`] (the hot path), the
+    /// same way `sw::naive` backs the optimized SW kernel.
     ///
     /// # Panics
     ///
@@ -163,16 +200,99 @@ impl FmIndex {
     pub fn occ<T: TraceSink>(&self, c: u8, i: u64, trace: &mut T) -> u64 {
         assert!(c < 4, "code out of range");
         assert!(i <= self.seq_len(), "rank out of range");
-        // Convert conceptual rank to stored-BWT index by skipping the
-        // sentinel slot.
-        let j = if i as usize > self.primary { i - 1 } else { i } as usize;
-        let block_idx = (j / OCC_INTERVAL).min(self.blocks.len() - 1);
+        let (block_idx, within) = self.block_of(self.stored_index(i));
         trace.record(MemAddr::occ_block(block_idx as u64));
         let block = &self.blocks[block_idx];
-        let mut count = block.counts[c as usize];
-        let within = j - block_idx * OCC_INTERVAL;
-        count += rank_in_words(&block.words, c, within);
-        count
+        block.counts[c as usize] + rank_in_words(&block.words, c, within)
+    }
+
+    /// occ4(i): occurrences of all four codes in the conceptual BWT prefix
+    /// `[0, i)`, from a **single pass** over the checkpoint block's packed
+    /// words — each word is touched once per position, not once per code.
+    /// Records exactly one block access on `trace`, identical to one
+    /// [`FmIndex::occ`] call (the hardware reads the block once and ranks
+    /// all four symbols from it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > seq_len()`.
+    pub fn occ4<T: TraceSink>(&self, i: u64, trace: &mut T) -> [u64; 4] {
+        assert!(i <= self.seq_len(), "rank out of range");
+        let (block_idx, within) = self.block_of(self.stored_index(i));
+        trace.record(MemAddr::occ_block(block_idx as u64));
+        let block = &self.blocks[block_idx];
+        let r = rank4_in_words(&block.words, within);
+        let mut out = block.counts;
+        for c in 0..4 {
+            out[c] += r[c];
+        }
+        out
+    }
+
+    /// [`FmIndex::occ4`] through a per-search block cache: when consecutive
+    /// queries land in the same checkpoint block (the common case inside one
+    /// SMEM search), the per-word prefix counts decoded on the previous query
+    /// are reused and only the final partial word is ranked.
+    ///
+    /// The cache is **trace-invisible**: exactly one block access is recorded
+    /// on `trace` per call, hit or miss, so the accelerator memory trace is
+    /// byte-identical with and without the cache (the hardware still issues
+    /// the read; the cache models the SU's single-entry block register, which
+    /// saves decode work, not trace events).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > seq_len()`.
+    pub fn occ4_cached<T: TraceSink>(
+        &self,
+        i: u64,
+        cache: &mut OccCache,
+        trace: &mut T,
+    ) -> [u64; 4] {
+        assert!(i <= self.seq_len(), "rank out of range");
+        let (block_idx, within) = self.block_of(self.stored_index(i));
+        trace.record(MemAddr::occ_block(block_idx as u64));
+        cache.lookups += 1;
+        let block = &self.blocks[block_idx];
+        let slot = if cache.entries[cache.mru].block_idx == block_idx {
+            cache.hits += 1;
+            cache.mru
+        } else if cache.entries[1 - cache.mru].block_idx == block_idx {
+            cache.hits += 1;
+            cache.mru = 1 - cache.mru;
+            cache.mru
+        } else {
+            let victim = 1 - cache.mru;
+            cache.entries[victim].block_idx = block_idx;
+            cache.entries[victim].decoded = 0;
+            cache.entries[victim].prefix[0] = block.counts;
+            cache.mru = victim;
+            victim
+        };
+        let entry = &mut cache.entries[slot];
+        // Decode prefix counts lazily, only as deep into the block as this
+        // query needs: a miss costs no more than a direct [`FmIndex::occ4`]
+        // scan, and later hits on the same block pick up where it stopped.
+        let word_idx = within / 32;
+        let rem = within % 32;
+        while entry.decoded < word_idx {
+            let w = entry.decoded;
+            let r = rank4_in_words(std::array::from_ref(&block.words[w]), 32);
+            let mut next = entry.prefix[w];
+            for c in 0..4 {
+                next[c] += r[c];
+            }
+            entry.prefix[w + 1] = next;
+            entry.decoded = w + 1;
+        }
+        let mut out = entry.prefix[word_idx];
+        if rem != 0 {
+            let r = rank4_in_words(std::array::from_ref(&block.words[word_idx]), rem);
+            for c in 0..4 {
+                out[c] += r[c];
+            }
+        }
+        out
     }
 
     /// One backward-search step: maps the interval of pattern `P` to the
@@ -224,11 +344,89 @@ impl FmIndex {
         if i as usize == self.primary {
             return None;
         }
-        let j = if i as usize > self.primary { i - 1 } else { i } as usize;
-        let block = &self.blocks[j / OCC_INTERVAL];
-        let within = j % OCC_INTERVAL;
+        let (block_idx, within) = self.block_of(self.stored_index(i));
+        debug_assert!(within < OCC_INTERVAL, "bwt_char reads a real symbol");
+        let block = &self.blocks[block_idx];
         let word = block.words[within / 32];
         Some(((word >> ((within % 32) * 2)) & 0b11) as u8)
+    }
+}
+
+/// Per-search cached occ-block handle used by [`FmIndex::occ4_cached`].
+///
+/// Models a pair of block registers (LRU between them), matching the
+/// double-buffered occ-block fetch a seeding unit performs: a bi-interval
+/// extension probes the `k`-side and `l`-side boundaries, which usually
+/// land in two distinct blocks, and alternating probes must not evict
+/// each other. Each entry holds a block index plus the cumulative counts
+/// decoded at every word boundary of that block (`prefix[w]` = block base
+/// counts + counts of the first `w` full words, filled lazily up to
+/// `decoded`). A cache hit ranks at most one partial word instead of
+/// re-scanning the block. Hit/lookup counters feed the `nvwa-telemetry`
+/// seed-cache metrics.
+///
+/// The cache is keyed by block index only, so it is valid for exactly one
+/// [`FmIndex`]: call [`OccCache::reset`] before reusing it against a
+/// different index.
+#[derive(Debug, Clone)]
+pub struct OccCache {
+    entries: [OccCacheEntry; 2],
+    /// Index of the most-recently-used entry (the other one is the
+    /// replacement victim).
+    mru: usize,
+    /// Lookups served from a cached block (no base-count refetch).
+    pub hits: u64,
+    /// Total lookups through the cache.
+    pub lookups: u64,
+}
+
+#[derive(Debug, Clone)]
+struct OccCacheEntry {
+    block_idx: usize,
+    /// Words of the cached block whose prefix counts are already decoded
+    /// (`prefix[w]` is valid for `w <= decoded`).
+    decoded: usize,
+    prefix: [[u64; 4]; WORDS_PER_BLOCK + 1],
+}
+
+impl OccCacheEntry {
+    fn empty() -> OccCacheEntry {
+        OccCacheEntry {
+            block_idx: usize::MAX,
+            decoded: 0,
+            prefix: [[0; 4]; WORDS_PER_BLOCK + 1],
+        }
+    }
+}
+
+impl Default for OccCache {
+    fn default() -> Self {
+        OccCache::new()
+    }
+}
+
+impl OccCache {
+    /// An empty cache (first lookup always misses).
+    pub fn new() -> OccCache {
+        OccCache {
+            entries: [OccCacheEntry::empty(), OccCacheEntry::empty()],
+            mru: 0,
+            hits: 0,
+            lookups: 0,
+        }
+    }
+
+    /// Invalidates the cached blocks (keeps the hit/lookup counters).
+    /// Required when the same scratch is pointed at a different index.
+    pub fn reset(&mut self) {
+        self.entries[0].block_idx = usize::MAX;
+        self.entries[1].block_idx = usize::MAX;
+    }
+
+    /// Clears the hit/lookup counters (e.g. after publishing them).
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.lookups = 0;
     }
 }
 
@@ -266,6 +464,40 @@ fn rank_in_words(words: &[u64; WORDS_PER_BLOCK], c: u8, count: usize) -> u64 {
         remaining -= lanes;
     }
     total
+}
+
+/// Counts occurrences of **all four** 2-bit codes among the first `count`
+/// codes packed in `words`, touching each word exactly once. Splits every
+/// word into its low/high bit planes and classifies all 32 lanes with three
+/// popcounts; code 0 falls out as `lanes - (c1 + c2 + c3)`.
+#[inline]
+fn rank4_in_words(words: &[u64], count: usize) -> [u64; 4] {
+    debug_assert!(count <= words.len() * 32);
+    const LANES: u64 = 0x5555_5555_5555_5555;
+    let mut out = [0u64; 4];
+    let mut remaining = count;
+    for &w in words {
+        if remaining == 0 {
+            break;
+        }
+        let lanes = remaining.min(32);
+        let mask = if lanes == 32 {
+            LANES
+        } else {
+            LANES & ((1u64 << (lanes * 2)) - 1)
+        };
+        let lo = w & mask;
+        let hi = (w >> 1) & mask;
+        let n3 = (hi & lo).count_ones() as u64;
+        let n2 = (hi & !lo).count_ones() as u64;
+        let n1 = (!hi & lo).count_ones() as u64;
+        out[3] += n3;
+        out[2] += n2;
+        out[1] += n1;
+        out[0] += lanes as u64 - n1 - n2 - n3;
+        remaining -= lanes;
+    }
+    out
 }
 
 #[cfg(test)]
@@ -349,6 +581,87 @@ mod tests {
         let mut trace = CountTrace::default();
         fm.backward_ext(fm.full_interval(), 1, &mut trace);
         assert_eq!(trace.0, 2); // lo and hi boundaries
+    }
+
+    #[test]
+    fn occ4_matches_four_scalar_occ_calls() {
+        // Exercise block-interior, block-boundary, and end-of-text ranks,
+        // including a text length that is an exact OCC_INTERVAL multiple
+        // (the block_of boundary case).
+        for len in [1usize, 127, 128, 129, 256, 300, 513] {
+            let text = rand_codes(len, len as u64 + 11);
+            let fm = FmIndex::from_text(&text);
+            for i in 0..=fm.seq_len() {
+                let fast = fm.occ4(i, &mut NullTrace);
+                for c in 0..4u8 {
+                    assert_eq!(
+                        fast[c as usize],
+                        fm.occ(c, i, &mut NullTrace),
+                        "len {len} rank {i} code {c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn occ4_traces_one_block_per_position() {
+        let text = rand_codes(500, 3);
+        let fm = FmIndex::from_text(&text);
+        let mut count = CountTrace::default();
+        fm.occ4(137, &mut count);
+        assert_eq!(count.0, 1);
+        // The recorded address is the same block a scalar occ records.
+        let mut a = crate::trace::VecTrace::default();
+        let mut b = crate::trace::VecTrace::default();
+        fm.occ4(137, &mut a);
+        fm.occ(2, 137, &mut b);
+        assert_eq!(a.0, b.0);
+    }
+
+    #[test]
+    fn occ4_cached_matches_and_counts_hits() {
+        let text = rand_codes(700, 17);
+        let fm = FmIndex::from_text(&text);
+        let mut cache = OccCache::new();
+        for i in 0..=fm.seq_len() {
+            let fast = fm.occ4(i, &mut NullTrace);
+            let cached = fm.occ4_cached(i, &mut cache, &mut NullTrace);
+            assert_eq!(fast, cached, "rank {i}");
+        }
+        // Sequential ranks revisit each block OCC_INTERVAL times, so the
+        // overwhelming majority of lookups must hit.
+        assert_eq!(cache.lookups, fm.seq_len() + 1);
+        assert!(cache.hits >= cache.lookups - fm.occ_blocks() as u64 - 1);
+        // And random revisit order still agrees.
+        cache.reset();
+        let mut state = 0xdecafu64;
+        for _ in 0..500 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let i = (state >> 33) % (fm.seq_len() + 1);
+            assert_eq!(
+                fm.occ4(i, &mut NullTrace),
+                fm.occ4_cached(i, &mut cache, &mut NullTrace)
+            );
+        }
+    }
+
+    #[test]
+    fn occ4_cached_trace_is_identical_to_uncached() {
+        let text = rand_codes(512, 9); // exact multiple of OCC_INTERVAL
+        let fm = FmIndex::from_text(&text);
+        let mut cache = OccCache::new();
+        let mut with_cache = crate::trace::VecTrace::default();
+        let mut without = crate::trace::VecTrace::default();
+        let ranks = [0u64, 5, 5, 130, 131, 129, 400, 401, fm.seq_len()];
+        for &i in &ranks {
+            fm.occ4_cached(i, &mut cache, &mut with_cache);
+            fm.occ4(i, &mut without);
+        }
+        assert_eq!(with_cache.0, without.0, "cache must be trace-invisible");
+        assert!(cache.hits > 0, "repeated ranks must hit");
     }
 
     #[test]

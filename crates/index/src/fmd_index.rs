@@ -7,8 +7,8 @@
 //! always have the same size, and a backward extension of one is a forward
 //! extension of the other. A bi-interval tracks both.
 
-use crate::fm_index::FmIndex;
-use crate::trace::{MemAddr, TraceSink};
+use crate::fm_index::{FmIndex, OccCache};
+use crate::trace::{MemAddr, NullTrace, TraceSink};
 
 /// A bidirectional suffix-array interval.
 ///
@@ -65,6 +65,7 @@ pub struct StrandHit {
 pub struct FmdIndex {
     fm: FmIndex,
     forward_len: usize,
+    lut: Option<PrefixLut>,
 }
 
 impl FmdIndex {
@@ -78,6 +79,7 @@ impl FmdIndex {
         FmdIndex {
             fm: FmIndex::from_text(&text),
             forward_len: forward.len(),
+            lut: None,
         }
     }
 
@@ -97,7 +99,11 @@ impl FmdIndex {
             2 * forward_len,
             "FM-index must cover the doubled text"
         );
-        FmdIndex { fm, forward_len }
+        FmdIndex {
+            fm,
+            forward_len,
+            lut: None,
+        }
     }
 
     /// Builds the doubled text `forward · revcomp(forward)` that an FMD
@@ -125,6 +131,7 @@ impl FmdIndex {
     }
 
     /// The bi-interval of a single base.
+    #[inline]
     pub fn base_interval(&self, c: u8) -> BiInterval {
         BiInterval {
             k: self.fm.c_of(c),
@@ -133,10 +140,16 @@ impl FmdIndex {
         }
     }
 
-    /// occ for all four bases at rank `i`, reading one checkpoint block.
-    fn occ4<T: TraceSink>(&self, i: u64, trace: &mut T) -> [u64; 4] {
-        // The four counters live in the same checkpoint block: the hardware
-        // reads it once. Record one access here and use untraced reads.
+    /// occ for all four bases at rank `i`, reading one checkpoint block via
+    /// the single-pass [`FmIndex::occ4`].
+    pub fn occ4<T: TraceSink>(&self, i: u64, trace: &mut T) -> [u64; 4] {
+        self.fm.occ4(i, trace)
+    }
+
+    /// The scalar occ4 oracle: four independent [`FmIndex::occ`] scans merged
+    /// to one recorded access. Retained (like `sw::naive`) so tests and the
+    /// perf baseline can compare the single-pass kernel against it.
+    fn occ4_scalar<T: TraceSink>(&self, i: u64, trace: &mut T) -> [u64; 4] {
         let mut first = TraceOnce {
             inner: trace,
             done: false,
@@ -148,14 +161,10 @@ impl FmdIndex {
         out
     }
 
-    /// Extends `W` to `cW` for every possible `c`, returning the four
-    /// candidate bi-intervals indexed by base code.
-    ///
-    /// Two checkpoint-block reads are recorded on `trace` (interval start and
-    /// end boundaries), matching the hardware cost of one extension step.
-    pub fn backward_ext_all<T: TraceSink>(&self, ik: BiInterval, trace: &mut T) -> [BiInterval; 4] {
-        let tk = self.occ4(ik.k, trace);
-        let tl = self.occ4(ik.k + ik.s, trace);
+    /// Assembles the four `cW` bi-intervals from the occ4 counts at the
+    /// interval boundaries (shared by the fast, scalar, and cached paths).
+    #[inline]
+    fn assemble_ext(&self, ik: BiInterval, tk: [u64; 4], tl: [u64; 4]) -> [BiInterval; 4] {
         let mut cnt = [0u64; 4];
         for c in 0..4 {
             cnt[c] = tl[c] - tk[c];
@@ -176,9 +185,58 @@ impl FmdIndex {
         })
     }
 
+    /// Extends `W` to `cW` for every possible `c`, returning the four
+    /// candidate bi-intervals indexed by base code.
+    ///
+    /// Two checkpoint-block reads are recorded on `trace` (interval start and
+    /// end boundaries), matching the hardware cost of one extension step.
+    pub fn backward_ext_all<T: TraceSink>(&self, ik: BiInterval, trace: &mut T) -> [BiInterval; 4] {
+        let tk = self.fm.occ4(ik.k, trace);
+        let tl = self.fm.occ4(ik.k + ik.s, trace);
+        self.assemble_ext(ik, tk, tl)
+    }
+
+    /// [`FmdIndex::backward_ext_all`] computed with the scalar occ oracle
+    /// (8 block scans instead of 2). Bit-identical results; kept for tests
+    /// and the `seed_*_baseline` perf scenarios.
+    pub fn backward_ext_all_scalar<T: TraceSink>(
+        &self,
+        ik: BiInterval,
+        trace: &mut T,
+    ) -> [BiInterval; 4] {
+        let tk = self.occ4_scalar(ik.k, trace);
+        let tl = self.occ4_scalar(ik.k + ik.s, trace);
+        self.assemble_ext(ik, tk, tl)
+    }
+
+    /// [`FmdIndex::backward_ext_all`] through a per-search [`OccCache`].
+    /// Same results, same two recorded block accesses (the cache is
+    /// trace-invisible, see [`FmIndex::occ4_cached`]).
+    pub fn backward_ext_all_cached<T: TraceSink>(
+        &self,
+        ik: BiInterval,
+        cache: &mut OccCache,
+        trace: &mut T,
+    ) -> [BiInterval; 4] {
+        let tk = self.fm.occ4_cached(ik.k, cache, trace);
+        let tl = self.fm.occ4_cached(ik.k + ik.s, cache, trace);
+        self.assemble_ext(ik, tk, tl)
+    }
+
     /// Extends `W` to `cW` (backward extension by one base).
     pub fn backward_ext<T: TraceSink>(&self, ik: BiInterval, c: u8, trace: &mut T) -> BiInterval {
         self.backward_ext_all(ik, trace)[c as usize]
+    }
+
+    /// [`FmdIndex::backward_ext`] through a per-search [`OccCache`].
+    pub fn backward_ext_cached<T: TraceSink>(
+        &self,
+        ik: BiInterval,
+        c: u8,
+        cache: &mut OccCache,
+        trace: &mut T,
+    ) -> BiInterval {
+        self.backward_ext_all_cached(ik, cache, trace)[c as usize]
     }
 
     /// Extends `W` to `Wc` (forward extension by one base), using the FMD
@@ -188,8 +246,35 @@ impl FmdIndex {
         self.backward_ext(ik.swapped(), 3 - c, trace).swapped()
     }
 
+    /// [`FmdIndex::forward_ext`] through a per-search [`OccCache`].
+    pub fn forward_ext_cached<T: TraceSink>(
+        &self,
+        ik: BiInterval,
+        c: u8,
+        cache: &mut OccCache,
+        trace: &mut T,
+    ) -> BiInterval {
+        self.backward_ext_cached(ik.swapped(), 3 - c, cache, trace)
+            .swapped()
+    }
+
     /// Searches `pattern` (backward), returning its bi-interval or `None`.
+    ///
+    /// When the sink discards addresses ([`TraceSink::records_addresses`] is
+    /// `false`) and a prefix LUT is built, the last `k` bases are resolved by
+    /// one table lookup instead of `k` extension steps. Hardware-trace mode
+    /// always takes the per-step path so SU memory traces are unchanged.
     pub fn search<T: TraceSink>(&self, pattern: &[u8], trace: &mut T) -> Option<BiInterval> {
+        if !trace.records_addresses() {
+            if let Some(lut) = &self.lut {
+                return self.search_with_lut(pattern, lut);
+            }
+        }
+        self.search_steps(pattern, trace)
+    }
+
+    /// The per-step backward search (the only legal path in trace mode).
+    fn search_steps<T: TraceSink>(&self, pattern: &[u8], trace: &mut T) -> Option<BiInterval> {
         let (&last, rest) = pattern.split_last()?;
         let mut ik = self.base_interval(last);
         for &c in rest.iter().rev() {
@@ -203,6 +288,46 @@ impl FmdIndex {
         } else {
             Some(ik)
         }
+    }
+
+    fn search_with_lut(&self, pattern: &[u8], lut: &PrefixLut) -> Option<BiInterval> {
+        let take = pattern.len().min(lut.k());
+        if take == 0 {
+            return None;
+        }
+        let suffix = &pattern[pattern.len() - take..];
+        let mut idx = 0usize;
+        for &c in suffix {
+            assert!(c < 4, "code out of range");
+            idx = idx * 4 + c as usize;
+        }
+        let mut ik = lut.get(take, idx);
+        if ik.is_empty() {
+            return None;
+        }
+        for &c in pattern[..pattern.len() - take].iter().rev() {
+            ik = self.backward_ext(ik, c, &mut NullTrace);
+            if ik.is_empty() {
+                return None;
+            }
+        }
+        Some(ik)
+    }
+
+    /// Precomputes the bi-interval of every string of length `1..=k`
+    /// (requested `k` is clamped so the table stays O(text) — see
+    /// [`PrefixLut::clamp_k`]). The paper's default is `k = 10`
+    /// ([`PrefixLut::DEFAULT_K`]).
+    ///
+    /// The LUT only accelerates the software fast path; extension through an
+    /// address-recording sink never consults it.
+    pub fn build_prefix_lut(&mut self, k: usize) {
+        self.lut = PrefixLut::build(self, k);
+    }
+
+    /// The prefix LUT, if one has been built.
+    pub fn prefix_lut(&self) -> Option<&PrefixLut> {
+        self.lut.as_ref()
     }
 
     /// Maps an occurrence position in the doubled text to a strand-resolved
@@ -223,6 +348,107 @@ impl FmdIndex {
         } else {
             None
         }
+    }
+}
+
+/// k-mer prefix lookup table: the bi-interval of **every** string of length
+/// `1..=k`, indexed by the string's base-4 value (leftmost base most
+/// significant). Strings with no occurrence store `s == 0`.
+///
+/// Built once at index-build time by breadth-first backward extension
+/// (children of empty prefixes are pruned — they stay empty by monotonicity),
+/// the table turns the first `k` extension steps of a fresh search into one
+/// lookup. It is a pure software-fast-path structure: it must never be
+/// consulted when the caller's [`TraceSink`] records addresses, because a
+/// lookup performs zero checkpoint-block reads and would silently shorten
+/// the SU memory trace (DESIGN.md §10).
+#[derive(Debug, Clone)]
+pub struct PrefixLut {
+    k: usize,
+    table: Vec<BiInterval>,
+}
+
+impl PrefixLut {
+    /// Default maximum precomputed length (BWA-MEM uses the same order of
+    /// magnitude for its k-mer cache).
+    pub const DEFAULT_K: usize = 10;
+
+    /// Clamps a requested `k` so the table (`Σ 4^l, l ≤ k` entries) never
+    /// exceeds O(doubled text length): the largest `k` with
+    /// `4^k ≤ max(doubled_len, 4)`. Keeps tiny test genomes from carrying
+    /// megabyte tables while real genomes get the full depth.
+    pub fn clamp_k(k: usize, doubled_len: usize) -> usize {
+        let cap = doubled_len.max(4);
+        let mut fit = 0usize;
+        let mut size = 1usize;
+        while fit < k {
+            match size.checked_mul(4) {
+                Some(next) if next <= cap => {
+                    size = next;
+                    fit += 1;
+                }
+                _ => break,
+            }
+        }
+        fit
+    }
+
+    /// Builds the LUT for `fmd`, clamping `k`; returns `None` when the
+    /// effective depth is zero.
+    fn build(fmd: &FmdIndex, k: usize) -> Option<PrefixLut> {
+        let k = Self::clamp_k(k, fmd.doubled_text_len());
+        if k == 0 {
+            return None;
+        }
+        let empty = BiInterval { k: 0, l: 0, s: 0 };
+        let mut table = vec![empty; Self::offset(k + 1)];
+        for c in 0..4u8 {
+            table[Self::offset(1) + c as usize] = fmd.base_interval(c);
+        }
+        for len in 2..=k {
+            let parent_size = 4usize.pow(len as u32 - 1);
+            for idx in 0..parent_size {
+                let parent = table[Self::offset(len - 1) + idx];
+                if parent.is_empty() {
+                    continue;
+                }
+                let ext = fmd.backward_ext_all(parent, &mut NullTrace);
+                for (c, &child) in ext.iter().enumerate() {
+                    // Prepending c puts it in the most-significant position.
+                    table[Self::offset(len) + c * parent_size + idx] = child;
+                }
+            }
+        }
+        Some(PrefixLut { k, table })
+    }
+
+    /// Start of the length-`len` section: `Σ_{j<len} 4^j = (4^len - 4) / 3`.
+    #[inline]
+    fn offset(len: usize) -> usize {
+        (4usize.pow(len as u32) - 4) / 3
+    }
+
+    /// Effective precomputed depth (after clamping).
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The bi-interval of the length-`len` string with base-4 value `idx`
+    /// (empty intervals have `s == 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is 0 or exceeds [`PrefixLut::k`], or `idx ≥ 4^len`.
+    #[inline]
+    pub fn get(&self, len: usize, idx: usize) -> BiInterval {
+        assert!(len >= 1 && len <= self.k, "length outside LUT depth");
+        self.table[Self::offset(len) + idx]
+    }
+
+    /// Table footprint in entries (used by footprint accounting and tests).
+    pub fn entries(&self) -> usize {
+        self.table.len()
     }
 }
 
@@ -326,6 +552,126 @@ mod tests {
         let mut trace = CountTrace::default();
         let _ = fmd.backward_ext_all(ik, &mut trace);
         assert_eq!(trace.0, 2);
+    }
+
+    #[test]
+    fn fast_scalar_and_cached_extensions_agree() {
+        let forward = rand_codes(400, 31);
+        let fmd = FmdIndex::from_forward(&forward);
+        let mut cache = OccCache::new();
+        // Walk real patterns so the intervals exercised are reachable ones.
+        for start in (0..forward.len() - 12).step_by(17) {
+            let mut ik = fmd.base_interval(forward[start + 11]);
+            for off in (0..11).rev() {
+                let fast = fmd.backward_ext_all(ik, &mut NullTrace);
+                let scalar = fmd.backward_ext_all_scalar(ik, &mut NullTrace);
+                let cached = fmd.backward_ext_all_cached(ik, &mut cache, &mut NullTrace);
+                assert_eq!(fast, scalar, "start {start} off {off}");
+                assert_eq!(fast, cached, "start {start} off {off}");
+                ik = fast[forward[start + off] as usize];
+                if ik.is_empty() {
+                    break;
+                }
+            }
+        }
+        assert!(cache.hits > 0, "walks must revisit blocks");
+    }
+
+    #[test]
+    fn cached_extension_traces_two_block_reads() {
+        let forward = rand_codes(300, 9);
+        let fmd = FmdIndex::from_forward(&forward);
+        let wide = fmd.base_interval(2);
+        let mut cache = OccCache::new();
+        let mut trace = CountTrace::default();
+        let _ = fmd.backward_ext_all_cached(wide, &mut cache, &mut trace);
+        assert_eq!(trace.0, 2);
+        // A narrow interval (unique-ish pattern) has both boundaries in the
+        // same checkpoint block: the second read and every repeat must hit,
+        // while still recording both block reads.
+        let narrow = fmd
+            .search(&forward[40..52], &mut NullTrace)
+            .expect("present pattern");
+        cache.reset_stats();
+        let mut trace = CountTrace::default();
+        let _ = fmd.backward_ext_all_cached(narrow, &mut cache, &mut trace);
+        let _ = fmd.backward_ext_all_cached(narrow, &mut cache, &mut trace);
+        assert_eq!(trace.0, 4);
+        assert!(cache.hits >= 3, "hits {} of {}", cache.hits, cache.lookups);
+    }
+
+    #[test]
+    fn prefix_lut_search_matches_step_search() {
+        let forward = rand_codes(500, 13);
+        let mut fmd = FmdIndex::from_forward(&forward);
+        let mut plain = fmd.clone();
+        plain.lut = None;
+        fmd.build_prefix_lut(PrefixLut::DEFAULT_K);
+        let lut_k = fmd.prefix_lut().expect("lut built").k();
+        assert!(lut_k >= 2, "500bp doubled text fits at least 4^2");
+        // Patterns shorter than, equal to, and longer than k, present and
+        // absent; NullTrace engages the LUT, CountTrace must bypass it.
+        for plen in [1usize, 2, lut_k - 1, lut_k, lut_k + 1, lut_k + 5, 25] {
+            for start in (0..forward.len() - plen).step_by(23) {
+                let pattern = &forward[start..start + plen];
+                let via_lut = fmd.search(pattern, &mut NullTrace);
+                let stepped = plain.search(pattern, &mut NullTrace);
+                assert_eq!(via_lut, stepped, "start {start} len {plen}");
+                let mut count = CountTrace::default();
+                let traced = fmd.search(pattern, &mut count);
+                assert_eq!(traced, stepped, "traced start {start} len {plen}");
+                if plen > 1 {
+                    assert!(count.0 > 0, "trace mode must do real extensions");
+                }
+            }
+            // An absent pattern (wrong alphabet walk): flip bases.
+            let absent: Vec<u8> = forward[0..plen].iter().map(|&c| (c + 2) & 3).collect();
+            assert_eq!(
+                fmd.search(&absent, &mut NullTrace),
+                plain.search(&absent, &mut NullTrace),
+                "absent len {plen}"
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_lut_entries_match_direct_search() {
+        let forward = rand_codes(200, 57);
+        let mut fmd = FmdIndex::from_forward(&forward);
+        fmd.build_prefix_lut(3);
+        let lut = fmd.prefix_lut().unwrap();
+        assert_eq!(lut.k(), 3);
+        for len in 1..=3usize {
+            for idx in 0..4usize.pow(len as u32) {
+                // Decode the base-4 index back into a pattern.
+                let mut pattern = vec![0u8; len];
+                let mut v = idx;
+                for slot in pattern.iter_mut().rev() {
+                    *slot = (v & 3) as u8;
+                    v >>= 2;
+                }
+                let expected = fmd.search_steps(&pattern, &mut NullTrace);
+                let entry = lut.get(len, idx);
+                match expected {
+                    Some(bi) => assert_eq!(entry, bi, "len {len} idx {idx}"),
+                    None => assert!(entry.is_empty(), "len {len} idx {idx}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_lut_clamps_to_text_size() {
+        assert_eq!(PrefixLut::clamp_k(10, 600), 4); // 4^4 = 256 ≤ 600 < 4^5
+        assert_eq!(PrefixLut::clamp_k(10, 4), 1);
+        assert_eq!(PrefixLut::clamp_k(10, 0), 1); // floor of 1
+        assert_eq!(PrefixLut::clamp_k(10, 1 << 20), 10); // full depth
+        assert_eq!(PrefixLut::clamp_k(2, 1 << 20), 2); // request wins when smaller
+        let mut fmd = FmdIndex::from_forward(&rand_codes(300, 3));
+        fmd.build_prefix_lut(PrefixLut::DEFAULT_K);
+        let lut = fmd.prefix_lut().unwrap();
+        assert_eq!(lut.k(), PrefixLut::clamp_k(PrefixLut::DEFAULT_K, 600));
+        assert!(lut.entries() <= 4 * 600);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! [`TraceSink`], so running this algorithm *is* the seeding-unit workload of
 //! the accelerator model.
 
+use crate::fm_index::OccCache;
 use crate::fmd_index::{BiInterval, FmdIndex};
 use crate::trace::TraceSink;
 
@@ -70,11 +71,56 @@ impl Default for SmemConfig {
     }
 }
 
+/// Reusable per-search scratch for the SMEM hot path: the survivor lists of
+/// the forward/backward sweeps, the re-seeding staging vectors, and the
+/// per-search [`OccCache`]. One instance per worker eliminates every
+/// per-read allocation of the seeding stage; results are bit-identical to
+/// the allocating API.
+///
+/// The embedded cache is keyed by occ-block index only, so a scratch must
+/// serve exactly one index at a time: call [`SmemScratch::reset_for_index`]
+/// before pointing it at a different [`FmdIndex`].
+#[derive(Debug, Clone, Default)]
+pub struct SmemScratch {
+    cache: OccCache,
+    curr: Vec<(BiInterval, usize)>,
+    prev: Vec<(BiInterval, usize)>,
+    first_pass: Vec<Smem>,
+    split: Vec<Smem>,
+}
+
+impl SmemScratch {
+    /// An empty scratch.
+    pub fn new() -> SmemScratch {
+        SmemScratch::default()
+    }
+
+    /// Invalidates the occ-block cache; required when the scratch is reused
+    /// against a different index.
+    pub fn reset_for_index(&mut self) {
+        self.cache.reset();
+    }
+
+    /// `(hits, lookups)` of the embedded occ-block cache since the last
+    /// [`SmemScratch::reset_cache_stats`].
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.cache.hits, self.cache.lookups)
+    }
+
+    /// Clears the cache hit/lookup counters (after publishing them).
+    pub fn reset_cache_stats(&mut self) {
+        self.cache.reset_stats();
+    }
+}
+
 /// One pass of the greedy SMEM search from pivot `x`.
 ///
 /// Appends the SMEMs through `x` to `out` (sorted by query start) and
 /// returns the next pivot (the furthest query end reached), guaranteeing
 /// forward progress.
+///
+/// Convenience wrapper over [`smem_next_with`] that allocates a fresh
+/// [`SmemScratch`]; hot loops should hold their own scratch instead.
 ///
 /// # Panics
 ///
@@ -87,9 +133,42 @@ pub fn smem_next<T: TraceSink>(
     out: &mut Vec<Smem>,
     trace: &mut T,
 ) -> usize {
+    let mut scratch = SmemScratch::new();
+    smem_next_with(fmd, query, x, min_intv, out, &mut scratch, trace)
+}
+
+/// [`smem_next`] with caller-provided scratch (zero allocations at steady
+/// state). Extension steps go through the per-search occ-block cache, and —
+/// only when `trace` discards addresses — the first `k` forward steps are
+/// served from the index's prefix LUT (see DESIGN.md §10). Output and, for
+/// recording sinks, the trace are bit-identical to [`smem_next`].
+///
+/// # Panics
+///
+/// Panics if `x >= query.len()`.
+pub fn smem_next_with<T: TraceSink>(
+    fmd: &FmdIndex,
+    query: &[u8],
+    x: usize,
+    min_intv: u64,
+    out: &mut Vec<Smem>,
+    scratch: &mut SmemScratch,
+    trace: &mut T,
+) -> usize {
     assert!(x < query.len(), "pivot out of range");
     let len = query.len();
     let min_intv = min_intv.max(1);
+    let SmemScratch {
+        cache, curr, prev, ..
+    } = scratch;
+    // The LUT is a fast-path-only structure: never consult it when the sink
+    // observes addresses, or the SU memory trace would lose its first k
+    // extension steps.
+    let lut = if trace.records_addresses() {
+        None
+    } else {
+        fmd.prefix_lut()
+    };
 
     let mut ik = fmd.base_interval(query[x]);
     if ik.s < min_intv {
@@ -98,11 +177,23 @@ pub fn smem_next<T: TraceSink>(
     }
     let mut ik_end = x + 1;
 
-    // Forward sweep: record the interval at every size change.
-    let mut curr: Vec<(BiInterval, usize)> = Vec::new();
+    // Forward sweep: record the interval at every size change. `ik` is
+    // always the interval of `query[x..ik_end]`, so while the extension
+    // depth fits the LUT the step is a table lookup at the incrementally
+    // packed base-4 index.
+    curr.clear();
+    prev.clear();
+    let mut idx = query[x] as usize;
     let mut i = x + 1;
     while i < len {
-        let ok = fmd.forward_ext(ik, query[i], trace);
+        let depth = i - x + 1;
+        let ok = match lut {
+            Some(l) if depth <= l.k() => {
+                idx = idx * 4 + query[i] as usize;
+                l.get(depth, idx)
+            }
+            _ => fmd.forward_ext_cached(ik, query[i], cache, trace),
+        };
         if ok.s != ik.s {
             curr.push((ik, ik_end));
             if ok.s < min_intv {
@@ -121,15 +212,14 @@ pub fn smem_next<T: TraceSink>(
     let next_x = curr[0].1;
 
     // Backward sweep.
-    let mut prev = curr;
-    let mut curr: Vec<(BiInterval, usize)> = Vec::new();
+    std::mem::swap(prev, curr);
     let first_out = out.len();
     let mut i: isize = x as isize - 1;
     loop {
         let c: Option<u8> = if i < 0 { None } else { Some(query[i as usize]) };
         curr.clear();
         for &(p, end) in prev.iter() {
-            let ok = c.map(|cc| fmd.backward_ext(p, cc, trace));
+            let ok = c.map(|cc| fmd.backward_ext_cached(p, cc, cache, trace));
             let extendable = ok.map(|o| o.s >= min_intv).unwrap_or(false);
             if !extendable {
                 // `p` is left-maximal here. Keep it if no longer match
@@ -159,7 +249,7 @@ pub fn smem_next<T: TraceSink>(
         if curr.is_empty() {
             break;
         }
-        std::mem::swap(&mut prev, &mut curr);
+        std::mem::swap(prev, curr);
         i -= 1;
     }
     // Emitted in decreasing start order; restore increasing.
@@ -170,45 +260,203 @@ pub fn smem_next<T: TraceSink>(
 /// Collects all SMEMs of `query`, including BWA's re-seeding pass, filtered
 /// by `config.min_seed_len`.
 ///
-/// The result is sorted by query start.
+/// The result is sorted by query start. Convenience wrapper over
+/// [`collect_smems_into`] with a fresh scratch and output vector.
 pub fn collect_smems<T: TraceSink>(
     fmd: &FmdIndex,
     query: &[u8],
     config: &SmemConfig,
     trace: &mut T,
 ) -> Vec<Smem> {
-    let mut all: Vec<Smem> = Vec::new();
+    let mut out = Vec::new();
+    let mut scratch = SmemScratch::new();
+    collect_smems_into(fmd, query, config, &mut scratch, &mut out, trace);
+    out
+}
 
-    // First pass: standard SMEMs.
-    let mut first_pass: Vec<Smem> = Vec::new();
+/// [`collect_smems`] into caller-provided scratch and output (cleared
+/// first): the zero-allocation form used by the alignment pipeline and the
+/// serve worker pool. Bit-identical results.
+pub fn collect_smems_into<T: TraceSink>(
+    fmd: &FmdIndex,
+    query: &[u8],
+    config: &SmemConfig,
+    scratch: &mut SmemScratch,
+    out: &mut Vec<Smem>,
+    trace: &mut T,
+) {
+    out.clear();
+
+    // First pass: standard SMEMs. The staging vectors are taken out of the
+    // scratch so it can be re-borrowed by the sweep itself.
+    let mut first_pass = std::mem::take(&mut scratch.first_pass);
+    first_pass.clear();
     let mut x = 0usize;
     while x < query.len() {
-        x = smem_next(fmd, query, x, config.min_intv, &mut first_pass, trace);
+        x = smem_next_with(
+            fmd,
+            query,
+            x,
+            config.min_intv,
+            &mut first_pass,
+            scratch,
+            trace,
+        );
     }
 
     // Re-seeding: split long, unique-ish SMEMs from their middle with a
     // stricter interval floor, recovering seeds hidden under a long match.
+    let mut split = std::mem::take(&mut scratch.split);
     for smem in &first_pass {
         if smem.len() >= config.min_seed_len {
-            all.push(*smem);
+            out.push(*smem);
         }
         if smem.len() >= config.split_len && smem.occ() <= config.split_width {
             let mid = (smem.query_start + smem.query_end) / 2;
-            let mut split: Vec<Smem> = Vec::new();
-            let _ = smem_next(fmd, query, mid, smem.occ() + 1, &mut split, trace);
-            for s in split {
+            split.clear();
+            let _ = smem_next_with(fmd, query, mid, smem.occ() + 1, &mut split, scratch, trace);
+            for s in &split {
                 if s.len() >= config.min_seed_len
                     && (s.query_start, s.query_end) != (smem.query_start, smem.query_end)
                 {
-                    all.push(s);
+                    out.push(*s);
                 }
             }
         }
     }
+    scratch.split = split;
+    scratch.first_pass = first_pass;
 
-    all.sort_by_key(|s| (s.query_start, s.query_end));
-    all.dedup();
-    all
+    out.sort_by_key(|s| (s.query_start, s.query_end));
+    out.dedup();
+}
+
+/// The pre-optimization seeding path, retained verbatim as the test oracle
+/// and perf baseline (the `sw::naive` pattern): scalar occ (four block scans
+/// per position through [`FmdIndex::backward_ext_all_scalar`]), fresh
+/// allocations per call, no cache, no LUT. Bit-identical output to the hot
+/// path — that equality is what the property tests pin down.
+pub mod oracle {
+    use super::*;
+    use crate::trace::NullTrace;
+
+    fn forward_ext_scalar(fmd: &FmdIndex, ik: BiInterval, c: u8) -> BiInterval {
+        fmd.backward_ext_all_scalar(ik.swapped(), &mut NullTrace)[(3 - c) as usize].swapped()
+    }
+
+    fn backward_ext_scalar(fmd: &FmdIndex, ik: BiInterval, c: u8) -> BiInterval {
+        fmd.backward_ext_all_scalar(ik, &mut NullTrace)[c as usize]
+    }
+
+    /// [`super::smem_next`] on the scalar-occ oracle path (untraced).
+    pub fn smem_next(
+        fmd: &FmdIndex,
+        query: &[u8],
+        x: usize,
+        min_intv: u64,
+        out: &mut Vec<Smem>,
+    ) -> usize {
+        assert!(x < query.len(), "pivot out of range");
+        let len = query.len();
+        let min_intv = min_intv.max(1);
+
+        let mut ik = fmd.base_interval(query[x]);
+        if ik.s < min_intv {
+            return x + 1;
+        }
+        let mut ik_end = x + 1;
+
+        let mut curr: Vec<(BiInterval, usize)> = Vec::new();
+        let mut i = x + 1;
+        while i < len {
+            let ok = forward_ext_scalar(fmd, ik, query[i]);
+            if ok.s != ik.s {
+                curr.push((ik, ik_end));
+                if ok.s < min_intv {
+                    break;
+                }
+            }
+            ik = ok;
+            ik_end = i + 1;
+            i += 1;
+        }
+        if i == len {
+            curr.push((ik, ik_end));
+        }
+        curr.reverse();
+        let next_x = curr[0].1;
+
+        let mut prev = curr;
+        let mut curr: Vec<(BiInterval, usize)> = Vec::new();
+        let first_out = out.len();
+        let mut i: isize = x as isize - 1;
+        loop {
+            let c: Option<u8> = if i < 0 { None } else { Some(query[i as usize]) };
+            curr.clear();
+            for &(p, end) in prev.iter() {
+                let ok = c.map(|cc| backward_ext_scalar(fmd, p, cc));
+                let extendable = ok.map(|o| o.s >= min_intv).unwrap_or(false);
+                if !extendable {
+                    let start = (i + 1) as usize;
+                    let contained = out
+                        .len()
+                        .checked_sub(1)
+                        .filter(|&last| last >= first_out)
+                        .map(|last| start >= out[last].query_start)
+                        .unwrap_or(false);
+                    if curr.is_empty() && !contained {
+                        out.push(Smem {
+                            query_start: start,
+                            query_end: end,
+                            interval: p,
+                        });
+                    }
+                } else {
+                    let o = ok.expect("extendable implies Some");
+                    if curr.last().map(|l| l.0.s != o.s).unwrap_or(true) {
+                        curr.push((o, end));
+                    }
+                }
+            }
+            if curr.is_empty() {
+                break;
+            }
+            std::mem::swap(&mut prev, &mut curr);
+            i -= 1;
+        }
+        out[first_out..].reverse();
+        next_x
+    }
+
+    /// [`super::collect_smems`] on the scalar-occ oracle path (untraced).
+    pub fn collect_smems(fmd: &FmdIndex, query: &[u8], config: &SmemConfig) -> Vec<Smem> {
+        let mut all: Vec<Smem> = Vec::new();
+        let mut first_pass: Vec<Smem> = Vec::new();
+        let mut x = 0usize;
+        while x < query.len() {
+            x = smem_next(fmd, query, x, config.min_intv, &mut first_pass);
+        }
+        for smem in &first_pass {
+            if smem.len() >= config.min_seed_len {
+                all.push(*smem);
+            }
+            if smem.len() >= config.split_len && smem.occ() <= config.split_width {
+                let mid = (smem.query_start + smem.query_end) / 2;
+                let mut split: Vec<Smem> = Vec::new();
+                let _ = smem_next(fmd, query, mid, smem.occ() + 1, &mut split);
+                for s in split {
+                    if s.len() >= config.min_seed_len
+                        && (s.query_start, s.query_end) != (smem.query_start, smem.query_end)
+                    {
+                        all.push(s);
+                    }
+                }
+            }
+        }
+        all.sort_by_key(|s| (s.query_start, s.query_end));
+        all.dedup();
+        all
+    }
 }
 
 #[cfg(test)]
@@ -365,6 +613,74 @@ mod tests {
         let _ = collect_smems(&fmd, &query, &SmemConfig::default(), &mut trace);
         // At least one extension per query base; each extension = 2 reads.
         assert!(trace.0 >= query.len() as u64, "trace {} too small", trace.0);
+    }
+
+    #[test]
+    fn scratch_path_matches_allocating_path_and_oracle() {
+        for seed in [11u64, 22, 33] {
+            let forward = rand_codes(400, seed);
+            let mut fmd = FmdIndex::from_forward(&forward);
+            let queries: Vec<Vec<u8>> = (0..8)
+                .map(|q| {
+                    if q % 2 == 0 {
+                        forward[(q * 37)..(q * 37 + 60)].to_vec()
+                    } else {
+                        rand_codes(60, seed.wrapping_mul(q as u64 + 7))
+                    }
+                })
+                .collect();
+            let config = SmemConfig::default();
+            // Without LUT first, then with: both must equal the oracle.
+            for build_lut in [false, true] {
+                if build_lut {
+                    fmd.build_prefix_lut(crate::fmd_index::PrefixLut::DEFAULT_K);
+                }
+                let mut scratch = SmemScratch::new();
+                let mut out = Vec::new();
+                for query in &queries {
+                    let expected = oracle::collect_smems(&fmd, query, &config);
+                    let allocating = collect_smems(&fmd, query, &config, &mut NullTrace);
+                    collect_smems_into(
+                        &fmd,
+                        query,
+                        &config,
+                        &mut scratch,
+                        &mut out,
+                        &mut NullTrace,
+                    );
+                    assert_eq!(allocating, expected, "seed {seed} lut {build_lut}");
+                    assert_eq!(out, expected, "seed {seed} lut {build_lut} (scratch)");
+                }
+                if build_lut {
+                    let (hits, lookups) = scratch.cache_stats();
+                    assert!(lookups > 0 && hits > 0, "cache must be exercised");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_path_trace_is_identical_in_recording_mode() {
+        use crate::trace::VecTrace;
+        let forward = rand_codes(500, 8);
+        let mut fmd = FmdIndex::from_forward(&forward);
+        fmd.build_prefix_lut(crate::fmd_index::PrefixLut::DEFAULT_K);
+        let query = forward[120..221].to_vec();
+        let config = SmemConfig::default();
+        // Reference trace: a LUT-free index on the plain path.
+        let plain = FmdIndex::from_forward(&forward);
+        let mut want = VecTrace::default();
+        let _ = collect_smems(&plain, &query, &config, &mut want);
+        // Scratch + cache + built LUT, but a recording sink: the LUT must be
+        // bypassed and the cache trace-invisible, so addresses match exactly.
+        let mut got = VecTrace::default();
+        let mut scratch = SmemScratch::new();
+        let mut out = Vec::new();
+        collect_smems_into(&fmd, &query, &config, &mut scratch, &mut out, &mut got);
+        assert_eq!(got.0, want.0);
+        // And the fast path (discarding sink) produces the same SMEMs.
+        let fast = collect_smems(&fmd, &query, &config, &mut NullTrace);
+        assert_eq!(out, fast);
     }
 
     #[test]

@@ -46,6 +46,18 @@ impl MemAddr {
 pub trait TraceSink {
     /// Records one block access.
     fn record(&mut self, addr: MemAddr);
+
+    /// Whether this sink observes the recorded addresses.
+    ///
+    /// The software fast path (k-mer prefix LUT, DESIGN.md §10) is only
+    /// allowed to skip per-step index walks when the sink provably discards
+    /// everything — i.e. when this returns `false`. Every observing sink
+    /// (counting, storing, or forwarding) must keep the default `true` so
+    /// hardware-trace mode always performs the real per-block accesses.
+    #[inline]
+    fn records_addresses(&self) -> bool {
+        true
+    }
 }
 
 /// Discards all accesses (used by the pure software paths).
@@ -55,6 +67,11 @@ pub struct NullTrace;
 impl TraceSink for NullTrace {
     #[inline]
     fn record(&mut self, _addr: MemAddr) {}
+
+    #[inline]
+    fn records_addresses(&self) -> bool {
+        false
+    }
 }
 
 /// Counts accesses without storing them.
@@ -83,6 +100,11 @@ impl<T: TraceSink + ?Sized> TraceSink for &mut T {
     #[inline]
     fn record(&mut self, addr: MemAddr) {
         (**self).record(addr);
+    }
+
+    #[inline]
+    fn records_addresses(&self) -> bool {
+        (**self).records_addresses()
     }
 }
 
@@ -115,6 +137,20 @@ mod tests {
         t.record(MemAddr::occ_block(3));
         t.record(MemAddr::sa_slot(1));
         assert_eq!(t.0, vec![MemAddr::occ_block(3), MemAddr::sa_slot(1)]);
+    }
+
+    #[test]
+    fn only_null_trace_discards_addresses() {
+        assert!(!NullTrace.records_addresses());
+        assert!(CountTrace::default().records_addresses());
+        assert!(VecTrace::default().records_addresses());
+        // Forwarding preserves the capability answer.
+        let mut n = NullTrace;
+        let r: &mut NullTrace = &mut n;
+        assert!(!r.records_addresses());
+        let mut c = CountTrace::default();
+        let r: &mut CountTrace = &mut c;
+        assert!(r.records_addresses());
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //!   Coordinator instead of the offline corpus, and each response carries
 //!   the batch's simulated cycle count.
 
-use nvwa_align::pipeline::{AlignerConfig, Alignment, ReferenceIndex, SoftwareAligner};
+use nvwa_align::pipeline::{
+    AlignScratch, AlignerConfig, Alignment, ReferenceIndex, SoftwareAligner,
+};
 use nvwa_core::config::NvwaConfig;
 use nvwa_core::system::simulate;
 use nvwa_core::units::workload::ReadWork;
@@ -57,15 +59,42 @@ pub fn execute_batch(
     backend: &BackendKind,
     items: &[(u64, Vec<u8>)],
 ) -> BatchOutcome {
+    execute_batch_with(
+        index,
+        aligner_config,
+        backend,
+        items,
+        &mut AlignScratch::new(),
+    )
+}
+
+/// [`execute_batch`] with a caller-provided (per-worker) scratch, so a
+/// long-lived worker allocates nothing per read at steady state.
+///
+/// The software backend takes the fast path (k-mer prefix LUT + occ-block
+/// cache, no trace) — responses carry no seeding trace, so recording one
+/// would be pure overhead. Hardware-in-the-loop runs the trace-recording
+/// path: the replayed accelerator model consumes each read's FM-index
+/// memory-access trace.
+pub fn execute_batch_with(
+    index: &ReferenceIndex,
+    aligner_config: &AlignerConfig,
+    backend: &BackendKind,
+    items: &[(u64, Vec<u8>)],
+    scratch: &mut AlignScratch,
+) -> BatchOutcome {
     let aligner = SoftwareAligner::new(index, *aligner_config);
     let mut results = Vec::with_capacity(items.len());
     let mut works: Vec<ReadWork> = Vec::new();
     let wants_sim = matches!(backend, BackendKind::HardwareInLoop(_));
     for (id, codes) in items {
-        let outcome = aligner.align_codes(*id, codes);
-        if wants_sim {
+        let outcome = if wants_sim {
+            let outcome = aligner.align_codes_with(*id, codes, scratch);
             works.push(ReadWork::from_outcome(*id, &outcome));
-        }
+            outcome
+        } else {
+            aligner.align_codes_fast(*id, codes, scratch)
+        };
         results.push((*id, outcome.alignment));
     }
     let sim_cycles = match backend {

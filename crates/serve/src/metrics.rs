@@ -38,6 +38,8 @@ struct Inner {
     batch_drain: CounterId,
     write_errors: CounterId,
     sim_cycles: CounterId,
+    seed_cache_hits: CounterId,
+    seed_cache_lookups: CounterId,
     queue_depth: GaugeId,
     queue_depth_max_g: GaugeId,
     batch_size: HistogramId,
@@ -81,6 +83,10 @@ impl ServeMetrics {
         let batch_drain = registry.counter("serve.batch_flush_drain");
         let write_errors = registry.counter("serve.write_errors");
         let sim_cycles = registry.counter("serve.sim_cycles_total");
+        // Seeding occ-block cache effectiveness (extra counters, not part
+        // of the required serve schema).
+        let seed_cache_hits = registry.counter("serve.seed_cache_hits");
+        let seed_cache_lookups = registry.counter("serve.seed_cache_lookups");
         let queue_depth = registry.gauge("serve.queue_depth");
         let queue_depth_max_g = registry.gauge("serve.queue_depth_max");
         let capacity_g = registry.gauge("serve.queue_capacity");
@@ -113,6 +119,8 @@ impl ServeMetrics {
                 batch_drain,
                 write_errors,
                 sim_cycles,
+                seed_cache_hits,
+                seed_cache_lookups,
                 queue_depth,
                 queue_depth_max_g,
                 batch_size,
@@ -216,6 +224,15 @@ impl ServeMetrics {
             if let Some(trace) = m.trace.as_mut() {
                 trace.complete(PID_SERVE, worker as u32, label, start_us, dur_us);
             }
+        });
+    }
+
+    /// Publishes a worker's seeding occ-block cache delta (`hits`,
+    /// `lookups` since that worker last published).
+    pub fn seed_cache(&self, hits: u64, lookups: u64) {
+        self.with(|m| {
+            m.registry.inc(m.seed_cache_hits, hits);
+            m.registry.inc(m.seed_cache_lookups, lookups);
         });
     }
 

@@ -28,10 +28,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use nvwa_align::pipeline::{AlignerConfig, ReferenceIndex};
+use nvwa_align::pipeline::{AlignScratch, AlignerConfig, ReferenceIndex};
 use nvwa_telemetry::{JsonValue, SnapshotMeta};
 
-use crate::backend::{execute_batch, BackendKind};
+use crate::backend::{execute_batch_with, BackendKind};
 use crate::batcher::{Batch, BatchItem, Batcher, BatcherConfig};
 use crate::metrics::ServeMetrics;
 use crate::protocol::{write_frame, AlignResponse, Request, Status, MAX_FRAME_BYTES};
@@ -472,17 +472,29 @@ fn ship(shared: &Shared, batch: Batch<PendingRead>) {
 }
 
 fn worker_loop(shared: Arc<Shared>, worker: usize) {
+    // Per-worker alignment scratch: buffers (and the seeding occ-block
+    // cache) live for the worker's whole lifetime, so the steady-state
+    // batch path allocates nothing per read.
+    let mut scratch = AlignScratch::new();
     loop {
         let batch = match shared.batches.pop_wait(None) {
             Popped::Item(b) => b,
             Popped::Closed => return,
             Popped::TimedOut => continue,
         };
-        execute_and_respond(&shared, worker, batch);
+        execute_and_respond(&shared, worker, batch, &mut scratch);
+        let (hits, lookups) = scratch.seed_cache_stats();
+        shared.metrics.seed_cache(hits, lookups);
+        scratch.reset_seed_cache_stats();
     }
 }
 
-fn execute_and_respond(shared: &Shared, worker: usize, batch: Batch<PendingRead>) {
+fn execute_and_respond(
+    shared: &Shared,
+    worker: usize,
+    batch: Batch<PendingRead>,
+    scratch: &mut AlignScratch,
+) {
     let start = Instant::now();
     let start_us = shared.metrics.now_us();
     if let Some(delay) = shared.config.worker_delay {
@@ -493,11 +505,12 @@ fn execute_and_respond(shared: &Shared, worker: usize, batch: Batch<PendingRead>
         .iter()
         .map(|item| (item.payload.id, item.payload.codes.clone()))
         .collect();
-    let outcome = execute_batch(
+    let outcome = execute_batch_with(
         &shared.index,
         &shared.config.aligner,
         &shared.config.backend,
         &pairs,
+        scratch,
     );
     let exec_done = Instant::now();
     let batch_size = batch.items.len() as u64;

@@ -183,6 +183,72 @@ where
         .collect()
 }
 
+/// [`par_map`] with per-worker reusable state: each worker thread calls
+/// `init()` once and threads the resulting scratch through every item it
+/// processes (`f(&mut state, item)`).
+///
+/// This is the zero-alloc fan-out primitive: a worker's `AlignScratch`-style
+/// buffers are built once and reused across the whole chunk stream, while
+/// the output stays bit-identical to the sequential
+/// `items.iter().map(|x| f(&mut init(), x))` as long as `f`'s result does
+/// not depend on the state's history — which is exactly the scratch-buffer
+/// contract.
+pub fn par_map_with<T, S, R, I, F>(items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    let threads = current_threads().max(1).min(items.len().max(1));
+    let nested = IN_WORKER.with(Cell::get);
+    if threads == 1 || items.len() <= 1 || nested {
+        let mut state = init();
+        return items.iter().map(|item| f(&mut state, item)).collect();
+    }
+
+    let chunk = (items.len() / (threads * 8)).clamp(1, 64);
+    let cursor = AtomicUsize::new(0);
+    let init = &init;
+    let f = &f;
+    let cursor = &cursor;
+
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    IN_WORKER.with(|cell| cell.set(true));
+                    let mut state = init();
+                    let mut out: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= items.len() {
+                            break;
+                        }
+                        let end = (start + chunk).min(items.len());
+                        for (i, item) in items[start..end].iter().enumerate() {
+                            out.push((start + i, f(&mut state, item)));
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, r) in handle.join().expect("par_map_with worker panicked") {
+                debug_assert!(slots[i].is_none(), "slot {i} written twice");
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("par_map_with slot unfilled"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,6 +323,41 @@ mod tests {
             assert_eq!(current_threads(), 3);
         });
         assert_eq!(current_threads(), outside);
+    }
+
+    #[test]
+    fn par_map_with_matches_sequential_and_reuses_state() {
+        let items: Vec<u64> = (0..500).collect();
+        let sequential: Vec<u64> = items.iter().map(|&x| x * 3 + 7).collect();
+        for threads in [1, 2, 8] {
+            let out = with_threads(threads, || {
+                par_map_with(
+                    &items,
+                    Vec::<u64>::new, // scratch buffer, reused per worker
+                    |scratch, &x| {
+                        scratch.clear();
+                        scratch.push(x);
+                        scratch[0] * 3 + 7
+                    },
+                )
+            });
+            assert_eq!(out, sequential, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_with_inits_once_per_worker() {
+        use std::sync::atomic::AtomicUsize;
+        let inits = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..100).collect();
+        let out = with_threads(4, || {
+            par_map_with(&items, || inits.fetch_add(1, Ordering::Relaxed), |_, &x| x)
+        });
+        assert_eq!(out, items);
+        assert!(
+            inits.load(Ordering::Relaxed) <= 4,
+            "at most one init per worker"
+        );
     }
 
     #[test]

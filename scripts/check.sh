@@ -31,8 +31,21 @@ cargo run --release --quiet --bin nvwa -- sim --reads 500 \
     --trace-out "$artifacts_dir/trace.json" \
     --metrics-out "$artifacts_dir/metrics.json"
 cargo run --release --quiet -p nvwa-bench --bin validate -- \
-    BENCH_PR1.json BENCH_PR3.json \
+    BENCH_PR1.json BENCH_PR3.json BENCH_PR4.json \
     "$artifacts_dir/trace.json" "$artifacts_dir/metrics.json"
+
+# Seeding fast-path perf gate: re-measure the seed scenarios and require
+# the hot path (occ4 + occ-block cache + prefix LUT + scratch reuse) to
+# beat the frozen pre-optimization oracle. The committed BENCH_PR4.json
+# records the full reference run; this gate uses a conservative threshold
+# so scheduler noise on shared CI runners does not flake the build.
+cargo run --release --quiet -p nvwa-bench --bin perf -- \
+    --only seed --samples 3 \
+    --min-speedup seed_short_fast_vs_baseline_1t:1.3 \
+    --min-speedup seed_long_fast_vs_baseline_1t:1.3 \
+    --out "$artifacts_dir/bench_seed.json"
+cargo run --release --quiet -p nvwa-bench --bin validate -- \
+    "$artifacts_dir/bench_seed.json"
 
 # Serve smoke test: start the server in the background on an ephemeral
 # port, push 2 000 reads closed-loop, request a graceful shutdown, and
