@@ -37,6 +37,7 @@ struct Inner {
     batch_timeout: CounterId,
     batch_drain: CounterId,
     write_errors: CounterId,
+    worker_panics: CounterId,
     sim_cycles: CounterId,
     seed_cache_hits: CounterId,
     seed_cache_lookups: CounterId,
@@ -82,6 +83,7 @@ impl ServeMetrics {
         let batch_timeout = registry.counter("serve.batch_flush_timeout");
         let batch_drain = registry.counter("serve.batch_flush_drain");
         let write_errors = registry.counter("serve.write_errors");
+        let worker_panics = registry.counter("serve.worker_panics");
         let sim_cycles = registry.counter("serve.sim_cycles_total");
         // Seeding occ-block cache effectiveness (extra counters, not part
         // of the required serve schema).
@@ -118,6 +120,7 @@ impl ServeMetrics {
                 batch_timeout,
                 batch_drain,
                 write_errors,
+                worker_panics,
                 sim_cycles,
                 seed_cache_hits,
                 seed_cache_lookups,
@@ -175,6 +178,11 @@ impl ServeMetrics {
     /// One failed response write (client went away).
     pub fn write_error(&self) {
         self.with(|m| m.registry.inc(m.write_errors, 1));
+    }
+
+    /// One batch execution panicked (caught; every item answered `error`).
+    pub fn worker_panic(&self) {
+        self.with(|m| m.registry.inc(m.worker_panics, 1));
     }
 
     /// A batch shipped from the batcher; `depth` is the admission-queue

@@ -24,7 +24,7 @@
 
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -62,6 +62,12 @@ pub struct ServerConfig {
     /// Test hook: artificial delay per batch execution, to provoke
     /// backpressure and deadline expiry deterministically in tests.
     pub worker_delay: Option<Duration>,
+    /// Test hook: panic inside batch execution when the global batch
+    /// sequence number reaches this value — exactly once per server, on
+    /// whichever worker draws that batch. The panic is caught; every item
+    /// of the batch is answered `error`, the worker's scratch is replaced
+    /// and serving continues (fault-injection conformance, DESIGN.md §11).
+    pub worker_panic_at_batch: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -76,6 +82,7 @@ impl Default for ServerConfig {
             default_deadline: None,
             trace: false,
             worker_delay: None,
+            worker_panic_at_batch: None,
         }
     }
 }
@@ -108,6 +115,9 @@ struct Shared {
     metrics: Arc<ServeMetrics>,
     index: Arc<ReferenceIndex>,
     config: ServerConfig,
+    /// Global batch sequence number, drawn by workers as they start a
+    /// batch (the trigger coordinate of `worker_panic_at_batch`).
+    batch_seq: AtomicU64,
     /// Stop admitting: readers shed, the acceptor exits.
     draining: AtomicBool,
     /// Everything drained: readers exit.
@@ -152,6 +162,7 @@ impl Server {
             metrics,
             index,
             config,
+            batch_seq: AtomicU64::new(0),
             draining: AtomicBool::new(false),
             closed: AtomicBool::new(false),
             shutdown_requested: AtomicBool::new(false),
@@ -505,13 +516,40 @@ fn execute_and_respond(
         .iter()
         .map(|item| (item.payload.id, item.payload.codes.clone()))
         .collect();
-    let outcome = execute_batch_with(
-        &shared.index,
-        &shared.config.aligner,
-        &shared.config.backend,
-        &pairs,
-        scratch,
-    );
+    let seq = shared.batch_seq.fetch_add(1, Ordering::Relaxed);
+    // A panicking batch must never take a worker (or an admitted request)
+    // with it: catch it, answer every item `error`, replace the scratch —
+    // its buffers may be mid-update — and keep serving.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if shared.config.worker_panic_at_batch == Some(seq) {
+            panic!("injected fault: worker panic at batch {seq}");
+        }
+        execute_batch_with(
+            &shared.index,
+            &shared.config.aligner,
+            &shared.config.backend,
+            &pairs,
+            scratch,
+        )
+    }));
+    let outcome = match result {
+        Ok(outcome) => outcome,
+        Err(_) => {
+            shared.metrics.worker_panic();
+            *scratch = AlignScratch::new();
+            for item in &batch.items {
+                let resp = AlignResponse::failure(
+                    item.payload.id,
+                    Status::Error,
+                    "internal error: batch execution panicked",
+                );
+                if item.payload.conn.send(&resp.encode()).is_err() {
+                    shared.metrics.write_error();
+                }
+            }
+            return;
+        }
+    };
     let exec_done = Instant::now();
     let batch_size = batch.items.len() as u64;
     for (item, (id, alignment)) in batch.items.iter().zip(&outcome.results) {

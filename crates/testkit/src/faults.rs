@@ -1,0 +1,418 @@
+//! Deterministic fault injection for the serving subsystem.
+//!
+//! Each [`FaultPlan`] attacks one seam of the server — the wire framing,
+//! the admission queue, or the worker pool — while a well-behaved
+//! closed-loop client runs alongside. The invariant under *every* plan is
+//! the same (DESIGN.md §11):
+//!
+//! 1. **Exactly-once accounting** — every request the well-behaved client
+//!    sends receives exactly one response (`lost == 0`,
+//!    `duplicates == 0`) and the statuses conserve
+//!    (`received == ok + shed + deadline + errors`).
+//! 2. **Clean drain** — [`Server::shutdown`] returns (every thread
+//!    joins); no attack may wedge a reader, the batcher or a worker.
+//!
+//! Plans are seeded and self-contained; nothing here sleeps for
+//! correctness (the queue-storm plan uses the server's own
+//! `worker_delay` hook to create backpressure, and client sockets carry
+//! generous read timeouts purely as fail-fast guards against hangs).
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use nvwa_align::pipeline::ReferenceIndex;
+use nvwa_genome::ReferenceGenome;
+use nvwa_serve::loadgen::{self, ref_params, ArrivalMode, LoadgenConfig};
+use nvwa_serve::protocol::{read_frame, AlignResponse, Request, MAX_FRAME_BYTES};
+use nvwa_serve::{BatcherConfig, Server, ServerConfig, Status};
+
+use crate::Prng;
+
+/// Reference length of the fault fixtures (small: plans start their own
+/// server per run).
+const FAULT_REF_LEN: usize = 8_000;
+
+/// Fail-fast guard on client sockets so a wedged server fails the check
+/// instead of hanging it. Never load-bearing: a healthy server answers in
+/// microseconds.
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// The attack a plan mounts while the well-behaved client runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Length header promising more bytes than are ever sent, then
+    /// disconnect: the reader must drop the connection silently (the
+    /// request was never accepted, so exactly-once is unaffected).
+    TruncatedFrame,
+    /// Length header above `MAX_FRAME_BYTES`: the server must answer one
+    /// `error` response and drop the connection — never allocate the
+    /// advertised buffer.
+    OversizedFrame,
+    /// A valid frame cut mid-body, then disconnect.
+    MidFrameDisconnect,
+    /// A valid align request dribbled one byte per write: the server must
+    /// assemble the frame and answer `ok` — byte-wise arrival is not a
+    /// protocol error.
+    SlowLoris,
+    /// `worker_panic_at_batch` fires on the second batch: its items are
+    /// answered `error`, the worker survives, later batches are `ok`.
+    WorkerPanic,
+    /// Tiny admission queue + slow workers + a large closed-loop window:
+    /// the edge must shed explicitly and conservation must still hold.
+    QueueStorm,
+}
+
+impl FaultKind {
+    /// Stable plan name (report text, repro stems).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::TruncatedFrame => "truncated_frame",
+            FaultKind::OversizedFrame => "oversized_frame",
+            FaultKind::MidFrameDisconnect => "mid_frame_disconnect",
+            FaultKind::SlowLoris => "slow_loris",
+            FaultKind::WorkerPanic => "worker_panic",
+            FaultKind::QueueStorm => "queue_storm",
+        }
+    }
+}
+
+/// A seeded fault-injection plan.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// The attack.
+    pub kind: FaultKind,
+    /// Seed for the reference, the reads and the attack payload sizes.
+    pub seed: u64,
+}
+
+/// Every fault kind at the given seed — the matrix `nvwa conformance`
+/// runs.
+pub fn fault_plans(seed: u64) -> Vec<FaultPlan> {
+    [
+        FaultKind::TruncatedFrame,
+        FaultKind::OversizedFrame,
+        FaultKind::MidFrameDisconnect,
+        FaultKind::SlowLoris,
+        FaultKind::WorkerPanic,
+        FaultKind::QueueStorm,
+    ]
+    .into_iter()
+    .map(|kind| FaultPlan { kind, seed })
+    .collect()
+}
+
+fn connect(addr: &str) -> Result<TcpStream, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(CLIENT_TIMEOUT))
+        .map_err(|e| format!("set timeout: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    Ok(stream)
+}
+
+/// Header lies about the body length; `sent` bytes follow, then the
+/// connection drops.
+fn send_truncated(addr: &str, promised: u32, sent: usize) -> Result<(), String> {
+    let mut s = connect(addr)?;
+    s.write_all(&promised.to_be_bytes())
+        .map_err(|e| format!("write header: {e}"))?;
+    let body = vec![b'{'; sent];
+    s.write_all(&body).map_err(|e| format!("write body: {e}"))?;
+    let _ = s.flush();
+    Ok(()) // drop: mid-frame disconnect
+}
+
+/// Oversized header: the server must respond `error` without reading (or
+/// allocating) the advertised body.
+fn send_oversized(addr: &str) -> Result<(), String> {
+    let mut s = connect(addr)?;
+    let len = (MAX_FRAME_BYTES as u32) + 1;
+    s.write_all(&len.to_be_bytes())
+        .map_err(|e| format!("write header: {e}"))?;
+    let _ = s.flush();
+    let doc = read_frame(&mut s)
+        .map_err(|e| format!("reading error response: {e}"))?
+        .ok_or("connection closed without an error response")?;
+    let resp = AlignResponse::decode(&doc)?;
+    if resp.status != Status::Error {
+        return Err(format!(
+            "oversized frame answered {:?}, want error",
+            resp.status
+        ));
+    }
+    Ok(())
+}
+
+/// A single valid align request, written one byte per syscall.
+fn send_slow_loris(addr: &str, id: u64, codes: &[u8]) -> Result<(), String> {
+    let mut s = connect(addr)?;
+    let req = Request::Align {
+        id,
+        codes: codes.to_vec(),
+        deadline_ms: None,
+    };
+    let body = req.encode().to_string_compact();
+    let mut frame = (body.len() as u32).to_be_bytes().to_vec();
+    frame.extend_from_slice(body.as_bytes());
+    for byte in frame {
+        s.write_all(&[byte]).map_err(|e| format!("dribble: {e}"))?;
+        s.flush().map_err(|e| format!("flush: {e}"))?;
+    }
+    let doc = read_frame(&mut s)
+        .map_err(|e| format!("reading response: {e}"))?
+        .ok_or("connection closed without a response")?;
+    let resp = AlignResponse::decode(&doc)?;
+    if resp.id != id || resp.status != Status::Ok {
+        return Err(format!(
+            "slow-loris request answered id {} status {:?}, want id {id} ok",
+            resp.id, resp.status
+        ));
+    }
+    Ok(())
+}
+
+/// Runs one plan end to end. `Ok` carries a deterministic one-line
+/// summary (no counts that depend on thread or socket timing); `Err`
+/// names the violated invariant.
+pub fn run_fault_plan(plan: &FaultPlan) -> Result<String, String> {
+    let params = ref_params(FAULT_REF_LEN);
+    let genome = ReferenceGenome::synthesize(&params, plan.seed);
+    let index = Arc::new(ReferenceIndex::build(&genome, 32));
+    let mut prng = Prng(plan.seed ^ 0xFA17_0005);
+
+    let (config, reads, load) = match plan.kind {
+        FaultKind::WorkerPanic => (
+            ServerConfig {
+                workers: 2,
+                // Small fill target → many batches → the panic hits batch 1
+                // and plenty of later batches prove the worker survived.
+                batch: BatcherConfig {
+                    max_batch: 8,
+                    ..BatcherConfig::default()
+                },
+                worker_panic_at_batch: Some(1),
+                ..ServerConfig::default()
+            },
+            120,
+            LoadgenConfig {
+                connections: 2,
+                mode: ArrivalMode::Closed { window: 16 },
+                ..LoadgenConfig::default()
+            },
+        ),
+        FaultKind::QueueStorm => (
+            ServerConfig {
+                workers: 1,
+                queue_capacity: 2,
+                worker_delay: Some(Duration::from_millis(5)),
+                ..ServerConfig::default()
+            },
+            240,
+            LoadgenConfig {
+                connections: 4,
+                mode: ArrivalMode::Closed { window: 64 },
+                ..LoadgenConfig::default()
+            },
+        ),
+        _ => (
+            ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            },
+            80,
+            LoadgenConfig {
+                connections: 2,
+                mode: ArrivalMode::Closed { window: 16 },
+                ..LoadgenConfig::default()
+            },
+        ),
+    };
+    let read_list = loadgen::generate_reads(&params, plan.seed, plan.seed ^ 0x5EAD_0006, reads);
+
+    let server = Server::start(Arc::clone(&index), config).map_err(|e| format!("start: {e}"))?;
+    let addr = server.local_addr().to_string();
+
+    // The attack, before (and for frame faults: seeded-size variants of)
+    // the well-behaved traffic.
+    match plan.kind {
+        FaultKind::TruncatedFrame => {
+            for _ in 0..4 {
+                let promised = 64 + prng.below(900) as u32;
+                let sent = prng.below(promised as u64 / 2) as usize;
+                send_truncated(&addr, promised, sent)?;
+            }
+        }
+        FaultKind::MidFrameDisconnect => {
+            // Valid header, body cut at a seeded offset.
+            for _ in 0..4 {
+                let req = Request::Align {
+                    id: 7,
+                    codes: prng.codes(80),
+                    deadline_ms: None,
+                };
+                let body = req.encode().to_string_compact();
+                let cut = 1 + prng.below(body.len() as u64 - 1) as usize;
+                let mut s = connect(&addr)?;
+                s.write_all(&(body.len() as u32).to_be_bytes())
+                    .map_err(|e| format!("header: {e}"))?;
+                s.write_all(&body.as_bytes()[..cut])
+                    .map_err(|e| format!("partial body: {e}"))?;
+                let _ = s.flush();
+                // drop mid-frame
+            }
+        }
+        FaultKind::OversizedFrame => {
+            for _ in 0..3 {
+                send_oversized(&addr)?;
+            }
+        }
+        FaultKind::SlowLoris => {
+            for i in 0..3 {
+                send_slow_loris(&addr, 1000 + i, &prng.codes(60))?;
+            }
+        }
+        FaultKind::WorkerPanic | FaultKind::QueueStorm => {}
+    }
+
+    // Well-behaved traffic through (or after) the fault.
+    let report = loadgen::run(&addr, &read_list, &load).map_err(|e| format!("loadgen: {e}"))?;
+
+    // Clean drain: shutdown must join every thread and return the hub.
+    let metrics = server.shutdown();
+
+    // Exactly-once accounting.
+    if !report.is_lossless() {
+        return Err(format!(
+            "{}: lost {} duplicates {} — exactly-once violated",
+            plan.kind.name(),
+            report.lost,
+            report.duplicates
+        ));
+    }
+    if report.received != report.sent {
+        return Err(format!(
+            "{}: sent {} but received {}",
+            plan.kind.name(),
+            report.sent,
+            report.received
+        ));
+    }
+    let by_status = report.ok + report.shed + report.deadline + report.errors;
+    if by_status != report.received {
+        return Err(format!(
+            "{}: statuses do not conserve: ok {} + shed {} + deadline {} + errors {} != received {}",
+            plan.kind.name(),
+            report.ok,
+            report.shed,
+            report.deadline,
+            report.errors,
+            report.received
+        ));
+    }
+
+    // Plan-specific teeth: prove the fault actually fired.
+    match plan.kind {
+        FaultKind::WorkerPanic => {
+            if metrics.counter("serve.worker_panics") != 1 {
+                return Err(format!(
+                    "worker_panic: {} panics recorded, want exactly 1",
+                    metrics.counter("serve.worker_panics")
+                ));
+            }
+            if report.errors == 0 {
+                return Err("worker_panic: no request was answered error".to_string());
+            }
+            if report.ok == 0 {
+                return Err("worker_panic: service did not continue after the panic".to_string());
+            }
+        }
+        FaultKind::QueueStorm => {
+            if report.shed == 0 {
+                return Err(
+                    "queue_storm: nothing shed despite queue_capacity 2 and 256 in flight"
+                        .to_string(),
+                );
+            }
+            if report.ok == 0 {
+                return Err("queue_storm: nothing served through the storm".to_string());
+            }
+        }
+        FaultKind::TruncatedFrame | FaultKind::MidFrameDisconnect => {
+            // Silent drop: the attack produces no protocol-error response,
+            // and the well-behaved run must be fully ok.
+            if report.ok != report.received {
+                return Err(format!(
+                    "{}: well-behaved traffic degraded: ok {} of {}",
+                    plan.kind.name(),
+                    report.ok,
+                    report.received
+                ));
+            }
+        }
+        FaultKind::OversizedFrame => {
+            if metrics.counter("serve.protocol_errors") < 3 {
+                return Err(format!(
+                    "oversized_frame: {} protocol errors recorded, want ≥ 3",
+                    metrics.counter("serve.protocol_errors")
+                ));
+            }
+        }
+        FaultKind::SlowLoris => {}
+    }
+
+    Ok(format!(
+        "{}: exactly-once held, statuses conserve, clean drain",
+        plan.kind.name()
+    ))
+}
+
+/// All plans at one seed; the summary lists each plan's one-liner.
+pub fn run_fault_family(seed: u64) -> Result<String, String> {
+    let mut lines = Vec::new();
+    for plan in fault_plans(seed) {
+        lines.push(run_fault_plan(&plan)?);
+    }
+    Ok(format!(
+        "faults: {} plans — {}",
+        lines.len(),
+        lines.join("; ")
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Frame-level plans are cheap; the full matrix (including the panic
+    // and storm plans) runs in tests/conformance.rs and `nvwa
+    // conformance`.
+    #[test]
+    fn truncated_and_oversized_frames_leave_the_server_healthy() {
+        for kind in [FaultKind::TruncatedFrame, FaultKind::OversizedFrame] {
+            let summary = run_fault_plan(&FaultPlan { kind, seed: 5 }).expect("plan holds");
+            assert!(summary.contains("exactly-once held"), "{summary}");
+        }
+    }
+
+    #[test]
+    fn slow_loris_is_served_not_rejected() {
+        let summary = run_fault_plan(&FaultPlan {
+            kind: FaultKind::SlowLoris,
+            seed: 5,
+        })
+        .expect("plan holds");
+        assert!(summary.contains("slow_loris"), "{summary}");
+    }
+
+    #[test]
+    fn worker_panic_is_contained_to_one_batch() {
+        let summary = run_fault_plan(&FaultPlan {
+            kind: FaultKind::WorkerPanic,
+            seed: 5,
+        })
+        .expect("plan holds");
+        assert!(summary.contains("worker_panic"), "{summary}");
+    }
+}

@@ -1,0 +1,201 @@
+//! Uniform golden-file handling: one `NVWA_BLESS=1` flag for every
+//! checked-in artifact — the golden Chrome trace, snapshot fixtures and
+//! the conformance reproducer files — and a line-level diff summary when
+//! an unblessed artifact drifts.
+//!
+//! The contract every golden test follows:
+//!
+//! ```text
+//! match golden::compare_or_bless(path, &actual) {
+//!     Outcome::Matched | Outcome::Blessed => {}
+//!     Outcome::Drifted(summary) => panic!("{summary}"),
+//! }
+//! ```
+
+use std::path::Path;
+
+/// Whether `NVWA_BLESS=1` (any non-empty value) is set: golden files are
+/// rewritten instead of compared.
+pub fn bless_enabled() -> bool {
+    std::env::var_os("NVWA_BLESS").is_some_and(|v| !v.is_empty())
+}
+
+/// What [`compare_or_bless`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The file matched the golden byte for byte.
+    Matched,
+    /// Blessing was enabled and the golden was (re)written.
+    Blessed,
+    /// The file drifted (or the golden is missing); the payload is a
+    /// human-readable diff summary naming the first divergent line.
+    Drifted(String),
+}
+
+impl Outcome {
+    /// `true` unless the artifact drifted.
+    pub fn is_ok(&self) -> bool {
+        !matches!(self, Outcome::Drifted(_))
+    }
+}
+
+/// Compares `actual` against the golden file at `path`, or rewrites the
+/// golden when blessing is enabled (creating parent directories).
+///
+/// # Panics
+///
+/// Panics if blessing is enabled but the golden cannot be written — a
+/// bless run that silently fails would leave the tree lying about what
+/// was blessed.
+pub fn compare_or_bless(path: &Path, actual: &str) -> Outcome {
+    if bless_enabled() {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)
+                .unwrap_or_else(|e| panic!("cannot create {}: {e}", parent.display()));
+        }
+        std::fs::write(path, actual)
+            .unwrap_or_else(|e| panic!("cannot bless {}: {e}", path.display()));
+        return Outcome::Blessed;
+    }
+    let expected = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(_) => {
+            return Outcome::Drifted(format!(
+                "golden file {} is missing; regenerate with NVWA_BLESS=1",
+                path.display()
+            ))
+        }
+    };
+    match diff_summary(&expected, actual) {
+        None => Outcome::Matched,
+        Some(diff) => Outcome::Drifted(format!(
+            "{} drifted from its golden (regenerate with NVWA_BLESS=1 if intentional)\n{diff}",
+            path.display()
+        )),
+    }
+}
+
+/// Line-level diff summary, or `None` when the texts are byte-identical.
+/// Reports the number of differing lines, the first divergence with both
+/// sides excerpted, and any length mismatch — enough to triage a drift
+/// from CI logs without downloading artifacts.
+pub fn diff_summary(expected: &str, actual: &str) -> Option<String> {
+    if expected == actual {
+        return None;
+    }
+    let exp_lines: Vec<&str> = expected.lines().collect();
+    let act_lines: Vec<&str> = actual.lines().collect();
+    let common = exp_lines.len().min(act_lines.len());
+    let mut differing = exp_lines.len().max(act_lines.len()) - common;
+    let mut first: Option<usize> = None;
+    for i in 0..common {
+        if exp_lines[i] != act_lines[i] {
+            differing += 1;
+            first.get_or_insert(i);
+        }
+    }
+    let mut out = format!(
+        "diff: {differing} differing line(s); expected {} line(s), got {}",
+        exp_lines.len(),
+        act_lines.len()
+    );
+    let excerpt = |s: &str| -> String {
+        if s.len() > 120 {
+            format!("{}…", &s[..120])
+        } else {
+            s.to_string()
+        }
+    };
+    if let Some(i) = first {
+        out.push_str(&format!(
+            "\nfirst divergence at line {}:\n  expected: {}\n  actual:   {}",
+            i + 1,
+            excerpt(exp_lines[i]),
+            excerpt(act_lines[i])
+        ));
+    } else if act_lines.len() > exp_lines.len() {
+        out.push_str(&format!(
+            "\nactual has extra trailing line {}: {}",
+            common + 1,
+            excerpt(act_lines[common])
+        ));
+    } else if exp_lines.len() > act_lines.len() {
+        out.push_str(&format!(
+            "\nactual is missing line {}: {}",
+            common + 1,
+            excerpt(exp_lines[common])
+        ));
+    } else {
+        // Same lines, different bytes (trailing newline / CR differences).
+        out.push_str("\ntexts differ only in line endings or a trailing newline");
+    }
+    Some(out)
+}
+
+/// Writes a reproducer artifact under `dir` (created if needed), named
+/// `<stem>.json`. Reproducers are *evidence* emitted on failure — they
+/// are always written (no blessing gate), but live under `tests/golden/`
+/// so the blessing flow and `.gitignore` policy treat them uniformly.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error message.
+pub fn write_repro(dir: &Path, stem: &str, body: &str) -> Result<std::path::PathBuf, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let path = dir.join(format!("{stem}.json"));
+    std::fs::write(&path, body).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_texts_have_no_diff() {
+        assert!(diff_summary("a\nb\n", "a\nb\n").is_none());
+    }
+
+    #[test]
+    fn first_divergent_line_is_reported() {
+        let d = diff_summary("a\nb\nc\n", "a\nX\nc\n").unwrap();
+        assert!(d.contains("1 differing line(s)"), "{d}");
+        assert!(d.contains("line 2"), "{d}");
+        assert!(d.contains("expected: b"), "{d}");
+        assert!(d.contains("actual:   X"), "{d}");
+    }
+
+    #[test]
+    fn length_mismatch_is_reported() {
+        let d = diff_summary("a\n", "a\nb\n").unwrap();
+        assert!(d.contains("extra trailing line"), "{d}");
+        let d = diff_summary("a\nb\n", "a\n").unwrap();
+        assert!(d.contains("missing line"), "{d}");
+    }
+
+    #[test]
+    fn trailing_newline_only_difference_is_still_a_drift() {
+        let d = diff_summary("a\nb", "a\nb\n").unwrap();
+        assert!(d.contains("line endings"), "{d}");
+    }
+
+    #[test]
+    fn compare_against_missing_golden_points_at_bless() {
+        let dir = std::env::temp_dir().join("nvwa_testkit_golden_missing");
+        let _ = std::fs::remove_dir_all(&dir);
+        let outcome = compare_or_bless(&dir.join("nope.json"), "x");
+        match outcome {
+            Outcome::Drifted(msg) => assert!(msg.contains("NVWA_BLESS=1"), "{msg}"),
+            other => panic!("expected drift, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repro_files_land_in_the_requested_dir() {
+        let dir = std::env::temp_dir().join("nvwa_testkit_repro_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = write_repro(&dir, "case_1", "{}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

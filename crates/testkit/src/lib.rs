@@ -1,0 +1,157 @@
+//! `nvwa-testkit` — the repo's cross-layer correctness tooling.
+//!
+//! The reproduction has four independently-built layers that must agree
+//! with each other: the software aligner (`nvwa-align`), the seeding
+//! index (`nvwa-index`), the cycle-accurate accelerator model
+//! (`nvwa-core`/`nvwa-sim`) and the serving front end (`nvwa-serve`).
+//! This crate turns the implicit invariants that glue them together into
+//! executable, seeded, shrinking checks (DESIGN.md §11):
+//!
+//! * [`diff`] — **differential oracles**: `sw::naive` vs the optimized
+//!   kernels vs banded vs the full pipeline; `smem::oracle` vs the fast
+//!   path (LUT on/off, trace on/off, scratch reuse); `nvwa-serve`
+//!   responses vs the offline aligner on the same reads. Every
+//!   divergence is minimized ([`minimize`]) and written as a reproducer
+//!   under `tests/golden/repro/`.
+//! * [`invariants`] — **simulator invariant checking**: a post-run
+//!   validator over [`nvwa_core::system::SimRun`] asserting the
+//!   conservation laws promised in DESIGN.md §8 (per-cause stall
+//!   integrals sum to idle cycles, trace busy spans integrate to
+//!   utilization, HBM energy conservation, span times inside the run
+//!   window) — callable from any test, not just the telemetry suite.
+//! * [`faults`] — **deterministic fault injection for serve**: seeded
+//!   [`faults::FaultPlan`]s (truncated/oversized frames, mid-frame
+//!   disconnects, slow-loris dribble, worker panic at batch N,
+//!   queue-full storms) with the invariant that every accepted request
+//!   is answered exactly once and the server drains cleanly.
+//! * [`golden`] — the single `NVWA_BLESS=1` blessing flag shared by
+//!   trace, snapshot and reproducer files, with a diff summary on
+//!   unblessed drift.
+//! * [`conformance`] — the one-command driver behind `nvwa conformance`,
+//!   running all families over a fixed seed matrix with bit-identical
+//!   output at any thread count.
+//!
+//! Everything is std-only (DESIGN.md §7).
+
+pub mod conformance;
+pub mod diff;
+pub mod faults;
+pub mod golden;
+pub mod invariants;
+pub mod minimize;
+
+/// splitmix64 — the repo's standard zero-dependency PRNG (same stream as
+/// `nvwa_serve::loadgen`), used for all seeded case generation so a seed
+/// printed in a report reproduces the exact inputs.
+#[derive(Debug, Clone)]
+pub struct Prng(pub u64);
+
+impl Prng {
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+
+    /// One random 2-bit base code.
+    pub fn base(&mut self) -> u8 {
+        (self.next_u64() & 0b11) as u8
+    }
+
+    /// A random 2-bit code sequence of length `len`.
+    pub fn codes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.base()).collect()
+    }
+
+    /// Mutates `seq` with ~3% substitutions and ~1% single-base indels —
+    /// drift stays far inside a band of 16, so banded and full extension
+    /// must agree on the result (the soundness condition of the banded
+    /// differential).
+    pub fn mutate(&mut self, seq: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(seq.len() + 4);
+        for (i, &c) in seq.iter().enumerate() {
+            let r = self.below(100);
+            if r < 3 {
+                out.push((c + 1) % 4); // substitution
+            } else if r < 4 && i > 5 {
+                // deletion: skip the base
+            } else if r < 5 {
+                out.push(c);
+                out.push((c + 2) % 4); // insertion
+            } else {
+                out.push(c);
+            }
+        }
+        if out.is_empty() {
+            out.push(0);
+        }
+        out
+    }
+}
+
+/// Renders 2-bit codes as an `ACGT` string (reproducer files, messages).
+pub fn codes_to_dna(codes: &[u8]) -> String {
+    codes
+        .iter()
+        .map(|&c| match c & 0b11 {
+            0 => 'A',
+            1 => 'C',
+            2 => 'G',
+            _ => 'T',
+        })
+        .collect()
+}
+
+/// Parses an `ACGT` string back to 2-bit codes (reproducer replay).
+pub fn dna_to_codes(s: &str) -> Vec<u8> {
+    s.chars()
+        .filter_map(|ch| match ch.to_ascii_uppercase() {
+            'A' => Some(0),
+            'C' => Some(1),
+            'G' => Some(2),
+            'T' => Some(3),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prng_matches_loadgen_splitmix_stream() {
+        // Same constants as serve::loadgen::Prng — one stream, one seed
+        // convention across the repo.
+        let mut p = Prng(42);
+        let a = p.next_u64();
+        let mut q = Prng(42);
+        assert_eq!(a, q.next_u64());
+        assert_ne!(p.next_u64(), a);
+    }
+
+    #[test]
+    fn dna_round_trips() {
+        let codes = vec![0, 1, 2, 3, 3, 2, 1, 0];
+        assert_eq!(codes_to_dna(&codes), "ACGTTGCA");
+        assert_eq!(dna_to_codes(&codes_to_dna(&codes)), codes);
+    }
+
+    #[test]
+    fn mutate_never_returns_empty_and_stays_close() {
+        let mut p = Prng(7);
+        let seq = p.codes(120);
+        let mutated = p.mutate(&seq);
+        assert!(!mutated.is_empty());
+        let diff = (mutated.len() as i64 - seq.len() as i64).abs();
+        assert!(diff <= 16, "indel drift {diff} must stay inside band 16");
+    }
+}

@@ -1,0 +1,137 @@
+//! Input minimization for differential failures: first bisect the failing
+//! *read set* to a locally minimal subset (delta debugging), then shrink
+//! the surviving reads base by base.
+//!
+//! The predicate contract is "does this input set still fail?" — it must
+//! be deterministic (same input, same answer), which every check in
+//! [`crate::diff`] guarantees by construction (no wall-clock, no global
+//! state). Minimization is greedy and bounded: each phase only ever keeps
+//! a strictly smaller failing input, so it terminates in
+//! `O(n log n)` predicate calls for the set phase and `O(len²)` worst
+//! case (in practice `O(len log len)`) for the shrink phase.
+
+/// Delta-debugging (ddmin) over an item set: returns a subset of `items`
+/// that still satisfies `fails`, locally minimal under chunk removal.
+///
+/// Returns `items` unchanged if the full set does not fail (nothing to
+/// minimize) — callers should only invoke this with a known-failing set.
+pub fn minimize_set<T: Clone>(items: &[T], fails: &mut impl FnMut(&[T]) -> bool) -> Vec<T> {
+    let mut current: Vec<T> = items.to_vec();
+    if current.is_empty() || !fails(&current) {
+        return current;
+    }
+    let mut granularity = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(granularity);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < current.len() && current.len() >= 2 {
+            let end = (start + chunk).min(current.len());
+            // Complement: everything except [start, end).
+            let candidate: Vec<T> = current[..start]
+                .iter()
+                .chain(&current[end..])
+                .cloned()
+                .collect();
+            if !candidate.is_empty() && fails(&candidate) {
+                current = candidate;
+                granularity = granularity.max(2).min(current.len().max(2));
+                reduced = true;
+                // Retry the same offset: a new chunk now occupies it.
+            } else {
+                start = end;
+            }
+        }
+        if !reduced {
+            if chunk <= 1 {
+                break; // minimal under single-item removal
+            }
+            granularity = (granularity * 2).min(current.len());
+        }
+    }
+    current
+}
+
+/// Shrinks one read while `fails` keeps holding: repeatedly removes
+/// chunks (halving the chunk size down to one base) from every offset.
+/// The result still fails and is locally minimal under chunk removal.
+pub fn shrink_read(read: &[u8], fails: &mut impl FnMut(&[u8]) -> bool) -> Vec<u8> {
+    let mut current = read.to_vec();
+    if current.is_empty() || !fails(&current) {
+        return current;
+    }
+    let mut chunk = (current.len() / 2).max(1);
+    loop {
+        let mut reduced = false;
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let mut candidate = Vec::with_capacity(current.len() - (end - start));
+            candidate.extend_from_slice(&current[..start]);
+            candidate.extend_from_slice(&current[end..]);
+            if !candidate.is_empty() && fails(&candidate) {
+                current = candidate;
+                reduced = true;
+                // Same offset again: new bytes shifted into place.
+            } else {
+                start = end;
+            }
+        }
+        if !reduced {
+            if chunk == 1 {
+                break;
+            }
+            chunk = (chunk / 2).max(1);
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_minimization_finds_the_single_culprit() {
+        // Failure iff item 37 is present.
+        let items: Vec<u32> = (0..100).collect();
+        let mut calls = 0usize;
+        let minimal = minimize_set(&items, &mut |s| {
+            calls += 1;
+            s.contains(&37)
+        });
+        assert_eq!(minimal, vec![37]);
+        assert!(calls < 200, "ddmin used {calls} predicate calls");
+    }
+
+    #[test]
+    fn set_minimization_handles_a_conjunction() {
+        // Failure needs BOTH 3 and 60 present.
+        let items: Vec<u32> = (0..80).collect();
+        let minimal = minimize_set(&items, &mut |s| s.contains(&3) && s.contains(&60));
+        assert_eq!(minimal, vec![3, 60]);
+    }
+
+    #[test]
+    fn non_failing_set_is_returned_unchanged() {
+        let items = vec![1, 2, 3];
+        assert_eq!(minimize_set(&items, &mut |_| false), items);
+    }
+
+    #[test]
+    fn read_shrinking_keeps_the_failing_motif() {
+        // Failure iff the read contains the window [2, 2, 2, 2].
+        let mut read = vec![0u8; 50];
+        read.extend([2, 2, 2, 2]);
+        read.extend(vec![1u8; 50]);
+        let motif = |r: &[u8]| r.windows(4).any(|w| w == [2, 2, 2, 2]);
+        let minimal = shrink_read(&read, &mut |r| motif(r));
+        assert_eq!(minimal, vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn shrinking_is_a_no_op_on_non_failing_input() {
+        let read = vec![1, 2, 3];
+        assert_eq!(shrink_read(&read, &mut |_| false), read);
+    }
+}

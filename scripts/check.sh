@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # Repo gate: formatting, lints, the tier-1 build+test suite, the
-# telemetry artifact checks and the serve smoke test. Run from the
-# repository root: ./scripts/check.sh
+# telemetry artifact checks, the serve smoke test and the conformance
+# sweep. Run from the repository root: ./scripts/check.sh
 #
 # ARTIFACTS_DIR (optional): where generated artifacts land. Defaults to a
 # temp dir removed on exit; CI points it at a persistent path and uploads
@@ -70,3 +70,11 @@ cargo run --release --quiet -p nvwa-bench --bin validate -- \
     "$artifacts_dir/serve_trace.json" \
     "$artifacts_dir/loadgen_report.json"
 echo "serve smoke test: clean drain, zero lost responses"
+
+# Conformance: differential oracles (sw/smem/pipeline/serve-vs-offline),
+# simulator invariants and the fault-injection matrix, over the CI seed
+# list in both the short and long read profiles. Divergence reproducers
+# land in the artifacts dir (uploaded by CI on failure).
+cargo run --release --quiet --bin nvwa -- conformance \
+    --seed-from-ci --repro-dir "$artifacts_dir/repro"
+echo "conformance: all families pass"

@@ -10,7 +10,18 @@
 //!                 [--ref-len N] [--ref-seed S] [--queue-cap N] [--workers N]
 //!                 [--batch-max N] [--batch-wait-us U] [--deadline-ms D]
 //!                 [--backend sw|hil] [--metrics-out m.json] [--trace-out t.json]
+//! nvwa conformance [--seed S]... [--seed-from-ci] [--cases N] [--serve-reads N]
+//!                 [--families diff,invariants,faults] [--repro-dir DIR] [--threads N]
 //! ```
+//!
+//! `conformance` runs the repo's cross-layer correctness checks
+//! (differential oracles, simulator conservation laws, serve fault
+//! injection — DESIGN.md §11) and prints a report whose bytes are
+//! identical for a fixed seed at any `--threads` value. Divergences are
+//! minimized and written as reproducer files under `--repro-dir`
+//! (default `tests/golden/repro/`); the exit code is non-zero when any
+//! check fails. `--seed-from-ci` selects the CI matrix: seeds 1,2,3 ×
+//! a short and a long profile.
 //!
 //! The default (no subcommand, or `sim`) runs the paper-scale accelerator
 //! on the calibrated synthetic workload. `align` runs the software
@@ -65,6 +76,8 @@ fn usage() -> ExitCode {
     eprintln!("                   [--ref-len N] [--ref-seed S] [--queue-cap N] [--workers N]");
     eprintln!("                   [--batch-max N] [--batch-wait-us U] [--deadline-ms D]");
     eprintln!("                   [--backend sw|hil] [--metrics-out m.json] [--trace-out t.json]");
+    eprintln!("  nvwa conformance [--seed S]... [--seed-from-ci] [--cases N] [--serve-reads N]");
+    eprintln!("                   [--families diff,invariants,faults] [--repro-dir DIR]");
     ExitCode::FAILURE
 }
 
@@ -76,6 +89,7 @@ fn main() -> ExitCode {
         Some("synth-reads") => synth_reads(&args[1..]),
         Some("align") => align(&args[1..]),
         Some("serve") => serve(&args[1..]),
+        Some("conformance") => conformance(&args[1..]),
         Some("sim") => sim(&args[1..]),
         // Bare invocation (possibly with flags only): the default scenario.
         None => sim(&args),
@@ -251,6 +265,77 @@ fn synth_reads(args: &[String]) -> ExitCode {
 /// batched TCP server and runs until SIGINT/SIGTERM or a protocol
 /// `shutdown` request, then drains gracefully and optionally writes the
 /// serve metrics snapshot and Chrome trace.
+fn conformance(args: &[String]) -> ExitCode {
+    use nvwa::testkit::conformance::{run, ConformanceConfig, Family};
+    use std::path::PathBuf;
+
+    // `--seed` is repeatable; no occurrence means the default matrix.
+    let seeds: Vec<u64> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--seed")
+        .filter_map(|(i, _)| args.get(i + 1))
+        .filter_map(|v| v.parse().ok())
+        .collect();
+    let seeds = if seeds.is_empty() {
+        vec![1, 2, 3]
+    } else {
+        seeds
+    };
+    let families = match flag_value(args, "--families") {
+        None => Family::ALL.to_vec(),
+        Some(list) => {
+            let mut parsed = Vec::new();
+            for item in list.split(',') {
+                match Family::parse(item) {
+                    Some(f) => parsed.push(f),
+                    None => {
+                        eprintln!("nvwa: unknown family {item:?} (want diff, invariants, faults)");
+                        return usage();
+                    }
+                }
+            }
+            parsed
+        }
+    };
+    let repro_dir = match flag_value(args, "--repro-dir").as_deref() {
+        Some("none") => None,
+        Some(dir) => Some(PathBuf::from(dir)),
+        None => Some(PathBuf::from("tests/golden/repro")),
+    };
+
+    // Profiles: the CI matrix runs every seed at a short and a long read
+    // budget; a direct invocation runs one profile from the flags.
+    let profiles: Vec<(&str, usize, usize)> = if args.iter().any(|a| a == "--seed-from-ci") {
+        vec![("short", 16, 32), ("long", 48, 120)]
+    } else {
+        vec![(
+            "default",
+            flag_u64(args, "--cases", 24) as usize,
+            flag_u64(args, "--serve-reads", 48) as usize,
+        )]
+    };
+
+    let mut all_passed = true;
+    for (name, cases, serve_reads) in profiles {
+        let report = run(&ConformanceConfig {
+            seeds: seeds.clone(),
+            cases,
+            serve_reads,
+            families: families.clone(),
+            repro_dir: repro_dir.clone(),
+        });
+        println!("profile: {name} (cases {cases}, serve reads {serve_reads})");
+        print!("{}", report.text());
+        all_passed &= report.passed();
+    }
+    if all_passed {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn serve(args: &[String]) -> ExitCode {
     use nvwa::serve::loadgen::ref_params;
     use nvwa::serve::{signal, BackendKind, BatcherConfig, Server, ServerConfig};
@@ -299,6 +384,8 @@ fn serve(args: &[String]) -> ExitCode {
         worker_delay: flag_value(args, "--debug-worker-delay-us")
             .and_then(|v| v.parse().ok())
             .map(Duration::from_micros),
+        worker_panic_at_batch: flag_value(args, "--debug-worker-panic-at-batch")
+            .and_then(|v| v.parse().ok()),
     };
     signal::install();
     let server = match Server::start(index, config) {

@@ -16,6 +16,10 @@
 //!   admission with load-shedding, length-binned dynamic batching,
 //!   deadlines, software and hardware-in-the-loop backends, and the
 //!   open/closed-loop load generator (`nvwa serve` / `nvwa-loadgen`).
+//! * [`testkit`] — cross-layer correctness tooling: differential oracles
+//!   with input minimization, simulator invariant checking, golden-file
+//!   blessing and deterministic fault injection (`nvwa conformance`,
+//!   DESIGN.md §11).
 //!
 //! # Quickstart
 //!
@@ -41,3 +45,4 @@ pub use nvwa_index as index;
 pub use nvwa_serve as serve;
 pub use nvwa_sim as sim;
 pub use nvwa_telemetry as telemetry;
+pub use nvwa_testkit as testkit;

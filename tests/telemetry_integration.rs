@@ -132,15 +132,8 @@ fn tiny_trace_round_trips_and_matches_golden_file() {
     assert_eq!(doc.to_string_pretty(), text, "round trip is byte-stable");
 
     let golden = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/trace_tiny.json");
-    if std::env::var_os("NVWA_BLESS").is_some() {
-        std::fs::write(golden, &text).expect("write golden trace");
-        return;
+    match nvwa::testkit::golden::compare_or_bless(std::path::Path::new(golden), &text) {
+        nvwa::testkit::golden::Outcome::Matched | nvwa::testkit::golden::Outcome::Blessed => {}
+        nvwa::testkit::golden::Outcome::Drifted(summary) => panic!("{summary}"),
     }
-    let expected = std::fs::read_to_string(golden)
-        .expect("golden trace missing; regenerate with NVWA_BLESS=1");
-    assert_eq!(
-        text, expected,
-        "trace for the tiny run drifted from tests/golden/trace_tiny.json \
-         (regenerate with NVWA_BLESS=1 if the change is intentional)"
-    );
 }
