@@ -226,4 +226,109 @@ mod tests {
         a.reverse();
         assert_eq!(a.to_string(), "1I6=");
     }
+
+    // -- round trips against the bit-parallel kernel's edit scripts ------
+
+    use crate::myers::{banded_edit_global, MyersScratch};
+
+    fn lcg_codes(len: usize, mut state: u64) -> Vec<u8> {
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) & 0b11) as u8
+            })
+            .collect()
+    }
+
+    /// One planted deletion / insertion: the kernel's script must coalesce
+    /// it into a single gap run of the planted length amid pure matches.
+    #[test]
+    fn kernel_script_coalesces_planted_gap_runs() {
+        let mut s = MyersScratch::new();
+        let t = lcg_codes(48, 7);
+        // Deletion in the query: t[12..17] missing.
+        let mut q = t[..12].to_vec();
+        q.extend_from_slice(&t[17..]);
+        let g = banded_edit_global(&q, &t, 16, &mut s);
+        assert!(g.exact);
+        assert_eq!(g.distance, 5);
+        let dels: Vec<u32> = g
+            .cigar
+            .runs()
+            .iter()
+            .filter(|(op, _)| *op == CigarOp::Del)
+            .map(|&(_, len)| len)
+            .collect();
+        assert_eq!(dels, vec![5], "one coalesced 5D run, got {}", g.cigar);
+        assert!(g
+            .cigar
+            .runs()
+            .iter()
+            .all(|(op, _)| matches!(op, CigarOp::Match | CigarOp::Del)));
+        // Insertion in the query: 3 extra codes, each differing from its
+        // left neighbour so the run cannot leak into the flanks.
+        let mut q = t[..20].to_vec();
+        for k in 0..3u8 {
+            q.push((t[19] + 1 + k) % 4);
+        }
+        q.extend_from_slice(&t[20..]);
+        let g = banded_edit_global(&q, &t, 16, &mut s);
+        assert!(g.exact);
+        assert_eq!(g.distance, 3);
+        let ins: Vec<u32> = g
+            .cigar
+            .runs()
+            .iter()
+            .filter(|(op, _)| *op == CigarOp::Ins)
+            .map(|&(_, len)| len)
+            .collect();
+        assert_eq!(ins, vec![3], "one coalesced 3I run, got {}", g.cigar);
+    }
+
+    /// A planted substitution run (complemented bases never equal the
+    /// originals) coalesces into one Subst run between match runs.
+    #[test]
+    fn kernel_script_coalesces_planted_subst_runs() {
+        let mut s = MyersScratch::new();
+        let t = lcg_codes(40, 11);
+        let mut q = t.clone();
+        for c in &mut q[15..19] {
+            *c = (*c + 2) % 4;
+        }
+        let g = banded_edit_global(&q, &t, 16, &mut s);
+        assert!(g.exact);
+        assert_eq!(g.distance, 4);
+        assert_eq!(g.cigar.to_string(), "15=4X21=");
+    }
+
+    /// Expanding a kernel script to unit ops and re-pushing it (with
+    /// zero-length no-op pushes interleaved) reproduces the same runs —
+    /// the coalescing round trip. `FromIterator` must agree too.
+    #[test]
+    fn kernel_script_round_trips_through_unit_op_pushes() {
+        let mut s = MyersScratch::new();
+        let t = lcg_codes(90, 13);
+        let mut q = t[..40].to_vec();
+        q.extend_from_slice(&t[46..82]); // 6-code deletion
+        q[10] = (q[10] + 1) % 4; // one substitution
+        let g = banded_edit_global(&q, &t[..76], 16, &mut s);
+        assert!(g.exact);
+        let mut rebuilt = Cigar::new();
+        for &(op, len) in g.cigar.runs() {
+            rebuilt.push(op, 0); // no-op must not split or pad runs
+            for _ in 0..len {
+                rebuilt.push(op, 1);
+            }
+        }
+        assert_eq!(rebuilt, g.cigar);
+        let collected: Cigar = g
+            .cigar
+            .runs()
+            .iter()
+            .flat_map(|&(op, len)| std::iter::repeat_n((op, 1u32), len as usize))
+            .collect();
+        assert_eq!(collected, g.cigar);
+    }
 }

@@ -19,7 +19,11 @@
 //! * [`seeding`] — the pluggable seeding abstraction behind the paper's
 //!   unified interface: FMD/SMEM and hash-based k-mer seeding.
 //! * [`myers`] — Myers bit-parallel edit distance (the GenASM/Bitap
-//!   algorithm family, an alternative extension unit).
+//!   algorithm family), single-word and multi-word banded variants with
+//!   traceback — the extension unit the short-read hot path uses.
+//! * [`kernel`] — the extension-kernel seam: [`kernel::KernelPolicy`]
+//!   selects bit-parallel vs banded-SW per read and adapts the edit
+//!   script to the affine scoring surface.
 //! * [`long_read`] — the *seed-and-chain-then-fill* long-read pipeline of
 //!   the paper's Sec. VI (minimizer seeding + chaining + GACT fill).
 //! * [`sam`] — minimal SAM output.
@@ -28,6 +32,7 @@ pub mod banded;
 pub mod chain;
 pub mod cigar;
 pub mod gact;
+pub mod kernel;
 pub mod long_read;
 pub mod myers;
 pub mod pipeline;
@@ -37,6 +42,7 @@ pub mod seeding;
 pub mod sw;
 
 pub use cigar::{Cigar, CigarOp};
+pub use kernel::KernelPolicy;
 pub use pipeline::{AlignScratch, AlignerConfig, Alignment, AlignmentOutcome, SoftwareAligner};
 pub use scoring::Scoring;
 pub use sw::DpScratch;

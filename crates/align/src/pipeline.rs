@@ -24,8 +24,10 @@ use nvwa_index::{bwt::Bwt, fm_index::FmIndex};
 use crate::banded::banded_extend_with;
 use crate::chain::{chain_seeds, Chain, ChainConfig, Seed};
 use crate::cigar::{Cigar, CigarOp};
+use crate::kernel::{bitparallel_extend, bitparallel_global, KernelPolicy};
+use crate::myers::MyersScratch;
 use crate::scoring::Scoring;
-use crate::sw::{global_align_with, DpScratch};
+use crate::sw::{global_align_with, DpScratch, ExtensionAlignment};
 
 /// A reference genome plus the search structures built over it.
 #[derive(Debug)]
@@ -109,6 +111,11 @@ pub struct AlignerConfig {
     pub band: usize,
     /// Extend at most this many top chains.
     pub max_chains_extended: usize,
+    /// Extension-kernel selection (bit-parallel banded edit vs banded SW).
+    /// Only the final alignment's score/cigar can differ between kernels;
+    /// hit tasks and DP-cell accounting model the hardware EU workload and
+    /// stay identical.
+    pub kernel: KernelPolicy,
 }
 
 impl Default for AlignerConfig {
@@ -121,6 +128,7 @@ impl Default for AlignerConfig {
             chain: ChainConfig::default(),
             band: 32,
             max_chains_extended: 3,
+            kernel: KernelPolicy::default(),
         }
     }
 }
@@ -174,6 +182,7 @@ struct ExtendScratch {
     left_q: Vec<u8>,
     left_t: Vec<u8>,
     dp: DpScratch,
+    myers: MyersScratch,
 }
 
 /// One extension-unit work item: a hit plus its DP dimensions.
@@ -424,10 +433,15 @@ impl<'r> SoftwareAligner<'r> {
             left_q,
             left_t,
             dp,
+            myers,
         } = ext;
         let flat = self.index.flat();
         let scoring = &self.config.scoring;
         let read_len = oriented.len();
+        let band = self.config.band.max(1);
+        // One kernel decision per read; task accounting below is
+        // kernel-independent (it models the hardware EU workload).
+        let bitparallel = self.config.kernel.use_bitparallel(read_len);
         let mut hit_idx = profile.hit_tasks.len() as u32;
 
         // Normalize the chain's seeds into strictly advancing segments.
@@ -459,7 +473,11 @@ impl<'r> SoftwareAligner<'r> {
             let prev_ref_end = (prev.ref_pos + prev.len() as u64) as usize;
             let r_gap = &flat[prev_ref_end..seg.ref_pos as usize];
             if !q_gap.is_empty() || !r_gap.is_empty() {
-                let glue = global_align_with(q_gap, r_gap, scoring, dp);
+                let glue: ExtensionAlignment = if bitparallel {
+                    bitparallel_global(q_gap, r_gap, scoring, myers, dp)
+                } else {
+                    global_align_with(q_gap, r_gap, scoring, dp)
+                };
                 profile.dp_cells += crate::sw::dp_cells(q_gap.len(), r_gap.len());
                 profile.hit_tasks.push(HitTask {
                     read_id,
@@ -489,10 +507,13 @@ impl<'r> SoftwareAligner<'r> {
                 .rev()
                 .copied(),
         );
-        let left = banded_extend_with(left_q, left_t, scoring, self.config.band.max(1), dp);
+        let left = if bitparallel {
+            bitparallel_extend(left_q, left_t, scoring, band, myers, dp)
+        } else {
+            banded_extend_with(left_q, left_t, scoring, band, dp)
+        };
         if !left_q.is_empty() {
-            profile.dp_cells +=
-                crate::banded::banded_cells(left_q.len(), left_t.len(), self.config.band.max(1));
+            profile.dp_cells += crate::banded::banded_cells(left_q.len(), left_t.len(), band);
             profile.hit_tasks.push(HitTask {
                 read_id,
                 hit_idx,
@@ -510,10 +531,13 @@ impl<'r> SoftwareAligner<'r> {
         let last_ref_end = (last.ref_pos + last.len() as u64) as usize;
         let right_t_end = (last_ref_end + right_q.len() + self.config.band).min(flat.len());
         let right_t = &flat[last_ref_end..right_t_end];
-        let right = banded_extend_with(right_q, right_t, scoring, self.config.band.max(1), dp);
+        let right = if bitparallel {
+            bitparallel_extend(right_q, right_t, scoring, band, myers, dp)
+        } else {
+            banded_extend_with(right_q, right_t, scoring, band, dp)
+        };
         if !right_q.is_empty() {
-            profile.dp_cells +=
-                crate::banded::banded_cells(right_q.len(), right_t.len(), self.config.band.max(1));
+            profile.dp_cells += crate::banded::banded_cells(right_q.len(), right_t.len(), band);
             profile.hit_tasks.push(HitTask {
                 read_id,
                 hit_idx,

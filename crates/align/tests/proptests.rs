@@ -5,12 +5,38 @@ use proptest::prelude::*;
 use nvwa_align::banded::banded_extend;
 use nvwa_align::cigar::CigarOp;
 use nvwa_align::gact::{gact_extend, GactConfig};
-use nvwa_align::myers::{best_match, edit_distance, edit_distance_naive};
+use nvwa_align::myers::{
+    banded_edit_extend, banded_edit_global, best_match, edit_distance, edit_distance_naive,
+    MyersScratch,
+};
 use nvwa_align::scoring::Scoring;
 use nvwa_align::sw::{extend_align, global_align, local_align, naive};
 
 fn codes(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
     proptest::collection::vec(0u8..4, 1..=max_len)
+}
+
+/// Patterns strictly past one 64-bit word, so every property using this
+/// strategy exercises the multi-word block carries.
+fn long_codes(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..4, 65..=max_len)
+}
+
+/// Last row of the full unit-cost DP: `D[m][j]` = edit distance of the
+/// whole pattern vs `t[..j]`, the prefix-scan oracle for extension mode.
+fn edit_last_row(p: &[u8], t: &[u8]) -> Vec<u32> {
+    let n = t.len();
+    let mut prev: Vec<u32> = (0..=n as u32).collect();
+    let mut cur = vec![0u32; n + 1];
+    for (i, &pc) in p.iter().enumerate() {
+        cur[0] = i as u32 + 1;
+        for (j, &tc) in t.iter().enumerate() {
+            let sub = prev[j] + u32::from(pc != tc);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev
 }
 
 proptest! {
@@ -50,6 +76,64 @@ proptest! {
         prop_assert!(semi.distance <= global.max(p.len() as u32));
         prop_assert!(semi.distance <= p.len() as u32);
         prop_assert!(semi.target_end <= t.len());
+    }
+
+    /// Multi-word carry logic: patterns past one 64-bit word (2-4 blocks)
+    /// still equal the DP oracle exactly.
+    #[test]
+    fn multiword_myers_equals_naive(p in long_codes(200), t in codes(150)) {
+        prop_assert_eq!(edit_distance(&p, &t), edit_distance_naive(&p, &t));
+    }
+
+    /// Multi-word semi-global is bounded by the multi-word global distance
+    /// and by the pattern length, and ends inside the text.
+    #[test]
+    fn multiword_semiglobal_bounds(p in long_codes(140), t in codes(200)) {
+        let semi = best_match(&p, &t);
+        prop_assert!(semi.distance <= edit_distance(&p, &t));
+        prop_assert!(semi.distance <= p.len() as u32);
+        prop_assert!(semi.target_end <= t.len());
+    }
+
+    /// The banded global edit kernel's exactness contract holds for every
+    /// band: `exact ⇔ true distance ≤ band`, with equality and a valid
+    /// optimal script when exact and an upper bound (no script) otherwise.
+    #[test]
+    fn banded_global_contract(p in codes(140), t in codes(140), band in 1usize..40) {
+        let mut s = MyersScratch::new();
+        let full = edit_distance_naive(&p, &t);
+        let g = banded_edit_global(&p, &t, band, &mut s);
+        prop_assert_eq!(g.exact, full as usize <= band);
+        if g.exact {
+            prop_assert_eq!(g.distance, full);
+            prop_assert_eq!(g.cigar.query_len(), p.len());
+            prop_assert_eq!(g.cigar.target_len(), t.len());
+            prop_assert_eq!(g.cigar.edit_distance(), full as usize);
+        } else {
+            prop_assert!(g.distance >= full);
+            prop_assert!(g.cigar.is_empty());
+        }
+    }
+
+    /// Banded extension matches the prefix-scan DP oracle — distance,
+    /// endpoint (shortest-prefix tie rule) and script consumption — when
+    /// the best prefix is inside the band, and upper-bounds it otherwise.
+    #[test]
+    fn banded_extend_matches_prefix_oracle(p in codes(120), t in codes(140), band in 1usize..40) {
+        let mut s = MyersScratch::new();
+        let row = edit_last_row(&p, &t);
+        let best = *row.iter().min().expect("row is never empty");
+        let best_j = row.iter().position(|&d| d == best).expect("min exists");
+        let e = banded_edit_extend(&p, &t, band, &mut s);
+        prop_assert_eq!(e.exact, best as usize <= band);
+        if e.exact {
+            prop_assert_eq!((e.distance, e.target_end), (best, best_j));
+            prop_assert_eq!(e.cigar.query_len(), p.len());
+            prop_assert_eq!(e.cigar.target_len(), e.target_end);
+            prop_assert_eq!(e.cigar.edit_distance(), best as usize);
+        } else {
+            prop_assert!(e.distance >= best);
+        }
     }
 
     /// GACT's committed transcript is always internally consistent and its

@@ -2,7 +2,7 @@
 //! harness, written as JSON (scenario → median wall-ms, threads).
 //!
 //! ```text
-//! cargo run --release -p nvwa-bench --bin perf                 # writes BENCH_PR4.json
+//! cargo run --release -p nvwa-bench --bin perf                 # writes BENCH_PR6.json
 //! cargo run --release -p nvwa-bench --bin perf -- --out x.json
 //! cargo run --release -p nvwa-bench --bin perf -- --metrics-out m.json
 //! cargo run --release -p nvwa-bench --bin perf -- --only seed
@@ -33,9 +33,16 @@
 //!   oracle (`smem::oracle`).
 //! * `seed_long` / `seed_long_baseline` — the same comparison over
 //!   100 × 2 000 bp noisy long reads.
+//! * `extend_short` / `extend_short_banded` — flank-shaped extension
+//!   tasks (101 bp mutated queries, band 32): the bit-parallel banded
+//!   edit kernel with affine rescoring vs the banded Smith-Waterman unit.
+//! * `extend_long` / `extend_long_banded` — the same comparison on
+//!   2 000 bp queries (band 64), exercising the multi-word block window.
 //! * `e2e_align` / `e2e_align_baseline` — the full align pipeline over
-//!   500 reads: fast path with one reusable `AlignScratch` vs the
-//!   allocating trace-recording path (the pre-PR default).
+//!   500 reads: fast path with one reusable `AlignScratch` and the
+//!   default `KernelPolicy` (bit-parallel extension) vs the allocating
+//!   trace-recording path pinned to `KernelPolicy::BandedSw` (the
+//!   pre-PR-6 default).
 //! * `serve_closed_2k` — a closed-loop serving run: 2 000 reads pushed
 //!   over loopback TCP through the full `nvwa-serve` stack (framing,
 //!   admission, length-binned batching, 2 workers). Measures end-to-end
@@ -47,9 +54,12 @@
 
 use std::time::Instant;
 
+use nvwa_align::banded::banded_extend_with;
+use nvwa_align::kernel::{bitparallel_extend, KernelPolicy};
+use nvwa_align::myers::MyersScratch;
 use nvwa_align::pipeline::{AlignScratch, AlignerConfig, ReferenceIndex, SoftwareAligner};
 use nvwa_align::scoring::Scoring;
-use nvwa_align::sw;
+use nvwa_align::sw::{self, DpScratch};
 use nvwa_core::experiments::{fig11, Scale};
 use nvwa_core::units::workload::build_workload;
 use nvwa_genome::reads::{ReadSimParams, ReadSimulator};
@@ -129,7 +139,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_PR4.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR6.json".to_string());
     let samples: usize = args
         .iter()
         .position(|a| a == "--samples")
@@ -256,10 +266,83 @@ fn main() {
         }));
     }
 
+    // --- extend_short / extend_long -----------------------------------
+    // Isolated extension-unit comparison on flank-shaped tasks: query =
+    // mutated window prefix, target = window plus band slack, anchored at
+    // (0,0). Same inputs through the bit-parallel banded edit kernel
+    // (with affine rescoring + prefix clip) and the banded affine SW unit.
+    let extend_pairs = |count: usize, qlen: usize, band: usize, salt: u64| {
+        (0..count as u64)
+            .map(|k| {
+                let target = prng_codes(qlen + band + 1, salt.wrapping_add(k * 7919));
+                let mut query = Vec::with_capacity(qlen + 4);
+                let mut state = salt ^ (k.wrapping_mul(0x9e3779b97f4a7c15));
+                for (i, &c) in target[..qlen].iter().enumerate() {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    match (state >> 33) % 100 {
+                        0..=1 => query.push((c + 1) % 4), // substitution
+                        2 if i > 4 => {}                  // deletion
+                        3 => {
+                            query.push(c);
+                            query.push((c + 2) % 4); // insertion
+                        }
+                        _ => query.push(c),
+                    }
+                }
+                (query, target)
+            })
+            .collect::<Vec<(Vec<u8>, Vec<u8>)>>()
+    };
+    for (tag, banded_tag, count, qlen, band, salt) in [
+        (
+            "extend_short",
+            "extend_short_banded",
+            2_000usize,
+            101usize,
+            32usize,
+            0xe57u64,
+        ),
+        // Band 128 keeps the ~80 expected edits of a 2 000 bp mutated
+        // query inside the window (no per-task SW fallback), so this
+        // measures the multi-word block path itself.
+        ("extend_long", "extend_long_banded", 60, 2_000, 128, 0x10f7),
+    ] {
+        if !want(tag) {
+            continue;
+        }
+        let tasks = extend_pairs(count, qlen, band, salt);
+        records.push(run_scenario(tag, 1, samples, || {
+            let mut myers = MyersScratch::new();
+            let mut dp = DpScratch::new();
+            for (q, t) in &tasks {
+                std::hint::black_box(bitparallel_extend(
+                    q, t, &scoring, band, &mut myers, &mut dp,
+                ));
+            }
+        }));
+        records.push(run_scenario(banded_tag, 1, samples, || {
+            let mut dp = DpScratch::new();
+            for (q, t) in &tasks {
+                std::hint::black_box(banded_extend_with(q, t, &scoring, band, &mut dp));
+            }
+        }));
+    }
+
     // --- e2e_align -----------------------------------------------------
-    // Whole pipeline per read: fast path with one reusable AlignScratch vs
-    // the allocating, trace-recording path (the pre-PR default behavior).
+    // Whole pipeline per read: fast path with one reusable AlignScratch
+    // and the default kernel policy (bit-parallel extension) vs the
+    // allocating, trace-recording path pinned to the banded-SW kernel
+    // (the pre-PR-6 default behavior).
     if want("e2e_align") {
+        let baseline_aligner = SoftwareAligner::new(
+            &index,
+            AlignerConfig {
+                kernel: KernelPolicy::BandedSw,
+                ..AlignerConfig::default()
+            },
+        );
         records.push(run_scenario("e2e_align", 1, samples, || {
             let mut scratch = AlignScratch::new();
             for r in &reads[..500] {
@@ -268,7 +351,7 @@ fn main() {
         }));
         records.push(run_scenario("e2e_align_baseline", 1, samples, || {
             for r in &reads[..500] {
-                std::hint::black_box(aligner.align_read(r));
+                std::hint::black_box(baseline_aligner.align_read(r));
             }
         }));
     }
@@ -321,7 +404,7 @@ fn main() {
     // Each speedup is `slow / fast` of two recorded scenarios; pairs whose
     // scenarios were filtered out by --only are simply omitted.
     type SpeedupPair = (&'static str, (&'static str, usize), (&'static str, usize));
-    let pairs: [SpeedupPair; 6] = [
+    let pairs: [SpeedupPair; 8] = [
         (
             "workload_build_10k_8t_vs_1t",
             ("workload_build_10k", 1),
@@ -348,21 +431,47 @@ fn main() {
             ("seed_long", 1),
         ),
         (
+            "extend_short_bitparallel_vs_banded_1t",
+            ("extend_short_banded", 1),
+            ("extend_short", 1),
+        ),
+        (
+            "extend_long_bitparallel_vs_banded_1t",
+            ("extend_long_banded", 1),
+            ("extend_long", 1),
+        ),
+        (
             "e2e_align_fast_vs_baseline_1t",
             ("e2e_align_baseline", 1),
             ("e2e_align", 1),
         ),
     ];
-    let speedups: Vec<(&str, f64)> = pairs
+    let speedups: Vec<(&str, f64, f64, f64)> = pairs
         .iter()
         .filter_map(|(name, slow, fast)| {
             let slow = lookup(slow.0, slow.1)?;
             let fast = lookup(fast.0, fast.1)?;
-            Some((*name, slow / fast))
+            Some((*name, slow, fast, slow / fast))
         })
         .collect();
-    for (name, v) in &speedups {
-        eprintln!("speedup {name}: {v:.2}x");
+    // Human-readable summary: per-scenario speedup vs its baseline, with
+    // the raw medians the ratio came from.
+    if !speedups.is_empty() {
+        eprintln!();
+        eprintln!("speedup summary ({samples} samples/scenario, medians):");
+        eprintln!(
+            "  {:40} {:>12} {:>12} {:>9}",
+            "pair", "baseline", "fast", "speedup"
+        );
+        for (name, slow, fast, v) in &speedups {
+            eprintln!("  {name:40} {slow:>9.1} ms {fast:>9.1} ms {v:>8.2}x");
+        }
+        if host_cpus == 1 {
+            eprintln!(
+                "  note: host parallelism is 1 — the *_8t_vs_1t pairs legitimately \
+                 measure ~1x here and are not parallel regressions."
+            );
+        }
     }
 
     let mut json = String::from("{\n");
@@ -380,7 +489,7 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str("  \"speedups\": {\n");
-    for (i, (name, v)) in speedups.iter().enumerate() {
+    for (i, (name, _, _, v)) in speedups.iter().enumerate() {
         json.push_str(&format!(
             "    \"{name}\": {v:.3}{}\n",
             if i + 1 < speedups.len() { "," } else { "" }
@@ -395,11 +504,11 @@ fn main() {
 
     let mut gate_failed = false;
     for (name, floor) in &gates {
-        match speedups.iter().find(|(n, _)| n == name) {
-            Some((_, v)) if v >= floor => {
+        match speedups.iter().find(|(n, _, _, _)| n == name) {
+            Some((_, _, _, v)) if v >= floor => {
                 eprintln!("perf gate ok: {name} {v:.2}x >= {floor:.2}x");
             }
-            Some((_, v)) => {
+            Some((_, _, _, v)) => {
                 eprintln!("perf gate FAILED: {name} {v:.2}x < {floor:.2}x");
                 gate_failed = true;
             }
@@ -430,7 +539,7 @@ fn main() {
                 r.median_wall_ms,
             );
         }
-        for (name, v) in &speedups {
+        for (name, _, _, v) in &speedups {
             g(&mut metrics, &format!("perf.speedup.{name}"), *v);
         }
         let meta = SnapshotMeta::collect(host_cpus);

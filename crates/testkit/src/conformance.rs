@@ -1,5 +1,6 @@
 //! The one-command conformance driver behind `nvwa conformance`: runs the
-//! differential oracles ([`crate::diff`]), the simulator invariant checker
+//! differential oracles ([`crate::diff`], including the bit-parallel
+//! extension-kernel family), the simulator invariant checker
 //! ([`crate::invariants`]) and the fault-injection matrix
 //! ([`crate::faults`]) over a seed list and renders one report.
 //!
@@ -22,6 +23,9 @@ use crate::{diff, faults, invariants};
 pub enum Family {
     /// Differential oracles: sw, smem, pipeline, serve-vs-offline.
     Diff,
+    /// Bit-parallel banded edit kernel vs DP oracles (its own family so
+    /// `--families extension` can run and minimize it in isolation).
+    Extension,
     /// Simulator conservation laws over instrumented runs.
     Invariants,
     /// Serve fault-injection plans.
@@ -30,12 +34,18 @@ pub enum Family {
 
 impl Family {
     /// All families, in report order.
-    pub const ALL: [Family; 3] = [Family::Diff, Family::Invariants, Family::Faults];
+    pub const ALL: [Family; 4] = [
+        Family::Diff,
+        Family::Extension,
+        Family::Invariants,
+        Family::Faults,
+    ];
 
     /// Stable name (CLI `--families` values, report headers).
     pub fn name(self) -> &'static str {
         match self {
             Family::Diff => "diff",
+            Family::Extension => "extension",
             Family::Invariants => "invariants",
             Family::Faults => "faults",
         }
@@ -45,6 +55,7 @@ impl Family {
     pub fn parse(s: &str) -> Option<Family> {
         match s.trim() {
             "diff" => Some(Family::Diff),
+            "extension" => Some(Family::Extension),
             "invariants" => Some(Family::Invariants),
             "faults" => Some(Family::Faults),
             _ => None,
@@ -190,6 +201,8 @@ pub fn run(config: &ConformanceConfig) -> ConformanceReport {
                     diff::run_serve_family(seed, config.serve_reads, repro)
                         .map_err(|d| d.to_string()),
                 ],
+                Family::Extension => vec![diff::run_extension_family(seed, config.cases, repro)
+                    .map_err(|d| d.to_string())],
                 Family::Invariants => vec![run_invariant_family(seed)],
                 Family::Faults => vec![faults::run_fault_family(seed)],
             };

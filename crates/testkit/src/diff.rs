@@ -3,12 +3,20 @@
 //! the first divergence is minimized ([`crate::minimize`]) and written as
 //! a reproducer file ([`crate::golden::write_repro`]).
 //!
-//! Four families:
+//! Five families:
 //!
 //! * **sw** — `sw::naive` (textbook full-matrix Gotoh) vs the optimized
 //!   kernels (full-struct equality on all three entry points, scratch
 //!   reused across cases) and banded vs full extension (score equality
 //!   when the mutation drift is inside the band; banded ≤ full always).
+//! * **extension** — the bit-parallel banded edit kernel
+//!   (`myers::banded_edit_*`, `kernel::bitparallel_extend`) vs an
+//!   independent full-matrix edit DP and `sw::naive::extend_align`: the
+//!   band-exactness contract is checked *both ways* at the band, one past
+//!   it and at full coverage, edit scripts are replayed symbol-by-symbol,
+//!   and the extension mode is pinned against a prefix-scan oracle
+//!   (including the shortest-prefix tie rule). Cases include multi-word
+//!   (≥ 65-symbol) patterns and indels of exactly [`EXT_BAND`].
 //! * **smem** — the frozen `smem::oracle` vs the hot path in every mode
 //!   pair: LUT on/off, trace on/off, scratch reused across queries.
 //! * **pipeline** — the traced path, the LUT fast path and a fresh-scratch
@@ -25,6 +33,11 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use nvwa_align::banded::banded_extend_with;
+use nvwa_align::cigar::CigarOp;
+use nvwa_align::kernel::bitparallel_extend;
+use nvwa_align::myers::{
+    banded_edit_extend, banded_edit_global, edit_distance, BandedEdit, MyersScratch,
+};
 use nvwa_align::pipeline::{
     AlignScratch, AlignerConfig, Alignment, ReferenceIndex, SoftwareAligner,
 };
@@ -316,6 +329,371 @@ pub fn run_sw_family(
         .flat_map(|c| [codes_to_dna(&c.query), codes_to_dna(&c.target)])
         .collect();
     Err(Divergence::new("sw", check, detail, seed, reads, repro_dir))
+}
+
+// ---------------------------------------------------------------------------
+// extension family (bit-parallel banded edit kernel)
+// ---------------------------------------------------------------------------
+
+/// Band used by the extension-kernel differential. Unlike [`SW_BAND`], the
+/// checks here do **not** rely on inputs staying inside it: the
+/// band-exactness contract (`exact ⇔ true distance ≤ band`) is verified
+/// both ways on every pair, so unrelated pairs are as load-bearing as
+/// bounded mutations.
+pub const EXT_BAND: usize = 16;
+
+/// One extension-kernel differential case. `identity` marks pairs where
+/// the query is an exact prefix of the target — there the affine-rescored
+/// edit script must reach the full Smith-Waterman extension score exactly.
+#[derive(Debug, Clone)]
+pub struct ExtensionCase {
+    /// Pattern codes (the flank being extended).
+    pub query: Vec<u8>,
+    /// Text codes.
+    pub target: Vec<u8>,
+    /// Query is a verbatim prefix of target.
+    pub identity: bool,
+}
+
+/// A band-boundary case for the edit kernel: exact flanks around one
+/// contiguous indel of exactly [`EXT_BAND`] codes, with multi-word
+/// (≥ 65-symbol) patterns. The edit distance is (almost always) exactly
+/// the band, so the contract check at `EXT_BAND` demands `exact` while the
+/// check at `EXT_BAND − 1` demands `!exact` — any off-by-one in the block
+/// window bounds breaks one of the two.
+fn extension_boundary_case(p: &mut Prng) -> ExtensionCase {
+    let tlen = 120 + p.below(80) as usize;
+    let target = p.codes(tlen);
+    let cut = tlen / 2;
+    let query = if p.below(2) == 0 {
+        // Deletion in the query: the optimal path drifts to j − i == band.
+        let mut q = target[..cut].to_vec();
+        q.extend_from_slice(&target[cut + EXT_BAND..]);
+        q
+    } else {
+        // Insertion in the query: the path drifts to i − j == band.
+        let mut q = target[..cut].to_vec();
+        for _ in 0..EXT_BAND {
+            q.push(p.base());
+        }
+        q.extend_from_slice(&target[cut..]);
+        q
+    };
+    ExtensionCase {
+        query,
+        target,
+        identity: false,
+    }
+}
+
+/// The seeded extension case list: unrelated pairs (the `!exact` side of
+/// the contract), bounded mutations (the `exact` side), identity prefixes
+/// (affine-score equality) and band-boundary indels. Lengths range past
+/// 64 so the multi-word block carries are exercised throughout.
+pub fn extension_cases(seed: u64, n: usize) -> Vec<ExtensionCase> {
+    let mut p = Prng(seed ^ 0xE47E_0005);
+    (0..n)
+        .map(|i| {
+            if i % 6 == 5 {
+                return extension_boundary_case(&mut p);
+            }
+            if i % 6 == 2 {
+                let tlen = 80 + p.below(120) as usize;
+                let target = p.codes(tlen);
+                let qlen = tlen - 1 - p.below(12) as usize;
+                return ExtensionCase {
+                    query: target[..qlen].to_vec(),
+                    target,
+                    identity: true,
+                };
+            }
+            let tlen = 20 + p.below(180) as usize;
+            let target = p.codes(tlen);
+            if i % 3 == 0 {
+                let qlen = 10 + p.below(170) as usize;
+                ExtensionCase {
+                    query: p.codes(qlen),
+                    target,
+                    identity: false,
+                }
+            } else {
+                ExtensionCase {
+                    query: p.mutate(&target),
+                    target,
+                    identity: false,
+                }
+            }
+        })
+        .collect()
+}
+
+/// Independent edit-DP oracle: the last row of the full unit-cost matrix,
+/// i.e. `D[m][j]` = edit distance of the whole pattern vs `text[..j]` for
+/// every `j`. One `O(mn)` pass yields both the global distance
+/// (`row[n]`) and the prefix-scan extension oracle (`min(row)`).
+fn edit_prefix_distances(pattern: &[u8], text: &[u8]) -> Vec<u32> {
+    let n = text.len();
+    let mut prev: Vec<u32> = (0..=n as u32).collect();
+    let mut cur = vec![0u32; n + 1];
+    for (i, &pc) in pattern.iter().enumerate() {
+        cur[0] = i as u32 + 1;
+        for (j, &tc) in text.iter().enumerate() {
+            let sub = prev[j] + u32::from(pc != tc);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev
+}
+
+/// Replays an edit script symbol-by-symbol against the pair it claims to
+/// align: consumption lengths, unit cost vs the reported distance, and
+/// per-op base equality (Match) / inequality (Subst). Returns the first
+/// violation.
+fn script_error(pattern: &[u8], text_prefix: &[u8], r: &BandedEdit) -> Option<String> {
+    let c = &r.cigar;
+    if c.query_len() != pattern.len() || c.target_len() != text_prefix.len() {
+        return Some(format!(
+            "script consumes q {} t {} of q {} t {}",
+            c.query_len(),
+            c.target_len(),
+            pattern.len(),
+            text_prefix.len()
+        ));
+    }
+    if c.edit_distance() != r.distance as usize {
+        return Some(format!(
+            "script costs {} but reported distance is {}",
+            c.edit_distance(),
+            r.distance
+        ));
+    }
+    let (mut i, mut j) = (0usize, 0usize);
+    for &(op, len) in c.runs() {
+        for _ in 0..len {
+            let ok = match op {
+                CigarOp::Match => pattern[i] == text_prefix[j],
+                CigarOp::Subst => pattern[i] != text_prefix[j],
+                CigarOp::Ins | CigarOp::Del => true,
+            };
+            if !ok {
+                return Some(format!(
+                    "op {op:?} at q[{i}] t[{j}] contradicts the symbols"
+                ));
+            }
+            match op {
+                CigarOp::Match | CigarOp::Subst => {
+                    i += 1;
+                    j += 1;
+                }
+                CigarOp::Ins => i += 1,
+                CigarOp::Del => j += 1,
+            }
+        }
+    }
+    None
+}
+
+/// Runs every extension-kernel oracle on one case. Returns the first
+/// divergence as `(check, detail)`, or `None` when all agree.
+pub fn extension_divergence(
+    case: &ExtensionCase,
+    myers: &mut MyersScratch,
+    dp: &mut DpScratch,
+) -> Option<(&'static str, String)> {
+    let q = &case.query;
+    let t = &case.target;
+    let row = edit_prefix_distances(q, t);
+    let full = row[t.len()];
+    // The lifted multi-word `edit_distance` entry point vs the DP oracle.
+    if !q.is_empty() && edit_distance(q, t) != full {
+        return Some((
+            "extension.edit_distance_vs_naive",
+            format!("bit-parallel {} vs DP {}", edit_distance(q, t), full),
+        ));
+    }
+    // The banded global kernel at the band, one cell past it, and full
+    // coverage: the exactness contract must hold both ways at all three.
+    for band in [EXT_BAND, EXT_BAND - 1, q.len() + t.len()] {
+        let g = banded_edit_global(q, t, band, myers);
+        let within = full as usize <= band.max(1);
+        if g.exact != within {
+            return Some((
+                "extension.exactness_contract",
+                format!(
+                    "band {band}: exact={} but true distance {full} (want exact={within})",
+                    g.exact
+                ),
+            ));
+        }
+        if g.exact {
+            if g.distance != full {
+                return Some((
+                    "extension.banded_vs_naive",
+                    format!("band {band}: exact distance {} vs DP {full}", g.distance),
+                ));
+            }
+            if let Some(err) = script_error(q, t, &g) {
+                return Some(("extension.global_script", format!("band {band}: {err}")));
+            }
+        } else {
+            if g.distance < full {
+                return Some((
+                    "extension.underestimate",
+                    format!("band {band}: inexact {} < true {full}", g.distance),
+                ));
+            }
+            if !g.cigar.is_empty() {
+                return Some((
+                    "extension.inexact_cigar",
+                    format!("band {band}: inexact result carries a {} script", g.cigar),
+                ));
+            }
+        }
+    }
+    // The extension mode vs the prefix-scan oracle, including the
+    // shortest-prefix tie rule.
+    let best = *row.iter().min().expect("row is never empty");
+    let best_j = row.iter().position(|&d| d == best).expect("min exists");
+    let e = banded_edit_extend(q, t, EXT_BAND, myers);
+    if e.exact != (best as usize <= EXT_BAND) {
+        return Some((
+            "extension.extend_contract",
+            format!(
+                "exact={} but best prefix distance is {best} vs band {EXT_BAND}",
+                e.exact
+            ),
+        ));
+    }
+    if e.exact {
+        if (e.distance, e.target_end) != (best, best_j) {
+            return Some((
+                "extension.extend_vs_prefix_scan",
+                format!(
+                    "({}, end {}) vs oracle ({best}, end {best_j})",
+                    e.distance, e.target_end
+                ),
+            ));
+        }
+        if let Some(err) = script_error(q, &t[..e.target_end], &e) {
+            return Some(("extension.extend_script", err));
+        }
+    } else if e.distance < best {
+        return Some((
+            "extension.extend_underestimate",
+            format!("inexact {} < best prefix distance {best}", e.distance),
+        ));
+    }
+    // The pipeline-facing kernel vs the affine optimum: an edit-optimal
+    // script rescored under affine costs can reach but never beat
+    // `sw::naive::extend_align`, must stay self-consistent, and must hit
+    // the optimum exactly on identity prefixes.
+    let scoring = Scoring::bwa_mem();
+    let bp = bitparallel_extend(q, t, &scoring, EXT_BAND, myers, dp);
+    let full_sw = sw::naive::extend_align(q, t, &scoring);
+    if bp.score > full_sw.score {
+        return Some((
+            "extension.kernel_exceeds_affine_optimum",
+            format!("kernel {} > naive extend {}", bp.score, full_sw.score),
+        ));
+    }
+    if bp.cigar.score(&scoring) != bp.score
+        || bp.cigar.query_len() != bp.query_len
+        || bp.cigar.target_len() != bp.target_len
+    {
+        return Some((
+            "extension.kernel_consistency",
+            format!(
+                "score {} cigar-score {} q {}/{} t {}/{}",
+                bp.score,
+                bp.cigar.score(&scoring),
+                bp.query_len,
+                bp.cigar.query_len(),
+                bp.target_len,
+                bp.cigar.target_len()
+            ),
+        ));
+    }
+    if case.identity && bp.score != full_sw.score {
+        return Some((
+            "extension.kernel_vs_full_on_identity",
+            format!(
+                "kernel {} vs naive extend {} on an exact prefix",
+                bp.score, full_sw.score
+            ),
+        ));
+    }
+    None
+}
+
+/// The extension family: all cases through [`extension_divergence`]; on
+/// failure, ddmin over the case set, then shrink query and target of every
+/// survivor (fresh scratches inside the predicates — shrinking must not
+/// depend on scratch state).
+pub fn run_extension_family(
+    seed: u64,
+    cases: usize,
+    repro_dir: Option<&Path>,
+) -> Result<String, Divergence> {
+    let all = extension_cases(seed, cases);
+    let mut myers = MyersScratch::new();
+    let mut dp = DpScratch::new();
+    if !all
+        .iter()
+        .any(|c| extension_divergence(c, &mut myers, &mut dp).is_some())
+    {
+        return Ok(format!(
+            "extension: {cases} cases × 3 bands × (edit-distance, global, extend, kernel) vs DP oracles, all agree"
+        ));
+    }
+    let mut fails = |cs: &[ExtensionCase]| {
+        let (mut myers, mut dp) = (MyersScratch::new(), DpScratch::new());
+        cs.iter()
+            .any(|c| extension_divergence(c, &mut myers, &mut dp).is_some())
+    };
+    let minimal = minimize_set(&all, &mut fails);
+    let shrunk: Vec<ExtensionCase> = minimal
+        .iter()
+        .map(|c| {
+            let mut c = c.clone();
+            c.query = shrink_read(&c.query, &mut |q| {
+                let probe = ExtensionCase {
+                    query: q.to_vec(),
+                    ..c.clone()
+                };
+                extension_divergence(&probe, &mut MyersScratch::new(), &mut DpScratch::new())
+                    .is_some()
+            });
+            c.target = shrink_read(&c.target, &mut |t| {
+                let probe = ExtensionCase {
+                    target: t.to_vec(),
+                    ..c.clone()
+                };
+                extension_divergence(&probe, &mut MyersScratch::new(), &mut DpScratch::new())
+                    .is_some()
+            });
+            c
+        })
+        .collect();
+    let (check, detail) = shrunk
+        .iter()
+        .find_map(|c| extension_divergence(c, &mut MyersScratch::new(), &mut DpScratch::new()))
+        .unwrap_or((
+            "extension.unstable",
+            "divergence vanished during shrinking".to_string(),
+        ));
+    let reads: Vec<String> = shrunk
+        .iter()
+        .flat_map(|c| [codes_to_dna(&c.query), codes_to_dna(&c.target)])
+        .collect();
+    Err(Divergence::new(
+        "extension",
+        check,
+        detail,
+        seed,
+        reads,
+        repro_dir,
+    ))
 }
 
 // ---------------------------------------------------------------------------
@@ -764,6 +1142,58 @@ mod tests {
             narrowed_loses, 10,
             "every boundary case must be lost by a band one cell too narrow"
         );
+    }
+
+    #[test]
+    fn extension_family_agrees_on_a_healthy_tree() {
+        let summary = run_extension_family(7, 36, None).expect("extension oracles agree");
+        assert!(summary.contains("36 cases"), "{summary}");
+    }
+
+    /// The boundary cases sit exactly on the drift limit: an indel of
+    /// [`EXT_BAND`] costs exactly the band (for almost every seed), so
+    /// `banded_edit_global` must be exact at `EXT_BAND` and must clamp at
+    /// `EXT_BAND − 1` — both directions of the contract at the edge.
+    #[test]
+    fn extension_boundary_cases_sit_exactly_on_the_band() {
+        let mut p = Prng(31);
+        let mut myers = MyersScratch::new();
+        let mut at_limit = 0usize;
+        for _ in 0..10 {
+            let case = extension_boundary_case(&mut p);
+            let row = edit_prefix_distances(&case.query, &case.target);
+            let full = row[case.target.len()] as usize;
+            assert!(full <= EXT_BAND, "one indel of EXT_BAND cannot cost more");
+            let g = banded_edit_global(&case.query, &case.target, EXT_BAND, &mut myers);
+            assert!(g.exact, "band equal to the drift must stay exact");
+            assert_eq!(g.distance as usize, full);
+            if full == EXT_BAND {
+                at_limit += 1;
+                let narrow =
+                    banded_edit_global(&case.query, &case.target, EXT_BAND - 1, &mut myers);
+                assert!(!narrow.exact, "band one short of the indel must clamp");
+            }
+        }
+        assert!(at_limit >= 8, "only {at_limit}/10 cases sat at the limit");
+    }
+
+    #[test]
+    fn a_planted_band_bug_in_the_edit_kernel_is_caught_and_minimized() {
+        // Simulate a kernel whose band is silently one cell too narrow:
+        // cases whose true distance is exactly EXT_BAND report `!exact`
+        // where the contract demands `exact`. The boundary cases in the
+        // seeded list catch it, and ddmin brings the list down to one.
+        let cases = extension_cases(3, 30);
+        let buggy = |c: &ExtensionCase| {
+            let mut myers = MyersScratch::new();
+            let row = edit_prefix_distances(&c.query, &c.target);
+            let full = row[c.target.len()] as usize;
+            let g = banded_edit_global(&c.query, &c.target, EXT_BAND - 1, &mut myers);
+            full <= EXT_BAND && !g.exact
+        };
+        assert!(cases.iter().any(buggy), "a boundary case must trip the bug");
+        let minimal = minimize_set(&cases, &mut |cs| cs.iter().any(buggy));
+        assert_eq!(minimal.len(), 1, "one pair suffices to reproduce");
     }
 
     #[test]

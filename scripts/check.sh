@@ -31,7 +31,7 @@ cargo run --release --quiet --bin nvwa -- sim --reads 500 \
     --trace-out "$artifacts_dir/trace.json" \
     --metrics-out "$artifacts_dir/metrics.json"
 cargo run --release --quiet -p nvwa-bench --bin validate -- \
-    BENCH_PR1.json BENCH_PR3.json BENCH_PR4.json \
+    BENCH_PR1.json BENCH_PR3.json BENCH_PR4.json BENCH_PR6.json \
     "$artifacts_dir/trace.json" "$artifacts_dir/metrics.json"
 
 # Seeding fast-path perf gate: re-measure the seed scenarios and require
@@ -46,6 +46,24 @@ cargo run --release --quiet -p nvwa-bench --bin perf -- \
     --out "$artifacts_dir/bench_seed.json"
 cargo run --release --quiet -p nvwa-bench --bin validate -- \
     "$artifacts_dir/bench_seed.json"
+
+# Extension-kernel perf gates (PR 6): the bit-parallel banded edit kernel
+# vs the banded SW unit on the same flank workloads, then the end-to-end
+# pipeline vs a baseline aligner pinned to KernelPolicy::BandedSw (the
+# pre-PR-6 default). The committed BENCH_PR6.json records the full
+# reference run (~8x / ~14x / ~2.2x); the floors are conservative so
+# scheduler noise on shared CI runners does not flake the build.
+cargo run --release --quiet -p nvwa-bench --bin perf -- \
+    --only extend --samples 3 \
+    --min-speedup extend_short_bitparallel_vs_banded_1t:2.0 \
+    --min-speedup extend_long_bitparallel_vs_banded_1t:2.0 \
+    --out "$artifacts_dir/bench_extend.json"
+cargo run --release --quiet -p nvwa-bench --bin perf -- \
+    --only e2e_align --samples 3 \
+    --min-speedup e2e_align_fast_vs_baseline_1t:1.5 \
+    --out "$artifacts_dir/bench_e2e.json"
+cargo run --release --quiet -p nvwa-bench --bin validate -- \
+    "$artifacts_dir/bench_extend.json" "$artifacts_dir/bench_e2e.json"
 
 # Serve smoke test: start the server in the background on an ephemeral
 # port, push 2 000 reads closed-loop, request a graceful shutdown, and
@@ -71,10 +89,11 @@ cargo run --release --quiet -p nvwa-bench --bin validate -- \
     "$artifacts_dir/loadgen_report.json"
 echo "serve smoke test: clean drain, zero lost responses"
 
-# Conformance: differential oracles (sw/smem/pipeline/serve-vs-offline),
-# simulator invariants and the fault-injection matrix, over the CI seed
-# list in both the short and long read profiles. Divergence reproducers
-# land in the artifacts dir (uploaded by CI on failure).
+# Conformance: differential oracles (sw/smem/pipeline/serve-vs-offline
+# plus the bit-parallel extension-kernel family), simulator invariants
+# and the fault-injection matrix, over the CI seed list in both the
+# short and long read profiles. Divergence reproducers land in the
+# artifacts dir (uploaded by CI on failure).
 cargo run --release --quiet --bin nvwa -- conformance \
     --seed-from-ci --repro-dir "$artifacts_dir/repro"
 echo "conformance: all families pass"

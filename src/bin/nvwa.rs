@@ -11,7 +11,8 @@
 //!                 [--batch-max N] [--batch-wait-us U] [--deadline-ms D]
 //!                 [--backend sw|hil] [--metrics-out m.json] [--trace-out t.json]
 //! nvwa conformance [--seed S]... [--seed-from-ci] [--cases N] [--serve-reads N]
-//!                 [--families diff,invariants,faults] [--repro-dir DIR] [--threads N]
+//!                 [--families diff,extension,invariants,faults] [--family NAME]
+//!                 [--repro-dir DIR] [--threads N]
 //! ```
 //!
 //! `conformance` runs the repo's cross-layer correctness checks
@@ -21,7 +22,9 @@
 //! minimized and written as reproducer files under `--repro-dir`
 //! (default `tests/golden/repro/`); the exit code is non-zero when any
 //! check fails. `--seed-from-ci` selects the CI matrix: seeds 1,2,3 ×
-//! a short and a long profile.
+//! a short and a long profile. `--family NAME` (repeatable) runs one
+//! family in isolation — e.g. `--family extension` for the bit-parallel
+//! extension-kernel differential suite; it composes with `--families`.
 //!
 //! The default (no subcommand, or `sim`) runs the paper-scale accelerator
 //! on the calibrated synthetic workload. `align` runs the software
@@ -77,7 +80,8 @@ fn usage() -> ExitCode {
     eprintln!("                   [--batch-max N] [--batch-wait-us U] [--deadline-ms D]");
     eprintln!("                   [--backend sw|hil] [--metrics-out m.json] [--trace-out t.json]");
     eprintln!("  nvwa conformance [--seed S]... [--seed-from-ci] [--cases N] [--serve-reads N]");
-    eprintln!("                   [--families diff,invariants,faults] [--repro-dir DIR]");
+    eprintln!("                   [--families diff,extension,invariants,faults] [--family NAME]");
+    eprintln!("                   [--repro-dir DIR]");
     ExitCode::FAILURE
 }
 
@@ -282,21 +286,35 @@ fn conformance(args: &[String]) -> ExitCode {
     } else {
         seeds
     };
-    let families = match flag_value(args, "--families") {
-        None => Family::ALL.to_vec(),
-        Some(list) => {
-            let mut parsed = Vec::new();
-            for item in list.split(',') {
-                match Family::parse(item) {
-                    Some(f) => parsed.push(f),
-                    None => {
-                        eprintln!("nvwa: unknown family {item:?} (want diff, invariants, faults)");
-                        return usage();
-                    }
+    // `--families a,b` and repeatable `--family a` compose; no occurrence
+    // of either means the full matrix.
+    let mut families = Vec::new();
+    if let Some(list) = flag_value(args, "--families") {
+        for item in list.split(',') {
+            match Family::parse(item) {
+                Some(f) => families.push(f),
+                None => {
+                    eprintln!(
+                        "nvwa: unknown family {item:?} (want diff, extension, invariants, faults)"
+                    );
+                    return usage();
                 }
             }
-            parsed
         }
+    }
+    for (i, _) in args.iter().enumerate().filter(|(_, a)| *a == "--family") {
+        match args.get(i + 1).and_then(|v| Family::parse(v)) {
+            Some(f) => families.push(f),
+            None => {
+                eprintln!("nvwa: --family wants diff, extension, invariants or faults");
+                return usage();
+            }
+        }
+    }
+    let families = if families.is_empty() {
+        Family::ALL.to_vec()
+    } else {
+        families
     };
     let repro_dir = match flag_value(args, "--repro-dir").as_deref() {
         Some("none") => None,

@@ -51,14 +51,16 @@ fn healthy_tree_passes_every_family() {
         "conformance failed on a healthy tree:\n{}",
         report.text()
     );
-    // Every family contributed: 4 diff checks + invariants + faults.
-    assert_eq!(report.checks, 6, "{}", report.text());
+    // Every family contributed: 4 diff checks + extension + invariants
+    // + faults.
+    assert_eq!(report.checks, 7, "{}", report.text());
     let text = report.text();
     for needle in [
         "sw:",
         "smem:",
         "pipeline:",
         "serve:",
+        "extension:",
         "invariants:",
         "faults:",
     ] {
