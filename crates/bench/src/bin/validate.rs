@@ -8,10 +8,11 @@
 //! announces: metrics snapshots (`"kind": "nvwa-metrics"`, with the
 //! stricter serve-family schema when the snapshot came from `nvwa serve`),
 //! loadgen reports (`"kind": "nvwa-loadgen"`, conservation identities
-//! included), bench reports (`"scenarios"` / `"speedups"`, the
-//! `BENCH_*.json` format) and Chrome traces (`"traceEvents"`). Exits
-//! non-zero on the first failure, so CI can gate on it (see
-//! `scripts/check.sh`).
+//! included), flight-recorder dumps (`"kind": "nvwa-flight"`), span logs
+//! (`"kind": "nvwa-spanlog"`), bench reports (`"scenarios"` /
+//! `"speedups"`, the `BENCH_*.json` format) and Chrome traces
+//! (`"traceEvents"`). Exits non-zero on the first failure, so CI can
+//! gate on it (see `scripts/check.sh`).
 //!
 //! ```text
 //! cargo run -p nvwa-bench --bin validate -- --golden <golden> <candidate>
@@ -27,8 +28,8 @@
 use std::process::ExitCode;
 
 use nvwa_telemetry::snapshot::{
-    is_serve_snapshot, validate_bench_report, validate_chrome_trace, validate_loadgen_report,
-    validate_metrics_snapshot, validate_serve_snapshot,
+    is_serve_snapshot, validate_bench_report, validate_chrome_trace, validate_flight_dump,
+    validate_loadgen_report, validate_metrics_snapshot, validate_serve_snapshot, validate_span_log,
 };
 use nvwa_telemetry::JsonValue;
 
@@ -42,6 +43,10 @@ fn kind_of(doc: &JsonValue) -> Option<&'static str> {
         }
     } else if kind == Some("nvwa-loadgen") {
         Some("loadgen report")
+    } else if kind == Some("nvwa-flight") {
+        Some("flight dump")
+    } else if kind == Some("nvwa-spanlog") {
+        Some("span log")
     } else if doc.get("traceEvents").is_some() {
         Some("chrome trace")
     } else if doc.get("scenarios").is_some() && doc.get("speedups").is_some() {
@@ -63,6 +68,8 @@ fn validate_file(path: &str) -> Result<&'static str, String> {
         "metrics snapshot" => validate_metrics_snapshot(&doc)?,
         "serve metrics snapshot" => validate_serve_snapshot(&doc)?,
         "loadgen report" => validate_loadgen_report(&doc)?,
+        "flight dump" => validate_flight_dump(&doc)?,
+        "span log" => validate_span_log(&doc)?,
         "chrome trace" => validate_chrome_trace(&doc)?,
         "bench report" => validate_bench_report(&doc)?,
         _ => unreachable!(),

@@ -4,20 +4,25 @@
 //! nvwa-loadgen [--addr H:P | --addr-file PATH] [--reads N] [--connections C]
 //!              [--mode closed|open] [--window W] [--rate RPS] [--burst B]
 //!              [--deadline-ms D] [--ref-len N] [--ref-seed S] [--read-seed S]
-//!              [--out report.json] [--shutdown] [--threads N]
+//!              [--out report.json] [--metrics-out snap.json]
+//!              [--stats-out scrapes.json] [--scrape-ms MS] [--slo key=value]...
+//!              [--shutdown] [--threads N]
 //! ```
 //!
 //! Synthesizes `--reads` reads against the same synthetic reference the
 //! server built (`--ref-len`/`--ref-seed` must match), pushes them using
 //! the chosen arrival discipline, prints a human summary and writes the
 //! machine-readable report (`validate` checks it, conservation identities
-//! included). Exits non-zero if any request was lost or duplicated —
-//! the CI smoke test's response-conservation check.
+//! included). With `--scrape-ms` it also scrapes the server's `stats`
+//! endpoint mid-run (snapshots land in `--stats-out` as a JSON array);
+//! `--slo key=value` targets (repeatable) grade the run. Exits non-zero
+//! if any request was lost or duplicated, or any SLO target is violated.
 
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
-use nvwa_serve::loadgen::{self, ArrivalMode, LoadgenConfig};
+use nvwa_serve::loadgen::{self, ArrivalMode, LoadgenConfig, SloTarget};
+use nvwa_telemetry::{JsonValue, SnapshotMeta};
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -37,8 +42,20 @@ fn usage() -> ExitCode {
     eprintln!("                    [--connections C] [--mode closed|open] [--window W]");
     eprintln!("                    [--rate RPS] [--burst B] [--deadline-ms D]");
     eprintln!("                    [--ref-len N] [--ref-seed S] [--read-seed S]");
-    eprintln!("                    [--out report.json] [--shutdown] [--threads N]");
+    eprintln!("                    [--out report.json] [--metrics-out snap.json]");
+    eprintln!("                    [--stats-out scrapes.json] [--scrape-ms MS]");
+    eprintln!("                    [--slo key=value]... [--shutdown] [--threads N]");
     ExitCode::FAILURE
+}
+
+/// Collects every occurrence of a repeatable flag's value.
+fn flag_values(args: &[String], name: &str) -> Vec<String> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == name)
+        .filter_map(|(i, _)| args.get(i + 1))
+        .cloned()
+        .collect()
 }
 
 /// Resolves the target address: `--addr` directly, or `--addr-file`
@@ -93,6 +110,19 @@ fn main() -> ExitCode {
     let ref_len = flag_u64(&args, "--ref-len", 100_000) as usize;
     let ref_seed = flag_u64(&args, "--ref-seed", 5);
     let read_seed = flag_u64(&args, "--read-seed", 11);
+    let slo = {
+        let mut targets = Vec::new();
+        for spec in flag_values(&args, "--slo") {
+            match SloTarget::parse(&spec) {
+                Ok(t) => targets.push(t),
+                Err(e) => {
+                    eprintln!("nvwa-loadgen: {e}");
+                    return usage();
+                }
+            }
+        }
+        targets
+    };
     let config = LoadgenConfig {
         connections: flag_u64(&args, "--connections", 2) as usize,
         mode,
@@ -100,6 +130,10 @@ fn main() -> ExitCode {
         arrival_seed: read_seed,
         collect_responses: false,
         shutdown_after: args.iter().any(|a| a == "--shutdown"),
+        scrape_every: flag_value(&args, "--scrape-ms")
+            .and_then(|v| v.parse().ok())
+            .map(|ms: u64| Duration::from_millis(ms.max(1))),
+        slo,
     };
 
     eprintln!("synthesizing {reads_n} reads (ref {ref_len} bp, seed {ref_seed}) ...");
@@ -140,8 +174,44 @@ fn main() -> ExitCode {
         fmt_us(report.latency.p99),
         fmt_us(report.latency.max)
     );
+    if config.scrape_every.is_some() {
+        println!(
+            "scraped {} stats snapshots ({} failures)",
+            report.stats_snapshots.len(),
+            report.scrape_failures
+        );
+    }
+    for check in &report.slo {
+        let actual = check
+            .actual
+            .map_or("unmeasured".to_string(), |a| format!("{a:.3}"));
+        println!(
+            "slo {} {}: {} (bound {})",
+            check.key,
+            if check.pass { "PASS" } else { "FAIL" },
+            actual,
+            check.bound
+        );
+    }
     if let Some(out) = flag_value(&args, "--out") {
         let doc = report.to_json().to_string_pretty();
+        if let Err(e) = std::fs::write(&out, doc) {
+            eprintln!("nvwa-loadgen: cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {out}");
+    }
+    if let Some(out) = flag_value(&args, "--metrics-out") {
+        let meta = SnapshotMeta::collect(nvwa_sim::par::current_threads());
+        let doc = report.metrics_snapshot(&meta).to_string_pretty();
+        if let Err(e) = std::fs::write(&out, doc) {
+            eprintln!("nvwa-loadgen: cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {out}");
+    }
+    if let Some(out) = flag_value(&args, "--stats-out") {
+        let doc = JsonValue::Arr(report.stats_snapshots.clone()).to_string_pretty();
         if let Err(e) = std::fs::write(&out, doc) {
             eprintln!("nvwa-loadgen: cannot write {out}: {e}");
             return ExitCode::FAILURE;
@@ -153,6 +223,10 @@ fn main() -> ExitCode {
             "nvwa-loadgen: FAILED response conservation: lost {} duplicates {}",
             report.lost, report.duplicates
         );
+        return ExitCode::FAILURE;
+    }
+    if !report.slo_pass() {
+        eprintln!("nvwa-loadgen: FAILED SLO targets (see checks above)");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

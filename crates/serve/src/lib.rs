@@ -17,14 +17,21 @@
 //! * graceful drain on shutdown — every admitted request is answered
 //!   ([`server`]),
 //! * full telemetry: queue-depth gauges, batch/latency histograms,
-//!   shed/deadline counters, Chrome-trace spans per batch ([`metrics`]),
-//! * and a calibrated open/closed-loop load generator ([`loadgen`]).
+//!   shed/deadline counters, Chrome-trace spans per batch plus a
+//!   per-request span chain for every admitted request ([`metrics`]),
+//! * a fixed-capacity lock-free flight recorder of recent request and
+//!   batch events, dumped on worker panic, shed storms, or demand
+//!   ([`flight`]),
+//! * and a calibrated open/closed-loop load generator that can scrape
+//!   live `stats` snapshots mid-run and grade them against SLO targets
+//!   ([`loadgen`]).
 //!
 //! Everything is std-only (DESIGN.md §7): no async runtime, no
 //! serialization crates — threads, mutexes, condvars and sockets.
 
 pub mod backend;
 pub mod batcher;
+pub mod flight;
 pub mod loadgen;
 pub mod metrics;
 pub mod protocol;
@@ -34,7 +41,8 @@ pub mod signal;
 
 pub use backend::BackendKind;
 pub use batcher::BatcherConfig;
+pub use flight::{FlightEvent, FlightEventKind, FlightRecorder};
 pub use loadgen::{ArrivalMode, LoadReport, LoadgenConfig};
-pub use metrics::ServeMetrics;
+pub use metrics::{ObservabilityConfig, ServeMetrics};
 pub use protocol::{AlignResponse, Request, Status};
 pub use server::{Server, ServerConfig};

@@ -24,7 +24,8 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use nvwa_genome::{ReadSimParams, ReadSimulator, ReferenceGenome, ReferenceParams};
-use nvwa_telemetry::JsonValue;
+use nvwa_telemetry::snapshot::validate_stats_response;
+use nvwa_telemetry::{JsonValue, MetricsRegistry, SnapshotMeta};
 
 use crate::protocol::{read_frame, write_frame, AlignResponse, Request, Status};
 
@@ -76,6 +77,12 @@ pub struct LoadgenConfig {
     pub collect_responses: bool,
     /// Send a `shutdown` request after the run completes.
     pub shutdown_after: bool,
+    /// Scrape the server's `stats` endpoint on a side connection at this
+    /// interval while the load runs (first scrape fires immediately).
+    /// Every snapshot is schema-validated before it is kept.
+    pub scrape_every: Option<Duration>,
+    /// SLO targets graded against the final report; see [`SloTarget`].
+    pub slo: Vec<SloTarget>,
 }
 
 impl Default for LoadgenConfig {
@@ -87,8 +94,136 @@ impl Default for LoadgenConfig {
             arrival_seed: 1,
             collect_responses: false,
             shutdown_after: false,
+            scrape_every: None,
+            slo: Vec::new(),
         }
     }
+}
+
+/// Keys an SLO target may bound. All are upper bounds except
+/// `throughput_rps`, which is a lower bound.
+pub const SLO_KEYS: &[&str] = &[
+    "mean_us",
+    "p50_us",
+    "p90_us",
+    "p99_us",
+    "max_us",
+    "shed_rate",
+    "deadline_miss_rate",
+    "error_rate",
+    "lost",
+    "throughput_rps",
+];
+
+/// One SLO target: a bound on a report-derived quantity, parsed from
+/// `key=value` (e.g. `p99_us=50000`, `shed_rate=0.01`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloTarget {
+    /// One of [`SLO_KEYS`].
+    pub key: String,
+    /// The bound (upper, except `throughput_rps` which is a floor).
+    pub bound: f64,
+}
+
+impl SloTarget {
+    /// Parses a `key=value` spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed part: unknown key, missing
+    /// `=`, or a non-finite/negative bound.
+    pub fn parse(spec: &str) -> Result<SloTarget, String> {
+        let (key, value) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("SLO target {spec:?} must be key=value"))?;
+        if !SLO_KEYS.contains(&key) {
+            return Err(format!("unknown SLO key {key:?} (known: {SLO_KEYS:?})"));
+        }
+        let bound: f64 = value
+            .parse()
+            .map_err(|_| format!("SLO bound {value:?} is not a number"))?;
+        if !bound.is_finite() || bound < 0.0 {
+            return Err(format!("SLO bound for {key} must be finite and ≥ 0"));
+        }
+        Ok(SloTarget {
+            key: key.to_string(),
+            bound,
+        })
+    }
+
+    fn is_min_bound(&self) -> bool {
+        self.key == "throughput_rps"
+    }
+}
+
+/// The graded outcome of one [`SloTarget`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloCheck {
+    /// The target's key.
+    pub key: String,
+    /// The target's bound.
+    pub bound: f64,
+    /// The measured value, or `None` when the run produced no sample to
+    /// judge (e.g. a latency percentile with zero `ok` responses).
+    pub actual: Option<f64>,
+    /// Whether the target is met. An unmeasurable target fails: a bound
+    /// that cannot be demonstrated is not a bound that held.
+    pub pass: bool,
+}
+
+impl SloCheck {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("key", JsonValue::Str(self.key.clone())),
+            ("bound", JsonValue::Num(self.bound)),
+            (
+                "actual",
+                self.actual.map_or(JsonValue::Null, JsonValue::Num),
+            ),
+            ("pass", JsonValue::Bool(self.pass)),
+        ])
+    }
+}
+
+fn evaluate_slo(report: &LoadReport, targets: &[SloTarget]) -> Vec<SloCheck> {
+    let rate = |n: u64| {
+        if report.sent > 0 {
+            Some(n as f64 / report.sent as f64)
+        } else {
+            None
+        }
+    };
+    targets
+        .iter()
+        .map(|t| {
+            let actual = match t.key.as_str() {
+                "mean_us" => report.latency.mean,
+                "p50_us" => report.latency.p50,
+                "p90_us" => report.latency.p90,
+                "p99_us" => report.latency.p99,
+                "max_us" => report.latency.max,
+                "shed_rate" => rate(report.shed),
+                "deadline_miss_rate" => rate(report.deadline),
+                "error_rate" => rate(report.errors),
+                "lost" => Some(report.lost as f64),
+                "throughput_rps" => Some(report.throughput_rps),
+                _ => None,
+            };
+            let pass = actual.is_some_and(|a| {
+                if t.is_min_bound() {
+                    a >= t.bound
+                } else {
+                    a <= t.bound
+                }
+            });
+            SloCheck {
+                key: t.key.clone(),
+                bound: t.bound,
+                actual,
+                pass,
+            }
+        })
+        .collect()
 }
 
 /// Exact latency summary (microseconds) from the full sample vector.
@@ -190,6 +325,15 @@ pub struct LoadReport {
     pub latency: LatencySummary,
     /// Decoded responses by request id (when `collect_responses`).
     pub responses: HashMap<u64, AlignResponse>,
+    /// Schema-validated `stats` snapshots scraped mid-run.
+    pub stats_snapshots: Vec<JsonValue>,
+    /// Scrapes that failed to connect, decode, or validate.
+    pub scrape_failures: u64,
+    /// Graded SLO targets (empty when none were configured).
+    pub slo: Vec<SloCheck>,
+    /// The loadgen's own metrics registry (counters, latency histogram),
+    /// snapshot via [`LoadReport::metrics_snapshot`].
+    pub metrics: MetricsRegistry,
 }
 
 impl LoadReport {
@@ -214,12 +358,43 @@ impl LoadReport {
             ("wall_ms", JsonValue::Num(self.wall_ms)),
             ("throughput_rps", JsonValue::Num(self.throughput_rps)),
             ("latency_us", self.latency.to_json()),
+            (
+                "scrapes",
+                JsonValue::obj(vec![
+                    (
+                        "snapshots",
+                        JsonValue::Num(self.stats_snapshots.len() as f64),
+                    ),
+                    ("failures", JsonValue::Num(self.scrape_failures as f64)),
+                ]),
+            ),
+            (
+                "slo",
+                JsonValue::obj(vec![
+                    ("pass", JsonValue::Bool(self.slo_pass())),
+                    (
+                        "checks",
+                        JsonValue::Arr(self.slo.iter().map(SloCheck::to_json).collect()),
+                    ),
+                ]),
+            ),
         ])
     }
 
     /// `lost == 0 && duplicates == 0` — the healthy-run invariant.
     pub fn is_lossless(&self) -> bool {
         self.lost == 0 && self.duplicates == 0
+    }
+
+    /// Whether every configured SLO target is met (vacuously true when
+    /// none were configured).
+    pub fn slo_pass(&self) -> bool {
+        self.slo.iter().all(|c| c.pass)
+    }
+
+    /// The loadgen's own `nvwa-metrics` snapshot (`validate` checks it).
+    pub fn metrics_snapshot(&self, meta: &SnapshotMeta) -> JsonValue {
+        self.metrics.snapshot(meta)
     }
 }
 
@@ -316,6 +491,48 @@ impl ConnTally {
             self.responses.insert(resp.id, resp);
         }
     }
+}
+
+/// Handle to the mid-run stats scraper thread.
+struct Scraper {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<(Vec<JsonValue>, u64)>,
+}
+
+impl Scraper {
+    fn stop_and_join(self) -> (Vec<JsonValue>, u64) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.handle.join().unwrap_or((Vec::new(), 1))
+    }
+}
+
+/// Scrapes `stats` on a side connection: once immediately, then every
+/// `every` until stopped. Snapshots that fail schema validation are
+/// counted, not kept — a live endpoint that emits garbage is a failure.
+fn spawn_scraper(addr: String, every: Duration) -> Scraper {
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || {
+        let mut snapshots = Vec::new();
+        let mut failures = 0u64;
+        loop {
+            match fetch_stats(&addr) {
+                Ok(doc) => match validate_stats_response(&doc) {
+                    Ok(()) => snapshots.push(doc),
+                    Err(_) => failures += 1,
+                },
+                Err(_) => failures += 1,
+            }
+            let until = Instant::now() + every;
+            while Instant::now() < until {
+                if flag.load(Ordering::Relaxed) {
+                    return (snapshots, failures);
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    });
+    Scraper { stop, handle }
 }
 
 fn connect(addr: &str) -> std::io::Result<TcpStream> {
@@ -455,6 +672,9 @@ pub fn run(addr: &str, reads: &[Vec<u8>], config: &LoadgenConfig) -> std::io::Re
                 .collect()
         })
         .collect();
+    let scraper = config
+        .scrape_every
+        .map(|every| spawn_scraper(addr.to_string(), every));
     let start = Instant::now();
     let tallies: Vec<std::io::Result<ConnTally>> = std::thread::scope(|scope| {
         let handles: Vec<_> = partitions
@@ -493,10 +713,42 @@ pub fn run(addr: &str, reads: &[Vec<u8>], config: &LoadgenConfig) -> std::io::Re
         merged.latencies_us.extend(tally.latencies_us);
         merged.responses.extend(tally.responses);
     }
+    // The scraper must be down before the drain starts: a scrape racing
+    // shutdown would count a refused connection as a failure.
+    let (stats_snapshots, scrape_failures) = match scraper {
+        Some(s) => s.stop_and_join(),
+        None => (Vec::new(), 0),
+    };
     if config.shutdown_after {
         let _ = send_shutdown(addr);
     }
-    Ok(LoadReport {
+    let mut metrics = MetricsRegistry::new();
+    for (name, v) in [
+        ("loadgen.sent", merged.sent),
+        ("loadgen.received", merged.received),
+        ("loadgen.lost", merged.lost),
+        ("loadgen.duplicates", merged.duplicates),
+        ("loadgen.responses_ok", merged.ok),
+        ("loadgen.shed", merged.shed),
+        ("loadgen.deadline", merged.deadline),
+        ("loadgen.errors", merged.errors),
+        ("loadgen.mapped", merged.mapped),
+        ("loadgen.scrape_snapshots", stats_snapshots.len() as u64),
+        ("loadgen.scrape_failures", scrape_failures),
+    ] {
+        let id = metrics.counter(name);
+        metrics.inc(id, v);
+    }
+    let throughput_rps = merged.received as f64 / (wall_ms / 1e3);
+    let gauge = metrics.gauge("loadgen.throughput_rps");
+    metrics.set_gauge(gauge, throughput_rps);
+    let gauge = metrics.gauge("loadgen.connections");
+    metrics.set_gauge(gauge, connections as f64);
+    let lat = metrics.histogram("loadgen.latency_us");
+    for v in &merged.latencies_us {
+        metrics.observe(lat, *v as u64);
+    }
+    let mut report = LoadReport {
         mode: config.mode.as_str(),
         sent: merged.sent,
         received: merged.received,
@@ -510,10 +762,16 @@ pub fn run(addr: &str, reads: &[Vec<u8>], config: &LoadgenConfig) -> std::io::Re
         connections: connections as u64,
         reads: reads.len() as u64,
         wall_ms,
-        throughput_rps: merged.received as f64 / (wall_ms / 1e3),
+        throughput_rps,
         latency: LatencySummary::from_us(merged.latencies_us),
         responses: merged.responses,
-    })
+        stats_snapshots,
+        scrape_failures,
+        slo: Vec::new(),
+        metrics,
+    };
+    report.slo = evaluate_slo(&report, &config.slo);
+    Ok(report)
 }
 
 /// Sends a `shutdown` request on a fresh connection and waits for the ack.
@@ -541,6 +799,23 @@ pub fn fetch_stats(addr: &str) -> std::io::Result<JsonValue> {
         std::io::Error::new(
             std::io::ErrorKind::InvalidData,
             "server closed before answering stats",
+        )
+    })
+}
+
+/// Fetches the server's flight-recorder dump on a fresh connection.
+///
+/// # Errors
+///
+/// Returns connection errors, or `InvalidData` if the server closed
+/// without answering.
+pub fn fetch_flight(addr: &str) -> std::io::Result<JsonValue> {
+    let mut stream = connect(addr)?;
+    write_frame(&mut stream, &Request::Flight.encode())?;
+    read_frame(&mut stream)?.ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "server closed before answering flight",
         )
     })
 }
@@ -574,9 +849,8 @@ mod tests {
         }
     }
 
-    #[test]
-    fn empty_report_passes_the_schema() {
-        let report = LoadReport {
+    fn empty_report() -> LoadReport {
+        LoadReport {
             mode: "closed",
             sent: 0,
             received: 0,
@@ -593,8 +867,87 @@ mod tests {
             throughput_rps: 0.0,
             latency: LatencySummary::from_us(Vec::new()),
             responses: HashMap::new(),
-        };
+            stats_snapshots: Vec::new(),
+            scrape_failures: 0,
+            slo: Vec::new(),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    #[test]
+    fn empty_report_passes_the_schema() {
+        let report = empty_report();
         validate_loadgen_report(&report.to_json()).unwrap();
         assert!(report.is_lossless());
+        assert!(report.slo_pass());
+    }
+
+    #[test]
+    fn slo_target_parsing_names_the_broken_part() {
+        let t = SloTarget::parse("p99_us=50000").unwrap();
+        assert_eq!(t.key, "p99_us");
+        assert_eq!(t.bound, 50_000.0);
+        assert!(SloTarget::parse("p99_us")
+            .unwrap_err()
+            .contains("key=value"));
+        assert!(SloTarget::parse("nope=1").unwrap_err().contains("unknown"));
+        assert!(SloTarget::parse("p99_us=abc")
+            .unwrap_err()
+            .contains("not a number"));
+        assert!(SloTarget::parse("shed_rate=-0.5")
+            .unwrap_err()
+            .contains("≥ 0"));
+    }
+
+    #[test]
+    fn slo_grading_bounds_rates_latencies_and_throughput() {
+        let mut report = empty_report();
+        report.sent = 100;
+        report.received = 100;
+        report.ok = 90;
+        report.shed = 10;
+        report.throughput_rps = 250.0;
+        report.latency = LatencySummary::from_us(vec![10.0, 20.0, 30.0]);
+        let targets = vec![
+            SloTarget::parse("p99_us=30").unwrap(),
+            SloTarget::parse("shed_rate=0.05").unwrap(),
+            SloTarget::parse("throughput_rps=200").unwrap(),
+        ];
+        report.slo = evaluate_slo(&report, &targets);
+        assert!(report.slo[0].pass, "p99 30µs meets the 30µs bound");
+        assert!(!report.slo[1].pass, "shed rate 0.10 exceeds 0.05");
+        assert!(report.slo[2].pass, "throughput floor: 250 ≥ 200");
+        assert!(!report.slo_pass());
+        // The report document still validates with the slo/scrapes keys.
+        validate_loadgen_report(&report.to_json()).unwrap();
+    }
+
+    #[test]
+    fn unmeasurable_slo_targets_fail() {
+        let report = empty_report();
+        let targets = vec![SloTarget::parse("p99_us=1000").unwrap()];
+        let checks = evaluate_slo(&report, &targets);
+        assert_eq!(checks[0].actual, None);
+        assert!(!checks[0].pass, "a bound with no samples is not proven");
+    }
+
+    #[test]
+    fn loadgen_metrics_snapshot_validates() {
+        use nvwa_telemetry::snapshot::validate_metrics_snapshot;
+        let mut report = empty_report();
+        let id = report.metrics.counter("loadgen.sent");
+        report.metrics.inc(id, 7);
+        let meta = SnapshotMeta {
+            host_threads: 1,
+            git_rev: None,
+        };
+        let snap = report.metrics_snapshot(&meta);
+        validate_metrics_snapshot(&snap).unwrap();
+        assert_eq!(
+            snap.get("counters")
+                .and_then(|c| c.get("loadgen.sent"))
+                .and_then(JsonValue::as_num),
+            Some(7.0)
+        );
     }
 }

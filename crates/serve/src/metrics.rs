@@ -1,31 +1,91 @@
-//! Serve-path telemetry: one shared [`MetricsRegistry`] plus an optional
-//! Chrome-trace recorder.
+//! Serve-path telemetry: one shared [`MetricsRegistry`] plus the live
+//! observability plane — windowed SLO aggregation, the per-request span
+//! log, the flight recorder and an optional Chrome-trace recorder.
 //!
 //! Every metric the `validate` bin's serve schema requires is registered
 //! at construction (see `nvwa_telemetry::snapshot::SERVE_REQUIRED_*`), so
 //! a snapshot taken before the first request is already schema-complete.
-//! The registry sits behind one mutex — serving events are coarse
-//! (per request / per batch), so contention is negligible next to an
-//! alignment.
+//! The registry, SLO window and span log sit behind one mutex — serving
+//! events are coarse (per request / per batch), so contention is
+//! negligible next to an alignment. The flight recorder is lock-free and
+//! lives outside the mutex (see `flight.rs`).
 
+use std::path::PathBuf;
 use std::sync::Mutex;
 use std::time::Instant;
 
 use crate::batcher::FlushReason;
+use crate::flight::{FlightEventKind, FlightRecorder};
 use nvwa_telemetry::snapshot::{
     SERVE_REQUIRED_COUNTERS, SERVE_REQUIRED_GAUGES, SERVE_REQUIRED_HISTOGRAMS,
 };
 use nvwa_telemetry::{
-    CounterId, GaugeId, HistogramId, JsonValue, MetricsRegistry, SnapshotMeta, TraceRecorder,
+    CounterId, GaugeId, HistogramId, JsonValue, MetricsRegistry, Outcome, RequestSpans, SloView,
+    SloWindow, SnapshotMeta, SpanLog, Stage, TraceRecorder, WindowConfig,
 };
 
 /// Trace process id for the serving layer (the simulator uses 0 and 1).
 pub const PID_SERVE: u32 = 2;
 
+/// First Chrome-trace track id used for per-request span chains (worker
+/// batch spans use tracks `0..workers`).
+pub const REQUEST_TRACK_BASE: u32 = 64;
+
+/// Number of request tracks; chains hash onto them by trace id.
+pub const REQUEST_TRACKS: u32 = 8;
+
+/// Knobs for the live observability plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObservabilityConfig {
+    /// SLO aggregation window in milliseconds.
+    pub slo_window_ms: u64,
+    /// SLO window step (ring-bucket width) in milliseconds; must divide
+    /// the window.
+    pub slo_step_ms: u64,
+    /// Per-request span log capacity (chains beyond this are counted as
+    /// dropped, not stored).
+    pub span_log_cap: usize,
+    /// Flight-recorder ring capacity.
+    pub flight_cap: usize,
+    /// Where to write flight-recorder dumps on a trigger (worker panic or
+    /// shed storm). `None` disables automatic dumps to disk; the `flight`
+    /// wire request still works.
+    pub flight_dump: Option<PathBuf>,
+    /// Dump the flight recorder when this many requests are shed within
+    /// one SLO window (at most once per server run).
+    pub shed_storm_threshold: Option<u64>,
+}
+
+impl Default for ObservabilityConfig {
+    fn default() -> ObservabilityConfig {
+        ObservabilityConfig {
+            slo_window_ms: 1_000,
+            slo_step_ms: 100,
+            span_log_cap: 1 << 16,
+            flight_cap: 512,
+            flight_dump: None,
+            shed_storm_threshold: None,
+        }
+    }
+}
+
+impl ObservabilityConfig {
+    /// The SLO window geometry in microsecond ticks.
+    fn window_config(&self) -> WindowConfig {
+        WindowConfig::new(
+            self.slo_window_ms.max(1) * 1_000,
+            self.slo_step_ms.max(1) * 1_000,
+        )
+    }
+}
+
 struct Inner {
     registry: MetricsRegistry,
     trace: Option<TraceRecorder>,
-    queue_depth_max: f64,
+    slo: SloWindow,
+    span_log: SpanLog,
+    shed_storm_threshold: Option<u64>,
+    storm_fired: bool,
     admitted: CounterId,
     shed: CounterId,
     deadline_expired: CounterId,
@@ -42,7 +102,7 @@ struct Inner {
     seed_cache_hits: CounterId,
     seed_cache_lookups: CounterId,
     queue_depth: GaugeId,
-    queue_depth_max_g: GaugeId,
+    queue_depth_max: GaugeId,
     batch_size: HistogramId,
     e2e_latency_us: HistogramId,
     queue_wait_us: HistogramId,
@@ -52,14 +112,22 @@ struct Inner {
 /// Thread-safe serve metrics hub.
 pub struct ServeMetrics {
     inner: Mutex<Inner>,
-    /// Server start; all trace timestamps are relative to it.
+    flight: FlightRecorder,
+    /// Server start; all trace/span timestamps are relative to it.
     epoch: Instant,
 }
 
 impl ServeMetrics {
     /// Creates the hub with the full serve metric family pre-registered.
-    /// `trace` enables the per-batch Chrome-trace recorder.
-    pub fn new(queue_capacity: usize, workers: usize, trace: bool) -> ServeMetrics {
+    /// `bins` is the batcher's length-bin count (per-bin SLO histograms);
+    /// `trace` enables the per-batch/per-request Chrome-trace recorder.
+    pub fn new(
+        queue_capacity: usize,
+        workers: usize,
+        bins: usize,
+        trace: bool,
+        obs: &ObservabilityConfig,
+    ) -> ServeMetrics {
         let mut registry = MetricsRegistry::new();
         // Pre-register the schema-required names (plus extras) so even an
         // idle server emits a schema-complete serve snapshot.
@@ -90,7 +158,7 @@ impl ServeMetrics {
         let seed_cache_hits = registry.counter("serve.seed_cache_hits");
         let seed_cache_lookups = registry.counter("serve.seed_cache_lookups");
         let queue_depth = registry.gauge("serve.queue_depth");
-        let queue_depth_max_g = registry.gauge("serve.queue_depth_max");
+        let queue_depth_max = registry.gauge("serve.queue_depth_max");
         let capacity_g = registry.gauge("serve.queue_capacity");
         registry.set_gauge(capacity_g, queue_capacity as f64);
         let workers_g = registry.gauge("serve.workers");
@@ -102,13 +170,19 @@ impl ServeMetrics {
         let trace = trace.then(|| {
             let mut t = TraceRecorder::new();
             t.name_process(PID_SERVE, "nvwa-serve");
+            for i in 0..REQUEST_TRACKS {
+                t.name_thread(PID_SERVE, REQUEST_TRACK_BASE + i, &format!("requests {i}"));
+            }
             t
         });
         ServeMetrics {
             inner: Mutex::new(Inner {
                 registry,
                 trace,
-                queue_depth_max: 0.0,
+                slo: SloWindow::new(obs.window_config(), bins),
+                span_log: SpanLog::new(obs.span_log_cap),
+                shed_storm_threshold: obs.shed_storm_threshold,
+                storm_fired: false,
                 admitted,
                 shed,
                 deadline_expired,
@@ -125,12 +199,13 @@ impl ServeMetrics {
                 seed_cache_hits,
                 seed_cache_lookups,
                 queue_depth,
-                queue_depth_max_g,
+                queue_depth_max,
                 batch_size,
                 e2e_latency_us,
                 queue_wait_us,
                 batch_exec_us,
             }),
+            flight: FlightRecorder::new(obs.flight_cap),
             epoch: Instant::now(),
         }
     }
@@ -140,29 +215,65 @@ impl ServeMetrics {
         self.epoch.elapsed().as_secs_f64() * 1e6
     }
 
+    /// Nanoseconds since server start (the span-chain time base).
+    pub fn now_ns(&self) -> u64 {
+        let d = self.epoch.elapsed();
+        d.as_secs() * 1_000_000_000 + u64::from(d.subsec_nanos())
+    }
+
+    /// The flight recorder (lock-free; record from any thread).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Records one flight-recorder event stamped with the current time.
+    pub fn flight_event(&self, kind: FlightEventKind, a: u64, b: u64, c: u64) {
+        self.flight.record(self.now_us(), kind, a, b, c);
+    }
+
     fn with(&self, f: impl FnOnce(&mut Inner)) {
         f(&mut self.inner.lock().unwrap());
     }
 
     /// One request admitted; `depth` is the queue depth just after.
     pub fn admitted(&self, depth: usize) {
+        let t = self.now_us() as u64;
         self.with(|m| {
             m.registry.inc(m.admitted, 1);
-            m.queue_depth_max = m.queue_depth_max.max(depth as f64);
-            let (q, qm, max) = (m.queue_depth, m.queue_depth_max_g, m.queue_depth_max);
+            m.slo.record_admitted(t, depth);
+            let (q, qm) = (m.queue_depth, m.queue_depth_max);
             m.registry.set_gauge(q, depth as f64);
-            m.registry.set_gauge(qm, max);
+            m.registry.set_gauge_max(qm, depth as f64);
         });
     }
 
-    /// One request shed by backpressure.
-    pub fn shed(&self) {
-        self.with(|m| m.registry.inc(m.shed, 1));
+    /// One request shed by backpressure. Returns `true` exactly once per
+    /// server run, when the shed count within one SLO window first
+    /// reaches the configured storm threshold — the caller dumps the
+    /// flight recorder.
+    pub fn shed(&self) -> bool {
+        let t = self.now_us() as u64;
+        let mut storm = false;
+        self.with(|m| {
+            m.registry.inc(m.shed, 1);
+            m.slo.record_shed(t);
+            if let Some(threshold) = m.shed_storm_threshold {
+                if !m.storm_fired && m.slo.shed_in_window(t) >= threshold {
+                    m.storm_fired = true;
+                    storm = true;
+                }
+            }
+        });
+        storm
     }
 
     /// `n` requests expired before execution.
     pub fn deadline_expired(&self, n: u64) {
-        self.with(|m| m.registry.inc(m.deadline_expired, n));
+        let t = self.now_us() as u64;
+        self.with(|m| {
+            m.registry.inc(m.deadline_expired, n);
+            m.slo.record_deadline_missed(t, n);
+        });
     }
 
     /// One connection accepted.
@@ -199,16 +310,49 @@ impl ServeMetrics {
             let (h, q) = (m.batch_size, m.queue_depth);
             m.registry.observe(h, size as u64);
             m.registry.set_gauge(q, depth as f64);
+            m.slo.set_queue_depth(depth);
         });
     }
 
-    /// One `ok` response: end-to-end latency and pre-batch queue wait.
-    pub fn response_ok(&self, e2e_us: f64, wait_us: f64) {
+    /// One request finished (any outcome): records the span chain into
+    /// the span log and Chrome trace, and — for `ok` responses — the
+    /// latency histograms and windowed SLO sample. The chain's stage
+    /// durations sum exactly to the end-to-end latency by construction
+    /// (see `nvwa_telemetry::spans`).
+    pub fn request_done(&self, chain: RequestSpans) {
         self.with(|m| {
-            m.registry.inc(m.responses_ok, 1);
-            let (e, w) = (m.e2e_latency_us, m.queue_wait_us);
-            m.registry.observe(e, e2e_us.max(0.0) as u64);
-            m.registry.observe(w, wait_us.max(0.0) as u64);
+            if chain.outcome == Outcome::Ok {
+                m.registry.inc(m.responses_ok, 1);
+                let e2e_us = chain.e2e_ns() / 1_000;
+                let wait_ns: u64 = chain
+                    .spans
+                    .iter()
+                    .filter(|s| matches!(s.stage, Stage::Queue | Stage::Fill))
+                    .map(|s| s.dur_ns)
+                    .sum();
+                let (e, w) = (m.e2e_latency_us, m.queue_wait_us);
+                m.registry.observe(e, e2e_us);
+                m.registry.observe(w, wait_ns / 1_000);
+                let done_us = (chain.t0_ns + chain.e2e_ns()) / 1_000;
+                m.slo.record_completed(done_us, chain.bin, e2e_us);
+            }
+            if let Some(trace) = m.trace.as_mut() {
+                let tid = REQUEST_TRACK_BASE + (chain.trace_id % u64::from(REQUEST_TRACKS)) as u32;
+                for span in &chain.spans {
+                    trace.complete_with_args(
+                        PID_SERVE,
+                        tid,
+                        span.stage.name(),
+                        span.start_ns as f64 / 1e3,
+                        span.dur_ns as f64 / 1e3,
+                        &[
+                            ("trace_id", chain.trace_id as f64),
+                            ("read_id", chain.read_id as f64),
+                        ],
+                    );
+                }
+            }
+            m.span_log.push(chain);
         });
     }
 
@@ -253,9 +397,43 @@ impl ServeMetrics {
         });
     }
 
-    /// The snapshot document (always serve-schema-complete).
+    /// The registry snapshot document (always serve-schema-complete).
     pub fn snapshot(&self, meta: &SnapshotMeta) -> JsonValue {
         self.inner.lock().unwrap().registry.snapshot(meta)
+    }
+
+    /// The windowed SLO view as of now.
+    pub fn slo_view(&self) -> SloView {
+        let now = self.now_us() as u64;
+        self.inner.lock().unwrap().slo.view(now)
+    }
+
+    /// The `stats` response: the registry snapshot with the live `slo`
+    /// view and `flight` summary appended
+    /// (`validate_stats_response` checks it).
+    pub fn stats_response(&self, meta: &SnapshotMeta) -> JsonValue {
+        let now = self.now_us() as u64;
+        let mut inner = self.inner.lock().unwrap();
+        let mut doc = inner.registry.snapshot(meta);
+        let slo = inner.slo.view(now).to_json();
+        drop(inner);
+        if let JsonValue::Obj(pairs) = &mut doc {
+            pairs.push(("slo".to_string(), slo));
+            pairs.push(("flight".to_string(), self.flight.summary_json()));
+        }
+        doc
+    }
+
+    /// The span-log document (`"kind": "nvwa-spanlog"`).
+    pub fn span_log_doc(&self) -> JsonValue {
+        self.inner.lock().unwrap().span_log.to_json()
+    }
+
+    /// Number of span chains retained plus chains dropped at capacity —
+    /// together the exactly-once accounting total.
+    pub fn span_chain_counts(&self) -> (usize, u64) {
+        let inner = self.inner.lock().unwrap();
+        (inner.span_log.chains().len(), inner.span_log.dropped())
     }
 
     /// The Chrome trace JSON, when tracing was enabled.
@@ -282,45 +460,119 @@ impl ServeMetrics {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nvwa_telemetry::snapshot::validate_serve_snapshot;
+    use nvwa_telemetry::snapshot::{
+        validate_serve_snapshot, validate_span_log, validate_stats_response,
+    };
+
+    fn hub(trace: bool, obs: &ObservabilityConfig) -> ServeMetrics {
+        ServeMetrics::new(8, 1, 4, trace, obs)
+    }
 
     #[test]
-    fn idle_hub_emits_schema_complete_snapshot() {
-        let metrics = ServeMetrics::new(128, 4, false);
+    fn idle_hub_emits_schema_complete_snapshot_and_stats() {
+        let metrics = ServeMetrics::new(128, 4, 4, false, &ObservabilityConfig::default());
         let meta = SnapshotMeta {
             host_threads: 4,
             git_rev: None,
         };
         validate_serve_snapshot(&metrics.snapshot(&meta)).unwrap();
+        validate_stats_response(&metrics.stats_response(&meta)).unwrap();
+        validate_span_log(&metrics.span_log_doc()).unwrap();
         assert!(metrics.trace_json().is_none());
     }
 
     #[test]
     fn events_land_in_the_registry_and_trace() {
-        let metrics = ServeMetrics::new(8, 1, true);
+        let metrics = hub(true, &ObservabilityConfig::default());
         metrics.admitted(3);
         metrics.admitted(5);
         metrics.shed();
         metrics.batch_formed(FlushReason::Fill, 4, 1);
-        metrics.response_ok(1500.0, 300.0);
+        metrics.request_done(RequestSpans::chain(
+            0,
+            0,
+            7,
+            1,
+            Outcome::Ok,
+            metrics.now_ns(),
+            &[
+                (Stage::Queue, 200_000),
+                (Stage::Fill, 100_000),
+                (Stage::Align, 1_150_000),
+                (Stage::Write, 50_000),
+            ],
+        ));
         metrics.batch_executed(0, "batch b0 n4", 10.0, 250.0, Some(777));
         let meta = SnapshotMeta {
             host_threads: 1,
             git_rev: None,
         };
-        let doc = metrics.snapshot(&meta);
-        validate_serve_snapshot(&doc).unwrap();
+        let doc = metrics.stats_response(&meta);
+        validate_stats_response(&doc).unwrap();
         assert_eq!(metrics.counter("serve.requests_admitted"), 2);
         assert_eq!(metrics.counter("serve.requests_shed"), 1);
+        assert_eq!(metrics.counter("serve.responses_ok"), 1);
         assert_eq!(metrics.counter("serve.sim_cycles_total"), 777);
         let gauges = doc.get("gauges").unwrap();
         assert_eq!(
             gauges.get("serve.queue_depth_max").unwrap().as_num(),
             Some(5.0)
         );
+        // The e2e histogram saw the chain's exact duration sum (1.5 ms).
+        let hist = doc.get("histograms").unwrap();
+        assert_eq!(
+            hist.get("serve.e2e_latency_us")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_num(),
+            Some(1.0)
+        );
         let trace = metrics.trace_json().unwrap();
         assert!(trace.contains("batch b0 n4"));
+        // The request chain's four stage spans are in the trace too.
+        for stage in ["queue", "fill", "align", "write"] {
+            assert!(trace.contains(&format!("\"{stage}\"")), "{stage}");
+        }
         nvwa_telemetry::snapshot::validate_chrome_trace(&JsonValue::parse(&trace).unwrap())
             .unwrap();
+    }
+
+    #[test]
+    fn shed_storm_fires_exactly_once() {
+        let obs = ObservabilityConfig {
+            shed_storm_threshold: Some(3),
+            ..ObservabilityConfig::default()
+        };
+        let metrics = hub(false, &obs);
+        assert!(!metrics.shed());
+        assert!(!metrics.shed());
+        assert!(metrics.shed(), "third shed crosses the threshold");
+        assert!(!metrics.shed(), "storm fires at most once");
+    }
+
+    #[test]
+    fn span_log_keeps_exactly_once_accounting() {
+        let obs = ObservabilityConfig {
+            span_log_cap: 2,
+            ..ObservabilityConfig::default()
+        };
+        let metrics = hub(false, &obs);
+        for id in 0..5u64 {
+            metrics.request_done(RequestSpans::chain(
+                id,
+                0,
+                id,
+                0,
+                Outcome::Ok,
+                1_000 * id,
+                &[(Stage::Queue, 10), (Stage::Align, 20), (Stage::Write, 5)],
+            ));
+        }
+        let (retained, dropped) = metrics.span_chain_counts();
+        assert_eq!(retained, 2);
+        assert_eq!(dropped, 3);
+        validate_span_log(&metrics.span_log_doc()).unwrap();
+        assert_eq!(metrics.counter("serve.responses_ok"), 5);
     }
 }

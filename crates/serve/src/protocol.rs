@@ -11,6 +11,7 @@
 //! ```json
 //! {"kind": "align", "id": 7, "seq": "ACGTACGT...", "deadline_ms": 50}
 //! {"kind": "stats"}
+//! {"kind": "flight"}
 //! {"kind": "shutdown"}
 //! ```
 //!
@@ -88,6 +89,8 @@ pub enum Request {
     },
     /// Return the server's current metrics snapshot.
     Stats,
+    /// Dump the flight recorder's recent-event ring.
+    Flight,
     /// Begin a graceful drain and exit.
     Shutdown,
 }
@@ -135,6 +138,7 @@ impl Request {
                 })
             }
             "stats" => Ok(Request::Stats),
+            "flight" => Ok(Request::Flight),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown request kind {other:?}")),
         }
@@ -163,6 +167,7 @@ impl Request {
                 JsonValue::obj(pairs)
             }
             Request::Stats => JsonValue::obj(vec![("kind", JsonValue::Str("stats".to_string()))]),
+            Request::Flight => JsonValue::obj(vec![("kind", JsonValue::Str("flight".to_string()))]),
             Request::Shutdown => {
                 JsonValue::obj(vec![("kind", JsonValue::Str("shutdown".to_string()))])
             }

@@ -29,11 +29,12 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use nvwa_align::pipeline::{AlignScratch, AlignerConfig, ReferenceIndex};
-use nvwa_telemetry::{JsonValue, SnapshotMeta};
+use nvwa_telemetry::{JsonValue, Outcome, RequestSpans, SnapshotMeta, Stage};
 
 use crate::backend::{execute_batch_with, BackendKind};
 use crate::batcher::{Batch, BatchItem, Batcher, BatcherConfig};
-use crate::metrics::ServeMetrics;
+use crate::flight::FlightEventKind;
+use crate::metrics::{ObservabilityConfig, ServeMetrics};
 use crate::protocol::{write_frame, AlignResponse, Request, Status, MAX_FRAME_BYTES};
 use crate::queue::{BoundedQueue, Popped, PushError};
 
@@ -57,8 +58,12 @@ pub struct ServerConfig {
     pub aligner: AlignerConfig,
     /// Deadline applied to requests that do not carry their own.
     pub default_deadline: Option<Duration>,
-    /// Record a Chrome trace of batch execution spans.
+    /// Record a Chrome trace of batch execution and per-request stage
+    /// spans.
     pub trace: bool,
+    /// Live-observability knobs: SLO window geometry, span-log and
+    /// flight-recorder capacities, dump triggers.
+    pub obs: ObservabilityConfig,
     /// Test hook: artificial delay per batch execution, to provoke
     /// backpressure and deadline expiry deterministically in tests.
     pub worker_delay: Option<Duration>,
@@ -81,6 +86,7 @@ impl Default for ServerConfig {
             aligner: AlignerConfig::default(),
             default_deadline: None,
             trace: false,
+            obs: ObservabilityConfig::default(),
             worker_delay: None,
             worker_panic_at_batch: None,
         }
@@ -88,11 +94,19 @@ impl Default for ServerConfig {
 }
 
 /// A request travelling through the queues: the decoded read plus the
-/// connection to answer on.
+/// connection to answer on and its tracing identity.
 struct PendingRead {
     conn: Arc<ConnWriter>,
     id: u64,
     codes: Vec<u8>,
+    /// Trace id minted at admission (unique per admitted request).
+    trace_id: u64,
+    /// Admission time as nanoseconds since the metrics epoch — the span
+    /// chain's `t0_ns`.
+    t0_ns: u64,
+    /// When the batcher popped this item off the admission queue (the
+    /// queue→fill stage boundary). Always set before a worker sees it.
+    picked_at: Option<Instant>,
 }
 
 /// The write half of a connection, shared by readers, the batcher and the
@@ -100,6 +114,8 @@ struct PendingRead {
 /// interleave.
 struct ConnWriter {
     stream: Mutex<TcpStream>,
+    /// Accept-order connection id (span-chain and flight-event operand).
+    id: u64,
 }
 
 impl ConnWriter {
@@ -118,6 +134,12 @@ struct Shared {
     /// Global batch sequence number, drawn by workers as they start a
     /// batch (the trigger coordinate of `worker_panic_at_batch`).
     batch_seq: AtomicU64,
+    /// Trace-id mint: drawn per align request at admission. Ids taken by
+    /// requests that are then shed are burned, so span accounting counts
+    /// chains against `serve.requests_admitted`, not id density.
+    trace_seq: AtomicU64,
+    /// Accept-order connection id mint.
+    conn_seq: AtomicU64,
     /// Stop admitting: readers shed, the acceptor exits.
     draining: AtomicBool,
     /// Everything drained: readers exit.
@@ -151,7 +173,9 @@ impl Server {
         let metrics = Arc::new(ServeMetrics::new(
             config.queue_capacity,
             workers,
+            config.batch.bins(),
             config.trace,
+            &config.obs,
         ));
         let shared = Arc::new(Shared {
             admission: BoundedQueue::new(config.queue_capacity),
@@ -163,6 +187,8 @@ impl Server {
             index,
             config,
             batch_seq: AtomicU64::new(0),
+            trace_seq: AtomicU64::new(0),
+            conn_seq: AtomicU64::new(0),
             draining: AtomicBool::new(false),
             closed: AtomicBool::new(false),
             shutdown_requested: AtomicBool::new(false),
@@ -251,6 +277,7 @@ fn accept_loop(
                 let writer = match stream.try_clone() {
                     Ok(w) => Arc::new(ConnWriter {
                         stream: Mutex::new(w),
+                        id: shared.conn_seq.fetch_add(1, Ordering::Relaxed),
                     }),
                     Err(_) => continue,
                 };
@@ -363,7 +390,13 @@ fn reader_loop(shared: Arc<Shared>, mut stream: TcpStream, writer: Arc<ConnWrite
             } => handle_align(&shared, &writer, id, codes, deadline_ms),
             Request::Stats => {
                 let meta = SnapshotMeta::collect(nvwa_sim::par::current_threads());
-                if writer.send(&shared.metrics.snapshot(&meta)).is_err() {
+                if writer.send(&shared.metrics.stats_response(&meta)).is_err() {
+                    shared.metrics.write_error();
+                }
+            }
+            Request::Flight => {
+                let dump = dump_flight(&shared, "explicit");
+                if writer.send(&dump).is_err() {
                     shared.metrics.write_error();
                 }
             }
@@ -393,6 +426,8 @@ fn handle_align(
         return;
     }
     let now = Instant::now();
+    let t0_ns = shared.metrics.now_ns();
+    let trace_id = shared.trace_seq.fetch_add(1, Ordering::Relaxed);
     let deadline = deadline_ms
         .map(Duration::from_millis)
         .or(shared.config.default_deadline)
@@ -403,24 +438,59 @@ fn handle_align(
             conn: Arc::clone(writer),
             id,
             codes,
+            trace_id,
+            t0_ns,
+            picked_at: None,
         },
         len,
         admitted_at: now,
         deadline,
     };
     match shared.admission.try_push(item) {
-        Ok(()) => shared.metrics.admitted(shared.admission.depth()),
+        Ok(()) => {
+            let depth = shared.admission.depth();
+            shared.metrics.admitted(depth);
+            shared
+                .metrics
+                .flight_event(FlightEventKind::Admit, trace_id, writer.id, depth as u64);
+        }
         Err(PushError::Full(_)) => shed(shared, writer, id, "admission queue full"),
         Err(PushError::Closed(_)) => shed(shared, writer, id, "server draining"),
     }
 }
 
 fn shed(shared: &Shared, writer: &Arc<ConnWriter>, id: u64, why: &str) {
-    shared.metrics.shed();
+    shared
+        .metrics
+        .flight_event(FlightEventKind::Shed, id, writer.id, 0);
+    if shared.metrics.shed() {
+        // The windowed shed count crossed the storm threshold: freeze the
+        // lead-up by dumping the flight recorder (once per server run).
+        dump_flight(shared, "shed_storm");
+    }
     let resp = AlignResponse::failure(id, Status::Shed, why);
     if writer.send(&resp.encode()).is_err() {
         shared.metrics.write_error();
     }
+}
+
+/// Dumps the flight recorder, writing `flight_<reason>.json` when the
+/// config names a dump directory, and returns the dump document.
+fn dump_flight(shared: &Shared, reason: &str) -> JsonValue {
+    let dump = shared.metrics.flight().dump_json(reason);
+    if let Some(dir) = &shared.config.obs.flight_dump {
+        let _ = std::fs::create_dir_all(dir);
+        let path = dir.join(format!("flight_{reason}.json"));
+        if std::fs::write(&path, dump.to_string_pretty()).is_err() {
+            shared.metrics.write_error();
+        }
+    }
+    dump
+}
+
+/// Integer nanoseconds from `a` to `b` (0 if the clock stepped back).
+fn ns_between(a: Instant, b: Instant) -> u64 {
+    b.saturating_duration_since(a).as_nanos() as u64
 }
 
 fn batcher_loop(shared: Arc<Shared>) {
@@ -433,7 +503,10 @@ fn batcher_loop(shared: Arc<Shared>) {
             .unwrap_or(POLL_INTERVAL)
             .min(POLL_INTERVAL);
         match shared.admission.pop_wait(Some(wait)) {
-            Popped::Item(item) => {
+            Popped::Item(mut item) => {
+                // The queue→fill stage boundary: the item leaves the
+                // admission queue and starts waiting for its bin to fill.
+                item.payload.picked_at = Some(Instant::now());
                 if let Some(batch) = batcher.offer(item, Instant::now()) {
                     ship(&shared, batch);
                 }
@@ -454,10 +527,18 @@ fn batcher_loop(shared: Arc<Shared>) {
 }
 
 fn ship(shared: &Shared, batch: Batch<PendingRead>) {
-    // Expired requests are answered here and never executed.
+    // Expired requests are answered here and never executed: their span
+    // chain is queue → fill → write, with no align stage.
     if !batch.expired.is_empty() {
         shared.metrics.deadline_expired(batch.expired.len() as u64);
+        shared.metrics.flight_event(
+            FlightEventKind::Deadline,
+            batch.expired.len() as u64,
+            batch.bin as u64,
+            0,
+        );
         for item in &batch.expired {
+            let fill_end = Instant::now();
             let resp = AlignResponse::failure(
                 item.payload.id,
                 Status::Deadline,
@@ -466,6 +547,21 @@ fn ship(shared: &Shared, batch: Batch<PendingRead>) {
             if item.payload.conn.send(&resp.encode()).is_err() {
                 shared.metrics.write_error();
             }
+            let written = Instant::now();
+            let picked = item.payload.picked_at.unwrap_or(item.admitted_at);
+            shared.metrics.request_done(RequestSpans::chain(
+                item.payload.trace_id,
+                item.payload.conn.id,
+                item.payload.id,
+                batch.bin,
+                Outcome::Deadline,
+                item.payload.t0_ns,
+                &[
+                    (Stage::Queue, ns_between(item.admitted_at, picked)),
+                    (Stage::Fill, ns_between(picked, fill_end)),
+                    (Stage::Write, ns_between(fill_end, written)),
+                ],
+            ));
         }
     }
     if batch.items.is_empty() {
@@ -500,6 +596,42 @@ fn worker_loop(shared: Arc<Shared>, worker: usize) {
     }
 }
 
+/// Answers one item and records its complete span chain. Stage durations
+/// are integer nanoseconds between consecutive timestamps of one
+/// monotonic sequence (admitted → picked → exec start → exec done →
+/// written), so the chain is contiguous and sums exactly to the
+/// end-to-end latency by construction.
+#[allow(clippy::too_many_arguments)]
+fn respond_and_trace(
+    shared: &Shared,
+    item: &BatchItem<PendingRead>,
+    bin: usize,
+    outcome: Outcome,
+    exec_start: Instant,
+    exec_done: Instant,
+    resp: &AlignResponse,
+) {
+    if item.payload.conn.send(&resp.encode()).is_err() {
+        shared.metrics.write_error();
+    }
+    let written = Instant::now();
+    let picked = item.payload.picked_at.unwrap_or(item.admitted_at);
+    shared.metrics.request_done(RequestSpans::chain(
+        item.payload.trace_id,
+        item.payload.conn.id,
+        item.payload.id,
+        bin,
+        outcome,
+        item.payload.t0_ns,
+        &[
+            (Stage::Queue, ns_between(item.admitted_at, picked)),
+            (Stage::Fill, ns_between(picked, exec_start)),
+            (Stage::Align, ns_between(exec_start, exec_done)),
+            (Stage::Write, ns_between(exec_done, written)),
+        ],
+    ));
+}
+
 fn execute_and_respond(
     shared: &Shared,
     worker: usize,
@@ -517,6 +649,13 @@ fn execute_and_respond(
         .map(|item| (item.payload.id, item.payload.codes.clone()))
         .collect();
     let seq = shared.batch_seq.fetch_add(1, Ordering::Relaxed);
+    let batch_size = batch.items.len() as u64;
+    shared.metrics.flight_event(
+        FlightEventKind::BatchStart,
+        seq,
+        batch.bin as u64,
+        batch_size,
+    );
     // A panicking batch must never take a worker (or an admitted request)
     // with it: catch it, answer every item `error`, replace the scratch —
     // its buffers may be mid-update — and keep serving.
@@ -535,7 +674,11 @@ fn execute_and_respond(
     let outcome = match result {
         Ok(outcome) => outcome,
         Err(_) => {
+            let exec_done = Instant::now();
             shared.metrics.worker_panic();
+            shared
+                .metrics
+                .flight_event(FlightEventKind::Panic, seq, worker as u64, 0);
             *scratch = AlignScratch::new();
             for item in &batch.items {
                 let resp = AlignResponse::failure(
@@ -543,25 +686,45 @@ fn execute_and_respond(
                     Status::Error,
                     "internal error: batch execution panicked",
                 );
-                if item.payload.conn.send(&resp.encode()).is_err() {
-                    shared.metrics.write_error();
-                }
+                respond_and_trace(
+                    shared,
+                    item,
+                    batch.bin,
+                    Outcome::Error,
+                    start,
+                    exec_done,
+                    &resp,
+                );
             }
+            // Freeze the lead-up: the panic is exactly the incident the
+            // flight recorder exists for.
+            dump_flight(shared, "worker_panic");
             return;
         }
     };
     let exec_done = Instant::now();
-    let batch_size = batch.items.len() as u64;
+    // Recorded before the responses go out: a client that has seen every
+    // response (quiescence) is then guaranteed a ring with no dangling
+    // batch_start except a panicked batch's.
+    shared.metrics.flight_event(
+        FlightEventKind::BatchDone,
+        seq,
+        batch.bin as u64,
+        batch_size,
+    );
     for (item, (id, alignment)) in batch.items.iter().zip(&outcome.results) {
         debug_assert_eq!(item.payload.id, *id);
         let mut resp = AlignResponse::ok(*id, alignment.as_ref(), batch_size);
         resp.sim_cycles = outcome.sim_cycles;
-        let wait_us = start.duration_since(item.admitted_at).as_secs_f64() * 1e6;
-        if item.payload.conn.send(&resp.encode()).is_err() {
-            shared.metrics.write_error();
-        }
-        let e2e_us = item.admitted_at.elapsed().as_secs_f64() * 1e6;
-        shared.metrics.response_ok(e2e_us, wait_us);
+        respond_and_trace(
+            shared,
+            item,
+            batch.bin,
+            Outcome::Ok,
+            start,
+            exec_done,
+            &resp,
+        );
     }
     let dur_us = exec_done.duration_since(start).as_secs_f64() * 1e6;
     shared.metrics.batch_executed(

@@ -25,14 +25,22 @@
 //! * [`snapshot`] — the versioned metrics-snapshot file format
 //!   (`schema_version` 1) and validators for the repo's JSON artifacts
 //!   (metrics snapshots, `BENCH_*.json`, Chrome traces).
+//! * [`window`] — windowed aggregation: ring-buffered rolling histograms
+//!   and rate counters over explicit timestamps, packaged as the
+//!   [`window::SloWindow`] the serve path exposes live.
+//! * [`spans`] — per-request span chains (queue → fill → align → write)
+//!   whose stage durations sum exactly to the end-to-end latency by
+//!   construction, plus the bounded [`spans::SpanLog`].
 
 pub mod histogram;
 pub mod json;
 pub mod registry;
 pub mod series;
 pub mod snapshot;
+pub mod spans;
 pub mod stall;
 pub mod trace;
+pub mod window;
 
 /// Simulation time in clock cycles (mirrors `nvwa_sim::Cycle`; both are
 /// `u64`, the alias is repeated here so this crate stays dependency-free).
@@ -43,5 +51,7 @@ pub use json::JsonValue;
 pub use registry::{CounterId, GaugeId, HistogramId, MetricsRegistry};
 pub use series::TimeSeries;
 pub use snapshot::SnapshotMeta;
+pub use spans::{Outcome, RequestSpans, SpanLog, Stage, StageSpan};
 pub use stall::{PoolState, StallCause, StallTracker, IDLE_CAUSE_COUNT};
 pub use trace::{cycles_to_us, TraceRecorder, PID_ACCELERATOR, PID_HOST};
+pub use window::{BinSlo, RollingCounter, RollingHistogram, SloView, SloWindow, WindowConfig};

@@ -84,6 +84,17 @@ impl MetricsRegistry {
         self.gauges[id.0].1 = value;
     }
 
+    /// Raises a gauge to `value` if it is below it (a high-water mark,
+    /// e.g. `queue_depth_max`). Keeps the running max in the gauge itself
+    /// so callers don't need shadow bookkeeping.
+    #[inline]
+    pub fn set_gauge_max(&mut self, id: GaugeId, value: f64) {
+        let slot = &mut self.gauges[id.0].1;
+        if value > *slot {
+            *slot = value;
+        }
+    }
+
     /// Value of a gauge by name, if registered.
     pub fn gauge_value(&self, name: &str) -> Option<f64> {
         self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
@@ -266,6 +277,16 @@ mod tests {
         assert_eq!(reg.counter_value("sim.hits"), Some(5));
         assert_eq!(reg.counter_value("sim.rounds"), Some(1));
         assert_eq!(reg.counter_value("missing"), None);
+    }
+
+    #[test]
+    fn gauge_max_is_a_high_water_mark() {
+        let mut reg = MetricsRegistry::new();
+        let g = reg.gauge("depth_max");
+        reg.set_gauge_max(g, 3.0);
+        reg.set_gauge_max(g, 7.0);
+        reg.set_gauge_max(g, 5.0);
+        assert_eq!(reg.gauge_value("depth_max"), Some(7.0));
     }
 
     #[test]

@@ -6,9 +6,14 @@
 //! * **metrics snapshots** (`--metrics-out`): the versioned document built
 //!   by [`crate::MetricsRegistry::snapshot`];
 //! * **bench reports** (`BENCH_*.json` from the `perf` binary);
-//! * **Chrome traces** (`--trace-out`).
+//! * **Chrome traces** (`--trace-out`);
+//! * **live observability documents**: the windowed [`crate::SloView`]
+//!   and flight-recorder summary embedded in serve `stats` responses,
+//!   standalone flight-recorder dumps (`"kind": "nvwa-flight"`), and
+//!   per-request span logs (`"kind": "nvwa-spanlog"`).
 
 use crate::json::JsonValue;
+use crate::spans::RequestSpans;
 
 /// Run metadata recorded into every metrics snapshot.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -232,6 +237,284 @@ pub fn validate_serve_snapshot(doc: &JsonValue) -> Result<(), String> {
                 return Err(format!("{what}: missing {section} entry {name:?}"));
             }
         }
+    }
+    // Live-observability sections are optional (a bare registry snapshot
+    // is still a valid serve snapshot) but validated when present — the
+    // `stats` endpoint always includes both.
+    if let Some(slo) = doc.get("slo") {
+        validate_slo_view(slo).map_err(|e| format!("{what}: {e}"))?;
+    }
+    if let Some(flight) = doc.get("flight") {
+        validate_flight_summary(flight).map_err(|e| format!("{what}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Validates a serve `stats` response: a serve snapshot that must also
+/// carry the live `slo` view and `flight` summary.
+///
+/// # Errors
+///
+/// Returns a message naming the first violated constraint.
+pub fn validate_stats_response(doc: &JsonValue) -> Result<(), String> {
+    validate_serve_snapshot(doc)?;
+    let what = "stats response";
+    require(doc, "slo", what)?;
+    require(doc, "flight", what)?;
+    Ok(())
+}
+
+fn require_count(doc: &JsonValue, key: &str, what: &str) -> Result<f64, String> {
+    let v = require_num(doc, key, what)?;
+    if v < 0.0 || v.fract() != 0.0 {
+        return Err(format!("{what}: {key} must be a non-negative integer"));
+    }
+    Ok(v)
+}
+
+/// Validates a windowed SLO view (the `slo` section of a `stats`
+/// response, built by [`crate::SloView::to_json`]).
+///
+/// # Errors
+///
+/// Returns a message naming the first violated constraint.
+pub fn validate_slo_view(doc: &JsonValue) -> Result<(), String> {
+    let what = "slo view";
+    let step = require_count(doc, "step", what)?;
+    let window = require_count(doc, "window", what)?;
+    require_count(doc, "now", what)?;
+    if step < 1.0 || window < step || (window % step) != 0.0 {
+        return Err(format!(
+            "{what}: window ({window}) must be a positive multiple of step ({step})"
+        ));
+    }
+    let depth = require_num(doc, "queue_depth", what)?;
+    if depth < 0.0 {
+        return Err(format!("{what}: queue_depth must be ≥ 0"));
+    }
+    let admitted = require_count(doc, "admitted", what)?;
+    let shed = require_count(doc, "shed", what)?;
+    let missed = require_count(doc, "deadline_missed", what)?;
+    require_count(doc, "completed", what)?;
+    for (key, num, den) in [
+        ("shed_rate", shed, admitted + shed),
+        ("deadline_miss_rate", missed, admitted),
+    ] {
+        let rate = require_num(doc, key, what)?;
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(format!("{what}: {key} must be in [0, 1], got {rate}"));
+        }
+        let expect = if den == 0.0 { 0.0 } else { num / den };
+        if (rate - expect).abs() > 1e-9 {
+            return Err(format!("{what}: {key} is {rate}, counters imply {expect}"));
+        }
+    }
+    let per_bin = require(doc, "per_bin", what)?
+        .as_arr()
+        .ok_or_else(|| format!("{what}: per_bin must be an array"))?;
+    if per_bin.is_empty() {
+        return Err(format!("{what}: per_bin must be non-empty"));
+    }
+    for (i, bin) in per_bin.iter().enumerate() {
+        let idx = require_count(bin, "bin", what).map_err(|e| format!("{e} (per_bin[{i}])"))?;
+        if idx != i as f64 {
+            return Err(format!("{what}: per_bin[{i}] has bin index {idx}"));
+        }
+        let count = require_count(bin, "count", what).map_err(|e| format!("{e} (per_bin[{i}])"))?;
+        for key in ["p50", "p90", "p99"] {
+            match require(bin, key, what).map_err(|e| format!("{e} (per_bin[{i}])"))? {
+                JsonValue::Null if count == 0.0 => {}
+                JsonValue::Num(_) if count > 0.0 => {}
+                other => {
+                    return Err(format!(
+                        "{what}: per_bin[{i}].{key} inconsistent with count {count}: {other}"
+                    ))
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Event kinds a flight-recorder document may carry.
+pub const FLIGHT_EVENT_KINDS: &[&str] = &[
+    "admit",
+    "shed",
+    "deadline",
+    "batch_start",
+    "batch_done",
+    "panic",
+];
+
+/// Validates a flight-recorder summary (the `flight` section of a `stats`
+/// response): ring occupancy identities and per-kind counts.
+///
+/// # Errors
+///
+/// Returns a message naming the first violated constraint.
+pub fn validate_flight_summary(doc: &JsonValue) -> Result<(), String> {
+    let what = "flight summary";
+    let cap = require_count(doc, "cap", what)?;
+    if cap < 1.0 {
+        return Err(format!("{what}: cap must be ≥ 1"));
+    }
+    let recorded = require_count(doc, "recorded", what)?;
+    let retained = require_count(doc, "retained", what)?;
+    if retained != recorded.min(cap) {
+        return Err(format!(
+            "{what}: retained ({retained}) must be min(recorded {recorded}, cap {cap})"
+        ));
+    }
+    require_count(doc, "dumps", what)?;
+    match require(doc, "last_dump_reason", what)? {
+        JsonValue::Null | JsonValue::Str(_) => {}
+        other => {
+            return Err(format!(
+                "{what}: last_dump_reason must be string or null, got {other}"
+            ))
+        }
+    }
+    let by_kind = require(doc, "by_kind", what)?
+        .as_obj()
+        .ok_or_else(|| format!("{what}: by_kind must be an object"))?;
+    let mut total = 0.0;
+    for (kind, count) in by_kind {
+        if !FLIGHT_EVENT_KINDS.contains(&kind.as_str()) {
+            return Err(format!("{what}: unknown event kind {kind:?}"));
+        }
+        let count = count
+            .as_num()
+            .ok_or_else(|| format!("{what}: by_kind.{kind} must be a number"))?;
+        total += count;
+    }
+    if total != retained {
+        return Err(format!(
+            "{what}: by_kind sums to {total}, retained is {retained}"
+        ));
+    }
+    Ok(())
+}
+
+/// Validates a flight-recorder dump (`"kind": "nvwa-flight"`): event
+/// shape, strictly increasing sequence numbers, occupancy identities and
+/// digest/event agreement.
+///
+/// # Errors
+///
+/// Returns a message naming the first violated constraint.
+pub fn validate_flight_dump(doc: &JsonValue) -> Result<(), String> {
+    let what = "flight dump";
+    let kind = require(doc, "kind", what)?.as_str();
+    if kind != Some("nvwa-flight") {
+        return Err(format!(
+            "{what}: kind must be \"nvwa-flight\", got {kind:?}"
+        ));
+    }
+    let version = require_num(doc, "schema_version", what)?;
+    if version != 1.0 {
+        return Err(format!("{what}: unsupported schema_version {version}"));
+    }
+    let reason = require(doc, "reason", what)?
+        .as_str()
+        .ok_or_else(|| format!("{what}: reason must be a string"))?;
+    if reason.is_empty() {
+        return Err(format!("{what}: reason must be non-empty"));
+    }
+    let cap = require_count(doc, "cap", what)?;
+    let recorded = require_count(doc, "recorded", what)?;
+    let events = require(doc, "events", what)?
+        .as_arr()
+        .ok_or_else(|| format!("{what}: events must be an array"))?;
+    if events.len() as f64 != recorded.min(cap) {
+        return Err(format!(
+            "{what}: {} events, expected min(recorded {recorded}, cap {cap})",
+            events.len()
+        ));
+    }
+    let mut prev_seq = -1.0f64;
+    let mut counts = vec![0.0f64; FLIGHT_EVENT_KINDS.len()];
+    for (i, event) in events.iter().enumerate() {
+        let seq = require_count(event, "seq", what).map_err(|e| format!("{e} (event {i})"))?;
+        if seq <= prev_seq {
+            return Err(format!(
+                "{what}: event {i} seq {seq} not greater than previous {prev_seq}"
+            ));
+        }
+        prev_seq = seq;
+        let t = require_num(event, "t_us", what).map_err(|e| format!("{e} (event {i})"))?;
+        if t < 0.0 {
+            return Err(format!("{what}: event {i} has negative t_us"));
+        }
+        let kind = require(event, "kind", what)
+            .map_err(|e| format!("{e} (event {i})"))?
+            .as_str()
+            .ok_or_else(|| format!("{what}: event {i} kind must be a string"))?;
+        let slot = FLIGHT_EVENT_KINDS
+            .iter()
+            .position(|k| *k == kind)
+            .ok_or_else(|| format!("{what}: event {i} has unknown kind {kind:?}"))?;
+        counts[slot] += 1.0;
+        for key in ["a", "b", "c"] {
+            require_num(event, key, what).map_err(|e| format!("{e} (event {i})"))?;
+        }
+    }
+    let digest = require(doc, "digest", what)?;
+    for (slot, kind) in FLIGHT_EVENT_KINDS.iter().enumerate() {
+        let n = require_count(digest, kind, what).map_err(|e| format!("{e} (digest)"))?;
+        if n != counts[slot] {
+            return Err(format!(
+                "{what}: digest.{kind} is {n}, events contain {}",
+                counts[slot]
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Validates a span-log document (`"kind": "nvwa-spanlog"`): every chain
+/// parses, passes [`RequestSpans::check`] (contiguous, ordered, durations
+/// summing to `e2e_ns`), and trace ids are strictly increasing (the log
+/// sorts by trace id, so this also enforces uniqueness).
+///
+/// # Errors
+///
+/// Returns a message naming the first violated constraint.
+pub fn validate_span_log(doc: &JsonValue) -> Result<(), String> {
+    let what = "span log";
+    let kind = require(doc, "kind", what)?.as_str();
+    if kind != Some("nvwa-spanlog") {
+        return Err(format!(
+            "{what}: kind must be \"nvwa-spanlog\", got {kind:?}"
+        ));
+    }
+    let version = require_num(doc, "schema_version", what)?;
+    if version != 1.0 {
+        return Err(format!("{what}: unsupported schema_version {version}"));
+    }
+    let cap = require_count(doc, "cap", what)?;
+    require_count(doc, "dropped", what)?;
+    let chains = require(doc, "chains", what)?
+        .as_arr()
+        .ok_or_else(|| format!("{what}: chains must be an array"))?;
+    if chains.len() as f64 > cap {
+        return Err(format!("{what}: {} chains exceed cap {cap}", chains.len()));
+    }
+    let mut prev_id: Option<u64> = None;
+    for (i, chain) in chains.iter().enumerate() {
+        let parsed =
+            RequestSpans::from_json(chain).map_err(|e| format!("{what}: chains[{i}]: {e}"))?;
+        parsed
+            .check()
+            .map_err(|e| format!("{what}: chains[{i}]: {e}"))?;
+        if let Some(prev) = prev_id {
+            if parsed.trace_id <= prev {
+                return Err(format!(
+                    "{what}: chains[{i}] trace_id {} not greater than previous {prev}",
+                    parsed.trace_id
+                ));
+            }
+        }
+        prev_id = Some(parsed.trace_id);
     }
     Ok(())
 }
@@ -526,6 +809,90 @@ mod tests {
                            "p90": null, "p99": null, "min": null, "max": null}
         }"#;
         validate_loadgen_report(&JsonValue::parse(empty).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn slo_view_validation_checks_rates_and_bins() {
+        let good = r#"{
+            "now": 5000000, "window": 1000000, "step": 100000,
+            "per_bin": [
+                {"bin": 0, "count": 0, "p50": null, "p90": null, "p99": null},
+                {"bin": 1, "count": 4, "p50": 800, "p90": 1500, "p99": 1500}
+            ],
+            "queue_depth": 3, "admitted": 8, "shed": 2,
+            "deadline_missed": 1, "completed": 4,
+            "shed_rate": 0.2, "deadline_miss_rate": 0.125
+        }"#;
+        validate_slo_view(&JsonValue::parse(good).unwrap()).unwrap();
+
+        // A rate inconsistent with the window counters is rejected.
+        let lying = good.replace("\"shed_rate\": 0.2", "\"shed_rate\": 0.5");
+        let err = validate_slo_view(&JsonValue::parse(&lying).unwrap()).unwrap_err();
+        assert!(err.contains("shed_rate"), "{err}");
+
+        // Percentiles must be null exactly on an empty bin.
+        let bad_bin = good.replace(
+            "{\"bin\": 0, \"count\": 0, \"p50\": null",
+            "{\"bin\": 0, \"count\": 0, \"p50\": 7",
+        );
+        assert!(validate_slo_view(&JsonValue::parse(&bad_bin).unwrap()).is_err());
+    }
+
+    #[test]
+    fn flight_documents_are_validated() {
+        let summary = r#"{
+            "cap": 4, "recorded": 6, "retained": 4, "dumps": 1,
+            "last_dump_reason": "worker_panic",
+            "by_kind": {"admit": 2, "batch_start": 1, "panic": 1}
+        }"#;
+        validate_flight_summary(&JsonValue::parse(summary).unwrap()).unwrap();
+        let bad = summary.replace("\"retained\": 4", "\"retained\": 5");
+        assert!(validate_flight_summary(&JsonValue::parse(&bad).unwrap()).is_err());
+
+        let dump = r#"{
+            "kind": "nvwa-flight", "schema_version": 1,
+            "reason": "worker_panic", "cap": 8, "recorded": 3,
+            "events": [
+                {"seq": 0, "t_us": 10, "kind": "admit", "a": 1, "b": 0, "c": 1},
+                {"seq": 1, "t_us": 20, "kind": "batch_start", "a": 0, "b": 1, "c": 4},
+                {"seq": 2, "t_us": 30, "kind": "panic", "a": 0, "b": 2, "c": 0}
+            ],
+            "digest": {"admit": 1, "shed": 0, "deadline": 0,
+                       "batch_start": 1, "batch_done": 0, "panic": 1}
+        }"#;
+        validate_flight_dump(&JsonValue::parse(dump).unwrap()).unwrap();
+        // Digest must agree with the event list.
+        let lying = dump.replace("\"panic\": 1", "\"panic\": 2");
+        let err = validate_flight_dump(&JsonValue::parse(&lying).unwrap()).unwrap_err();
+        assert!(err.contains("digest"), "{err}");
+        // Sequence numbers must be strictly increasing.
+        let reordered = dump.replace("\"seq\": 2", "\"seq\": 1");
+        assert!(validate_flight_dump(&JsonValue::parse(&reordered).unwrap()).is_err());
+    }
+
+    #[test]
+    fn span_log_validation_rejects_broken_chains() {
+        use crate::spans::{Outcome, RequestSpans, SpanLog, Stage};
+        let mut log = SpanLog::new(8);
+        for id in [2u64, 1, 3] {
+            log.push(RequestSpans::chain(
+                id,
+                0,
+                id,
+                0,
+                Outcome::Ok,
+                100 * id,
+                &[(Stage::Queue, 50), (Stage::Align, 200), (Stage::Write, 5)],
+            ));
+        }
+        let doc = log.to_json();
+        validate_span_log(&doc).unwrap();
+
+        // Break contiguity inside one serialized chain.
+        let broken = doc
+            .to_string_compact()
+            .replace("\"start_ns\":150", "\"start_ns\":151");
+        assert!(validate_span_log(&JsonValue::parse(&broken).unwrap()).is_err());
     }
 
     #[test]

@@ -19,6 +19,7 @@
 
 use std::io::Write;
 use std::net::TcpStream;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -26,7 +27,9 @@ use nvwa_align::pipeline::ReferenceIndex;
 use nvwa_genome::ReferenceGenome;
 use nvwa_serve::loadgen::{self, ref_params, ArrivalMode, LoadgenConfig};
 use nvwa_serve::protocol::{read_frame, AlignResponse, Request, MAX_FRAME_BYTES};
-use nvwa_serve::{BatcherConfig, Server, ServerConfig, Status};
+use nvwa_serve::{BatcherConfig, ObservabilityConfig, ServeMetrics, Server, ServerConfig, Status};
+use nvwa_telemetry::snapshot::{validate_flight_dump, validate_span_log};
+use nvwa_telemetry::JsonValue;
 
 use crate::Prng;
 
@@ -193,6 +196,10 @@ pub fn run_fault_plan(plan: &FaultPlan) -> Result<String, String> {
                     ..BatcherConfig::default()
                 },
                 worker_panic_at_batch: Some(1),
+                obs: ObservabilityConfig {
+                    flight_dump: Some(flight_dir()),
+                    ..ObservabilityConfig::default()
+                },
                 ..ServerConfig::default()
             },
             120,
@@ -312,6 +319,11 @@ pub fn run_fault_plan(plan: &FaultPlan) -> Result<String, String> {
         ));
     }
 
+    // Universal observability invariant: every admitted request left
+    // exactly one span chain (retained or dropped), and every retained
+    // chain is well-formed (contiguous, stage sum == e2e).
+    check_span_accounting(&metrics, plan.kind.name())?;
+
     // Plan-specific teeth: prove the fault actually fired.
     match plan.kind {
         FaultKind::WorkerPanic => {
@@ -327,6 +339,13 @@ pub fn run_fault_plan(plan: &FaultPlan) -> Result<String, String> {
             if report.ok == 0 {
                 return Err("worker_panic: service did not continue after the panic".to_string());
             }
+            // The panic must have frozen a flight-recorder dump on disk.
+            let path = flight_dir().join("flight_worker_panic.json");
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("worker_panic: flight dump {}: {e}", path.display()))?;
+            let doc =
+                JsonValue::parse(&text).map_err(|e| format!("worker_panic: flight dump: {e}"))?;
+            validate_flight_dump(&doc).map_err(|e| format!("worker_panic: flight dump: {e}"))?;
         }
         FaultKind::QueueStorm => {
             if report.shed == 0 {
@@ -368,12 +387,144 @@ pub fn run_fault_plan(plan: &FaultPlan) -> Result<String, String> {
     ))
 }
 
-/// All plans at one seed; the summary lists each plan's one-liner.
+/// Directory the fault plans point the server's flight-recorder dumps at:
+/// `NVWA_FLIGHT_DIR` when set (CI uploads it as an artifact on failure),
+/// else a stable subdirectory of the system temp dir.
+pub fn flight_dir() -> PathBuf {
+    std::env::var_os("NVWA_FLIGHT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("nvwa-flight"))
+}
+
+/// Exactly-once span accounting: chains retained + dropped must equal
+/// `serve.requests_admitted`, and the retained span log must validate
+/// (every chain contiguous, stage durations summing to its e2e latency).
+fn check_span_accounting(metrics: &ServeMetrics, plan: &str) -> Result<(), String> {
+    let (retained, dropped) = metrics.span_chain_counts();
+    let admitted = metrics.counter("serve.requests_admitted");
+    if retained as u64 + dropped != admitted {
+        return Err(format!(
+            "{plan}: span chains do not account for admissions: \
+             {retained} retained + {dropped} dropped != {admitted} admitted"
+        ));
+    }
+    validate_span_log(&metrics.span_log_doc()).map_err(|e| format!("{plan}: span log: {e}"))
+}
+
+/// Runs the worker-panic scenario at a given worker count and returns the
+/// thread-invariant digest of the quiescent flight ring.
+///
+/// The ring's *byte order* under the wall clock is scheduling-dependent;
+/// the digest is not: with every response received, the ring must hold
+/// exactly `sent` admits, no sheds or deadline expiries, one panic at
+/// batch seq 1 (the injection point), and exactly one `batch_start`
+/// without a matching `batch_done` — the panicked batch.
+///
+/// # Errors
+///
+/// Names the violated invariant (server start/loadgen failures included).
+pub fn worker_panic_flight_digest(seed: u64, workers: usize) -> Result<String, String> {
+    let params = ref_params(FAULT_REF_LEN);
+    let genome = ReferenceGenome::synthesize(&params, seed);
+    let index = Arc::new(ReferenceIndex::build(&genome, 32));
+    let config = ServerConfig {
+        workers,
+        batch: BatcherConfig {
+            max_batch: 8,
+            ..BatcherConfig::default()
+        },
+        worker_panic_at_batch: Some(1),
+        obs: ObservabilityConfig {
+            flight_dump: Some(flight_dir()),
+            ..ObservabilityConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    let reads = loadgen::generate_reads(&params, seed, seed ^ 0x5EAD_0006, 120);
+    let server = Server::start(index, config).map_err(|e| format!("start: {e}"))?;
+    let addr = server.local_addr().to_string();
+    let load = LoadgenConfig {
+        connections: 2,
+        mode: ArrivalMode::Closed { window: 16 },
+        ..LoadgenConfig::default()
+    };
+    let report = loadgen::run(&addr, &reads, &load).map_err(|e| format!("loadgen: {e}"))?;
+    // Quiescent: every response landed, so the ring holds the full story.
+    let dump = loadgen::fetch_flight(&addr).map_err(|e| format!("flight fetch: {e}"))?;
+    let metrics = server.shutdown();
+    if !report.is_lossless() || report.received != report.sent {
+        return Err(format!(
+            "worker_panic[{workers}w]: lost {} duplicates {} — exactly-once violated",
+            report.lost, report.duplicates
+        ));
+    }
+    check_span_accounting(&metrics, "worker_panic_digest")?;
+    validate_flight_dump(&dump).map_err(|e| format!("worker_panic[{workers}w]: {e}"))?;
+    normalized_flight_digest(&dump, report.sent)
+        .map_err(|e| format!("worker_panic[{workers}w]: {e}"))
+}
+
+/// Extracts the thread-invariant digest line from a flight dump.
+fn normalized_flight_digest(dump: &JsonValue, expect_admits: u64) -> Result<String, String> {
+    let digest = dump.get("digest").ok_or("flight dump has no digest")?;
+    let count =
+        |key: &str| -> u64 { digest.get(key).and_then(JsonValue::as_num).unwrap_or(0.0) as u64 };
+    let (admit, shed, deadline) = (count("admit"), count("shed"), count("deadline"));
+    let (start, done, panic) = (count("batch_start"), count("batch_done"), count("panic"));
+    if admit != expect_admits {
+        return Err(format!(
+            "flight digest holds {admit} admits, want {expect_admits}"
+        ));
+    }
+    if start != done + 1 {
+        return Err(format!(
+            "batch_start {start} != batch_done {done} + 1 \
+             (only the panicked batch may lack a batch_done)"
+        ));
+    }
+    let panic_batches: Vec<u64> = digest
+        .get("panic_batches")
+        .and_then(JsonValue::as_arr)
+        .map(|arr| {
+            arr.iter()
+                .filter_map(JsonValue::as_num)
+                .map(|n| n as u64)
+                .collect()
+        })
+        .unwrap_or_default();
+    Ok(format!(
+        "admit={admit} shed={shed} deadline={deadline} panic={panic} \
+         panic_batches={panic_batches:?} dangling_batches={}",
+        start - done
+    ))
+}
+
+/// The worker-panic flight digest must be identical at 1, 2 and 8
+/// workers — the determinism boundary DESIGN.md §13 pins.
+pub fn worker_panic_digest_matrix(seed: u64) -> Result<String, String> {
+    let mut digests = Vec::new();
+    for workers in [1usize, 2, 8] {
+        digests.push((workers, worker_panic_flight_digest(seed, workers)?));
+    }
+    let (_, first) = &digests[0];
+    for (workers, digest) in &digests[1..] {
+        if digest != first {
+            return Err(format!(
+                "flight digest diverges across worker counts: 1w {first:?} vs {workers}w {digest:?}"
+            ));
+        }
+    }
+    Ok(format!("flight digest invariant at 1/2/8 workers: {first}"))
+}
+
+/// All plans at one seed; the summary lists each plan's one-liner, plus
+/// the cross-worker flight-digest invariance check.
 pub fn run_fault_family(seed: u64) -> Result<String, String> {
     let mut lines = Vec::new();
     for plan in fault_plans(seed) {
         lines.push(run_fault_plan(&plan)?);
     }
+    lines.push(worker_panic_digest_matrix(seed)?);
     Ok(format!(
         "faults: {} plans — {}",
         lines.len(),
@@ -414,5 +565,13 @@ mod tests {
         })
         .expect("plan holds");
         assert!(summary.contains("worker_panic"), "{summary}");
+    }
+
+    #[test]
+    fn worker_panic_flight_digest_is_worker_count_invariant() {
+        let summary = worker_panic_digest_matrix(5).expect("digest matrix holds");
+        assert!(summary.contains("admit=120"), "{summary}");
+        assert!(summary.contains("panic=1"), "{summary}");
+        assert!(summary.contains("panic_batches=[1]"), "{summary}");
     }
 }

@@ -66,34 +66,51 @@ cargo run --release --quiet -p nvwa-bench --bin validate -- \
     "$artifacts_dir/bench_extend.json" "$artifacts_dir/bench_e2e.json"
 
 # Serve smoke test: start the server in the background on an ephemeral
-# port, push 2 000 reads closed-loop, request a graceful shutdown, and
-# assert (a) the loadgen saw zero lost/duplicated responses (nvwa-loadgen
+# port, push 2 000 reads closed-loop while scraping the in-band `stats`
+# endpoint, request a graceful shutdown, and assert (a) the loadgen saw
+# zero lost/duplicated responses and no violated SLO target (nvwa-loadgen
 # exits non-zero otherwise), (b) the server drained and exited cleanly,
-# (c) the serve snapshot, trace and loadgen report all pass validation.
+# (c) the stats response, span log, trace, loadgen report and loadgen
+# metrics snapshot all pass validation, (d) at least two mid-run stats
+# snapshots were captured (the stats-scrape smoke test).
 rm -f "$artifacts_dir/serve_addr"
 cargo run --release --quiet --bin nvwa -- serve \
     --addr 127.0.0.1:0 --addr-file "$artifacts_dir/serve_addr" \
     --ref-len 60000 --workers 2 \
+    --flight-dump "$artifacts_dir/flight" \
     --metrics-out "$artifacts_dir/serve_metrics.json" \
+    --span-log-out "$artifacts_dir/serve_spans.json" \
     --trace-out "$artifacts_dir/serve_trace.json" &
 serve_pid=$!
 cargo run --release --quiet -p nvwa-serve --bin nvwa-loadgen -- \
     --addr-file "$artifacts_dir/serve_addr" \
     --reads 2000 --connections 2 --mode closed --window 32 \
     --ref-len 60000 \
+    --scrape-ms 20 --stats-out "$artifacts_dir/loadgen_stats.json" \
+    --slo lost=0 --slo error_rate=0 \
+    --metrics-out "$artifacts_dir/loadgen_metrics.json" \
     --out "$artifacts_dir/loadgen_report.json" --shutdown
 wait "$serve_pid"
 cargo run --release --quiet -p nvwa-bench --bin validate -- \
     "$artifacts_dir/serve_metrics.json" \
+    "$artifacts_dir/serve_spans.json" \
     "$artifacts_dir/serve_trace.json" \
-    "$artifacts_dir/loadgen_report.json"
-echo "serve smoke test: clean drain, zero lost responses"
+    "$artifacts_dir/loadgen_report.json" \
+    "$artifacts_dir/loadgen_metrics.json"
+scrapes="$(grep -c '"kind": "nvwa-metrics"' "$artifacts_dir/loadgen_stats.json" || true)"
+if [ "$scrapes" -lt 2 ]; then
+    echo "stats scrape smoke: only $scrapes mid-run snapshots (want >= 2)" >&2
+    exit 1
+fi
+echo "serve smoke test: clean drain, zero lost responses, $scrapes stats scrapes"
 
 # Conformance: differential oracles (sw/smem/pipeline/serve-vs-offline
 # plus the bit-parallel extension-kernel family), simulator invariants
 # and the fault-injection matrix, over the CI seed list in both the
 # short and long read profiles. Divergence reproducers land in the
-# artifacts dir (uploaded by CI on failure).
-cargo run --release --quiet --bin nvwa -- conformance \
+# artifacts dir (uploaded by CI on failure); the fault family's
+# flight-recorder dumps land next to them for the same upload.
+NVWA_FLIGHT_DIR="$artifacts_dir/flight" \
+    cargo run --release --quiet --bin nvwa -- conformance \
     --seed-from-ci --repro-dir "$artifacts_dir/repro"
 echo "conformance: all families pass"

@@ -79,6 +79,8 @@ fn usage() -> ExitCode {
     eprintln!("                   [--ref-len N] [--ref-seed S] [--queue-cap N] [--workers N]");
     eprintln!("                   [--batch-max N] [--batch-wait-us U] [--deadline-ms D]");
     eprintln!("                   [--backend sw|hil] [--metrics-out m.json] [--trace-out t.json]");
+    eprintln!("                   [--span-log-out s.json] [--flight-dump DIR] [--flight-cap N]");
+    eprintln!("                   [--slo-window-ms W] [--slo-step-ms S] [--shed-storm N]");
     eprintln!("  nvwa conformance [--seed S]... [--seed-from-ci] [--cases N] [--serve-reads N]");
     eprintln!("                   [--families diff,extension,invariants,faults] [--family NAME]");
     eprintln!("                   [--repro-dir DIR]");
@@ -356,7 +358,9 @@ fn conformance(args: &[String]) -> ExitCode {
 
 fn serve(args: &[String]) -> ExitCode {
     use nvwa::serve::loadgen::ref_params;
-    use nvwa::serve::{signal, BackendKind, BatcherConfig, Server, ServerConfig};
+    use nvwa::serve::{
+        signal, BackendKind, BatcherConfig, ObservabilityConfig, Server, ServerConfig,
+    };
     use std::sync::Arc;
     use std::time::Duration;
 
@@ -399,6 +403,18 @@ fn serve(args: &[String]) -> ExitCode {
             .and_then(|v| v.parse().ok())
             .map(Duration::from_millis),
         trace: flag_value(args, "--trace-out").is_some(),
+        obs: {
+            let defaults = ObservabilityConfig::default();
+            ObservabilityConfig {
+                slo_window_ms: flag_u64(args, "--slo-window-ms", defaults.slo_window_ms),
+                slo_step_ms: flag_u64(args, "--slo-step-ms", defaults.slo_step_ms),
+                span_log_cap: flag_u64(args, "--span-log-cap", defaults.span_log_cap as u64)
+                    as usize,
+                flight_cap: flag_u64(args, "--flight-cap", defaults.flight_cap as u64) as usize,
+                flight_dump: flag_value(args, "--flight-dump").map(std::path::PathBuf::from),
+                shed_storm_threshold: flag_value(args, "--shed-storm").and_then(|v| v.parse().ok()),
+            }
+        },
         worker_delay: flag_value(args, "--debug-worker-delay-us")
             .and_then(|v| v.parse().ok())
             .map(Duration::from_micros),
@@ -444,7 +460,16 @@ fn serve(args: &[String]) -> ExitCode {
     };
     if let Some(path) = flag_value(args, "--metrics-out") {
         let meta = SnapshotMeta::collect(nvwa::sim::par::current_threads());
-        let doc = metrics.snapshot(&meta).to_string_pretty();
+        // The stats-response document: registry snapshot + live SLO view
+        // + flight-recorder summary, same shape the in-band `stats`
+        // request answers with.
+        let doc = metrics.stats_response(&meta).to_string_pretty();
+        if let Err(code) = write(&path, &doc) {
+            return code;
+        }
+    }
+    if let Some(path) = flag_value(args, "--span-log-out") {
+        let doc = metrics.span_log_doc().to_string_pretty();
         if let Err(code) = write(&path, &doc) {
             return code;
         }
