@@ -91,6 +91,14 @@ impl ReferenceIndex {
     pub fn sampled_sa(&self) -> &SampledSa {
         &self.ssa
     }
+
+    /// Approximate heap footprint in bytes: flat codes + FMD checkpoints
+    /// and prefix LUT + sampled SA. The multi-tenant registry budgets
+    /// tenants by this number, so it must be build-deterministic (it is:
+    /// every component's size is a pure function of the input length).
+    pub fn heap_bytes(&self) -> usize {
+        self.flat.len() + self.fmd.footprint_bytes() + self.ssa.footprint_bytes()
+    }
 }
 
 /// Aligner parameters.

@@ -47,10 +47,20 @@
 //!   over loopback TCP through the full `nvwa-serve` stack (framing,
 //!   admission, length-binned batching, 2 workers). Measures end-to-end
 //!   serving overhead relative to the offline workload build.
+//! * `serve_reactor_10k_idle` — the PR8 scheduling scenario: park ~10k
+//!   idle connections (capped by `RLIMIT_NOFILE`: client and server fds
+//!   share one process here), then push 2 000 active reads, under the
+//!   thread-per-connection and the poll-reactor frontends. Records the
+//!   process thread count and `VmRSS` with the idle fleet parked plus
+//!   the active run's p99, in a dedicated `serve_reactor_10k_idle`
+//!   JSON section (`--out BENCH_PR8.json` is the convention for it).
 //!
 //! Medians of `--samples` runs (default 3). The file also records the
 //! host's available parallelism: on a single-CPU host the parallel
-//! scenarios legitimately measure ≈1×.
+//! scenarios legitimately measure ≈1× — and the frontends' p99s are
+//! closer than on a multi-core host, since one core serializes both
+//! designs' work anyway; the thread-count and RSS deltas are the
+//! architecture-independent signal.
 
 use std::time::Instant;
 
@@ -395,6 +405,131 @@ fn main() {
         server.shutdown();
     }
 
+    // --- serve_reactor_10k_idle ---------------------------------------
+    // The scheduling contrast behind the reactor: a thread-per-connection
+    // frontend pays one OS thread per parked socket; the poll reactor
+    // pays one pollfd. Park as close to 10k idle connections as
+    // RLIMIT_NOFILE allows (each costs two fds in this single process),
+    // then measure thread count + VmRSS with the fleet parked and the
+    // p99 of 2 000 active reads pushed around it.
+    struct FrontendStat {
+        frontend: &'static str,
+        idle_conns: usize,
+        threads_with_idle: usize,
+        vm_rss_kb_with_idle: u64,
+        active_p99_ms: f64,
+        active_wall_ms: f64,
+    }
+    let mut frontend_stats: Vec<FrontendStat> = Vec::new();
+    if want("serve_reactor_10k_idle") && cfg!(unix) {
+        use nvwa_serve::loadgen::{run as loadgen_run, ArrivalMode, LoadgenConfig};
+        use nvwa_serve::{raise_nofile_limit, Frontend, Server, ServerConfig};
+        let proc_field = |key: &str| -> Option<u64> {
+            let status = std::fs::read_to_string("/proc/self/status").ok()?;
+            status
+                .lines()
+                .find(|l| l.starts_with(key))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        };
+        let limit = raise_nofile_limit(65_536);
+        // Two fds per loopback connection, plus headroom for the active
+        // phase, indexes and the harness itself.
+        let idle_target = 10_000.min((limit.saturating_sub(1_000) / 2) as usize);
+        let active_reads: Vec<Vec<u8>> = reads[..2_000]
+            .iter()
+            .map(|r| r.seq.codes().to_vec())
+            .collect();
+        let shared = std::sync::Arc::new(ReferenceIndex::build(&genome, 32));
+        for (tag, frontend) in [
+            ("threads", Frontend::Threads),
+            ("reactor", Frontend::Reactor),
+        ] {
+            // The threaded frontend pays one OS thread per parked socket
+            // and connect() degrades severely past a few thousand threads
+            // on a small host — cap its fleet so the scenario terminates.
+            // Growth is linear in connections either way; the recorded
+            // `idle_conns` makes the asymmetric fleets explicit.
+            let frontend_target = match frontend {
+                Frontend::Threads => idle_target.min(2_000),
+                Frontend::Reactor => idle_target,
+            };
+            if frontend_target < idle_target {
+                eprintln!(
+                    "serve_reactor_10k_idle: capping {tag} fleet at {frontend_target} \
+                     of {idle_target} idle connections (thread-per-connection cost)"
+                );
+            }
+            let server = Server::start(
+                std::sync::Arc::clone(&shared),
+                ServerConfig {
+                    workers: 2,
+                    frontend,
+                    ..ServerConfig::default()
+                },
+            )
+            .expect("idle scenario: server start");
+            let addr = server.local_addr().to_string();
+            let mut idle = Vec::with_capacity(frontend_target);
+            for i in 0..frontend_target {
+                match std::net::TcpStream::connect(&addr) {
+                    Ok(s) => idle.push(s),
+                    Err(e) => {
+                        eprintln!("serve_reactor_10k_idle: {tag}: connect {i} failed: {e}");
+                        break;
+                    }
+                }
+            }
+            // Let the frontend finish accepting/registering the fleet.
+            std::thread::sleep(std::time::Duration::from_millis(500));
+            let threads_with_idle = proc_field("Threads:").unwrap_or(0) as usize;
+            let vm_rss_kb_with_idle = proc_field("VmRSS:").unwrap_or(0);
+            let start = Instant::now();
+            let report = loadgen_run(
+                &addr,
+                &active_reads,
+                &LoadgenConfig {
+                    connections: 8,
+                    mode: ArrivalMode::Closed { window: 32 },
+                    ..LoadgenConfig::default()
+                },
+            )
+            .expect("idle scenario: loadgen");
+            let active_wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            assert!(
+                report.is_lossless() && report.ok == active_reads.len() as u64,
+                "idle scenario ({tag}) must stay lossless around the parked fleet"
+            );
+            eprintln!(
+                "serve_reactor_10k_idle/{tag:8} idle={} threads={} rss_kb={} p99_ms={:.1}",
+                idle.len(),
+                threads_with_idle,
+                vm_rss_kb_with_idle,
+                report.latency.p99.unwrap_or(0.0) / 1e3
+            );
+            frontend_stats.push(FrontendStat {
+                frontend: tag,
+                idle_conns: idle.len(),
+                threads_with_idle,
+                vm_rss_kb_with_idle,
+                active_p99_ms: report.latency.p99.unwrap_or(0.0) / 1e3,
+                active_wall_ms,
+            });
+            // The active phase also lands in the ordinary scenario table
+            // (single run — the parked fleet is the expensive fixture).
+            records.push(Record {
+                name: match frontend {
+                    Frontend::Threads => "serve_idle_active_threads",
+                    Frontend::Reactor => "serve_idle_active_reactor",
+                },
+                threads: 2,
+                median_wall_ms: active_wall_ms,
+            });
+            drop(idle);
+            server.shutdown();
+        }
+    }
+
     let lookup = |name: &str, threads: usize| {
         records
             .iter()
@@ -488,6 +623,28 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    if !frontend_stats.is_empty() {
+        json.push_str("  \"serve_reactor_10k_idle\": [\n");
+        for (i, s) in frontend_stats.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"frontend\": \"{}\", \"idle_conns\": {}, \"threads_with_idle\": {}, \
+                 \"vm_rss_kb_with_idle\": {}, \"active_p99_ms\": {:.3}, \
+                 \"active_wall_ms\": {:.3}}}{}\n",
+                s.frontend,
+                s.idle_conns,
+                s.threads_with_idle,
+                s.vm_rss_kb_with_idle,
+                s.active_p99_ms,
+                s.active_wall_ms,
+                if i + 1 < frontend_stats.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        json.push_str("  ],\n");
+    }
     json.push_str("  \"speedups\": {\n");
     for (i, (name, _, _, v)) in speedups.iter().enumerate() {
         json.push_str(&format!(

@@ -61,6 +61,24 @@ impl Species {
         }
     }
 
+    /// Stable machine key (snake-cased binomial) used to name tenants in
+    /// the serving registry and on the wire.
+    pub fn key(self) -> &'static str {
+        match self {
+            Species::HomoSapiens => "homo_sapiens",
+            Species::ClitarchusHookeri => "clitarchus_hookeri",
+            Species::ZapusHudsonius => "zapus_hudsonius",
+            Species::CamelusDromedarius => "camelus_dromedarius",
+            Species::VenustaconchaEllipsiformis => "venustaconcha_ellipsiformis",
+            Species::CaenorhabditisElegans => "caenorhabditis_elegans",
+        }
+    }
+
+    /// Parses a [`Species::key`] back to the species.
+    pub fn from_key(key: &str) -> Option<Species> {
+        ALL_SPECIES.into_iter().find(|s| s.key() == key)
+    }
+
     /// Synthesis profile scaled for simulation (`scale` multiplies the base
     /// genome length; use 1.0 for tests, larger for benches).
     ///
@@ -121,6 +139,18 @@ mod tests {
     fn labels_match_paper() {
         assert_eq!(Species::HomoSapiens.label(), "H. s.");
         assert_eq!(Species::CaenorhabditisElegans.label(), "C. e.");
+    }
+
+    #[test]
+    fn keys_round_trip() {
+        for s in ALL_SPECIES {
+            assert_eq!(Species::from_key(s.key()), Some(s));
+        }
+        assert_eq!(
+            Species::from_key("homo_sapiens"),
+            Some(Species::HomoSapiens)
+        );
+        assert_eq!(Species::from_key("tyrannosaurus_rex"), None);
     }
 
     #[test]

@@ -330,6 +330,16 @@ impl FmdIndex {
         self.lut.as_ref()
     }
 
+    /// Approximate heap footprint in bytes: the underlying FM-index
+    /// checkpoints plus the prefix LUT (registry memory accounting).
+    pub fn footprint_bytes(&self) -> usize {
+        self.fm.footprint_bytes()
+            + self
+                .lut
+                .as_ref()
+                .map_or(0, |lut| lut.entries() * std::mem::size_of::<BiInterval>())
+    }
+
     /// Maps an occurrence position in the doubled text to a strand-resolved
     /// hit on the forward reference, given the pattern length.
     ///

@@ -4,6 +4,7 @@
 //! nvwa-loadgen [--addr H:P | --addr-file PATH] [--reads N] [--connections C]
 //!              [--mode closed|open] [--window W] [--rate RPS] [--burst B]
 //!              [--deadline-ms D] [--ref-len N] [--ref-seed S] [--read-seed S]
+//!              [--tenant KEY[:WEIGHT]]... [--tenant-scale F]
 //!              [--out report.json] [--metrics-out snap.json]
 //!              [--stats-out scrapes.json] [--scrape-ms MS] [--slo key=value]...
 //!              [--shutdown] [--threads N]
@@ -17,11 +18,18 @@
 //! endpoint mid-run (snapshots land in `--stats-out` as a JSON array);
 //! `--slo key=value` targets (repeatable) grade the run. Exits non-zero
 //! if any request was lost or duplicated, or any SLO target is violated.
+//!
+//! `--tenant KEY[:WEIGHT]` (repeatable) switches to multi-tenant mode
+//! against a registry server (`nvwa serve --tenant ...`): reads are
+//! synthesized per species at `--tenant-scale` (must match the server's),
+//! tagged with the tenant name and interleaved by integer weight, and
+//! the report grows per-tenant accounting sections.
 
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
-use nvwa_serve::loadgen::{self, ArrivalMode, LoadgenConfig, SloTarget};
+use nvwa_genome::species::Species;
+use nvwa_serve::loadgen::{self, ArrivalMode, LoadgenConfig, SloTarget, TenantRead};
 use nvwa_telemetry::{JsonValue, SnapshotMeta};
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
@@ -42,6 +50,7 @@ fn usage() -> ExitCode {
     eprintln!("                    [--connections C] [--mode closed|open] [--window W]");
     eprintln!("                    [--rate RPS] [--burst B] [--deadline-ms D]");
     eprintln!("                    [--ref-len N] [--ref-seed S] [--read-seed S]");
+    eprintln!("                    [--tenant KEY[:WEIGHT]]... [--tenant-scale F]");
     eprintln!("                    [--out report.json] [--metrics-out snap.json]");
     eprintln!("                    [--stats-out scrapes.json] [--scrape-ms MS]");
     eprintln!("                    [--slo key=value]... [--shutdown] [--threads N]");
@@ -136,15 +145,89 @@ fn main() -> ExitCode {
         slo,
     };
 
-    eprintln!("synthesizing {reads_n} reads (ref {ref_len} bp, seed {ref_seed}) ...");
-    let reads =
-        loadgen::generate_reads(&loadgen::ref_params(ref_len), ref_seed, read_seed, reads_n);
-    eprintln!(
-        "driving {addr}: {} mode, {} connections ...",
-        config.mode.as_str(),
-        config.connections
-    );
-    let report = match loadgen::run(&addr, &reads, &config) {
+    // Multi-tenant mix: `--tenant KEY[:WEIGHT]` (repeatable). Weighted
+    // round-robin interleave so every window carries every tenant.
+    let mut tenants: Vec<(Species, usize)> = Vec::new();
+    for spec in flag_values(&args, "--tenant") {
+        let mut parts = spec.split(':');
+        let key = parts.next().unwrap_or("");
+        let Some(species) = Species::from_key(key) else {
+            eprintln!("nvwa-loadgen: unknown species key {key:?}");
+            return usage();
+        };
+        let weight = match parts.next() {
+            None => 1usize,
+            Some(w) => match w.parse().ok().filter(|n| *n >= 1) {
+                Some(n) => n,
+                None => {
+                    eprintln!("nvwa-loadgen: bad weight {w:?} in {spec:?}");
+                    return usage();
+                }
+            },
+        };
+        tenants.push((species, weight));
+    }
+
+    let run_result = if tenants.is_empty() {
+        eprintln!("synthesizing {reads_n} reads (ref {ref_len} bp, seed {ref_seed}) ...");
+        let reads =
+            loadgen::generate_reads(&loadgen::ref_params(ref_len), ref_seed, read_seed, reads_n);
+        eprintln!(
+            "driving {addr}: {} mode, {} connections ...",
+            config.mode.as_str(),
+            config.connections
+        );
+        loadgen::run(&addr, &reads, &config)
+    } else {
+        let tenant_scale = flag_value(&args, "--tenant-scale")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.05f64);
+        let cycle: Vec<usize> = tenants
+            .iter()
+            .enumerate()
+            .flat_map(|(i, (_, w))| std::iter::repeat_n(i, *w))
+            .collect();
+        let mut counts = vec![0usize; tenants.len()];
+        for i in 0..reads_n {
+            counts[cycle[i % cycle.len()]] += 1;
+        }
+        let pools: Vec<Vec<Vec<u8>>> = tenants
+            .iter()
+            .enumerate()
+            .map(|(i, (species, _))| {
+                eprintln!(
+                    "synthesizing {} reads for tenant {} (scale {tenant_scale}) ...",
+                    counts[i],
+                    species.key()
+                );
+                loadgen::generate_species_reads(
+                    *species,
+                    tenant_scale,
+                    read_seed ^ (i as u64 + 1),
+                    counts[i],
+                )
+            })
+            .collect();
+        let mut taken = vec![0usize; tenants.len()];
+        let mut mixed = Vec::with_capacity(reads_n);
+        for i in 0..reads_n {
+            let t = cycle[i % cycle.len()];
+            mixed.push(TenantRead {
+                tenant: Some(tenants[t].0.key().to_string()),
+                codes: pools[t][taken[t]].clone(),
+                region: None,
+            });
+            taken[t] += 1;
+        }
+        eprintln!(
+            "driving {addr}: {} mode, {} connections, {} tenants ...",
+            config.mode.as_str(),
+            config.connections,
+            tenants.len()
+        );
+        loadgen::run_tenants(&addr, &mixed, &config)
+    };
+    let report = match run_result {
         Ok(r) => r,
         Err(e) => {
             eprintln!("nvwa-loadgen: {addr}: {e}");
@@ -154,16 +237,31 @@ fn main() -> ExitCode {
 
     let fmt_us = |v: Option<f64>| v.map_or("-".to_string(), |us| format!("{:.1}", us / 1e3));
     println!(
-        "sent {} received {} (ok {} shed {} deadline {} error {}) lost {} dup {}",
+        "sent {} received {} (ok {} shed {} quota {} deadline {} error {}) lost {} dup {}",
         report.sent,
         report.received,
         report.ok,
         report.shed,
+        report.quota,
         report.deadline,
         report.errors,
         report.lost,
         report.duplicates
     );
+    for t in &report.tenants {
+        println!(
+            "tenant {}: sent {} ok {} shed {} quota {} deadline {} error {} lost {} | p99 ms {}",
+            t.name,
+            t.sent,
+            t.ok,
+            t.shed,
+            t.quota,
+            t.deadline,
+            t.errors,
+            t.lost,
+            fmt_us(t.latency.p99)
+        );
+    }
     println!(
         "mapped {}/{} | {:.0} req/s | latency ms p50 {} p90 {} p99 {} max {}",
         report.mapped,

@@ -48,17 +48,21 @@ pub enum FlightEventKind {
     BatchDone,
     /// Batch execution panicked: `a` = batch seq, `b` = worker.
     Panic,
+    /// Request refused by a tenant's admission quota: `a` = request id,
+    /// `b` = connection, `c` = the quota limit.
+    Quota,
 }
 
 impl FlightEventKind {
     /// All kinds, index-aligned with [`FLIGHT_EVENT_KINDS`].
-    pub const ALL: [FlightEventKind; 6] = [
+    pub const ALL: [FlightEventKind; 7] = [
         FlightEventKind::Admit,
         FlightEventKind::Shed,
         FlightEventKind::Deadline,
         FlightEventKind::BatchStart,
         FlightEventKind::BatchDone,
         FlightEventKind::Panic,
+        FlightEventKind::Quota,
     ];
 
     /// Wire name.

@@ -16,6 +16,12 @@
 //!   accelerator model ([`backend`]),
 //! * graceful drain on shutdown — every admitted request is answered
 //!   ([`server`]),
+//! * a second, event-driven connection frontend: one `poll(2)` reactor
+//!   thread for every socket, so 10k+ idle connections cost no reader
+//!   threads and responses stay bit-identical ([`reactor`]),
+//! * a multi-tenant index registry — the six species references loaded
+//!   side by side under a memory budget with LRU eviction, deterministic
+//!   shard routing and per-tenant admission quotas ([`registry`]),
 //! * full telemetry: queue-depth gauges, batch/latency histograms,
 //!   shed/deadline counters, Chrome-trace spans per batch plus a
 //!   per-request span chain for every admitted request ([`metrics`]),
@@ -36,13 +42,19 @@ pub mod loadgen;
 pub mod metrics;
 pub mod protocol;
 pub mod queue;
+#[cfg(unix)]
+pub mod reactor;
+pub mod registry;
 pub mod server;
 pub mod signal;
 
 pub use backend::BackendKind;
 pub use batcher::BatcherConfig;
 pub use flight::{FlightEvent, FlightEventKind, FlightRecorder};
-pub use loadgen::{ArrivalMode, LoadReport, LoadgenConfig};
+pub use loadgen::{ArrivalMode, LoadReport, LoadgenConfig, TenantRead, TenantReport};
 pub use metrics::{ObservabilityConfig, ServeMetrics};
 pub use protocol::{AlignResponse, Request, Status};
-pub use server::{Server, ServerConfig};
+#[cfg(unix)]
+pub use reactor::raise_nofile_limit;
+pub use registry::{IndexRegistry, RegistryError, TenantSpec};
+pub use server::{Frontend, Server, ServerConfig, TenantServeSpec};

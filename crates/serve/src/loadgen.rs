@@ -13,8 +13,13 @@
 //!
 //! Every request is tracked until its response arrives; the report proves
 //! conservation: `sent == received + lost` and
-//! `received == ok + shed + deadline + errors`, with duplicates counted
-//! separately. A healthy run has `lost == 0 && duplicates == 0`.
+//! `received == ok + shed + quota + deadline + errors`, with duplicates
+//! counted separately. A healthy run has `lost == 0 && duplicates == 0`.
+//!
+//! Multi-tenant mixes: [`run_tenants`] takes reads labelled with a wire
+//! `tenant` name and reports the same conservation identities *per
+//! tenant* (plus per-tenant latency), so a quota-shed tenant is visible
+//! without polluting its neighbors' SLO.
 
 use std::collections::HashMap;
 use std::io::Write as _;
@@ -109,6 +114,7 @@ pub const SLO_KEYS: &[&str] = &[
     "p99_us",
     "max_us",
     "shed_rate",
+    "quota_rate",
     "deadline_miss_rate",
     "error_rate",
     "lost",
@@ -203,6 +209,7 @@ fn evaluate_slo(report: &LoadReport, targets: &[SloTarget]) -> Vec<SloCheck> {
                 "p99_us" => report.latency.p99,
                 "max_us" => report.latency.max,
                 "shed_rate" => rate(report.shed),
+                "quota_rate" => rate(report.quota),
                 "deadline_miss_rate" => rate(report.deadline),
                 "error_rate" => rate(report.errors),
                 "lost" => Some(report.lost as f64),
@@ -307,6 +314,8 @@ pub struct LoadReport {
     pub ok: u64,
     /// `shed` responses (explicit backpressure).
     pub shed: u64,
+    /// `quota` responses (per-tenant admission quota exhausted).
+    pub quota: u64,
     /// `deadline` responses.
     pub deadline: u64,
     /// `error` responses.
@@ -323,6 +332,8 @@ pub struct LoadReport {
     pub throughput_rps: f64,
     /// Client-observed end-to-end latency (send → response), `ok` only.
     pub latency: LatencySummary,
+    /// Per-tenant slices of the run (empty for unlabelled [`run`] loads).
+    pub tenants: Vec<TenantReport>,
     /// Decoded responses by request id (when `collect_responses`).
     pub responses: HashMap<u64, AlignResponse>,
     /// Schema-validated `stats` snapshots scraped mid-run.
@@ -350,6 +361,7 @@ impl LoadReport {
             ("duplicates", JsonValue::Num(self.duplicates as f64)),
             ("ok", JsonValue::Num(self.ok as f64)),
             ("shed", JsonValue::Num(self.shed as f64)),
+            ("quota", JsonValue::Num(self.quota as f64)),
             ("deadline", JsonValue::Num(self.deadline as f64)),
             ("errors", JsonValue::Num(self.errors as f64)),
             ("mapped", JsonValue::Num(self.mapped as f64)),
@@ -358,6 +370,10 @@ impl LoadReport {
             ("wall_ms", JsonValue::Num(self.wall_ms)),
             ("throughput_rps", JsonValue::Num(self.throughput_rps)),
             ("latency_us", self.latency.to_json()),
+            (
+                "tenants",
+                JsonValue::Arr(self.tenants.iter().map(TenantReport::to_json).collect()),
+            ),
             (
                 "scrapes",
                 JsonValue::obj(vec![
@@ -398,6 +414,65 @@ impl LoadReport {
     }
 }
 
+/// Per-tenant slice of a [`LoadReport`]: the same conservation identities
+/// (`sent == received + lost`,
+/// `received == ok + shed + quota + deadline + errors`) hold per tenant.
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    /// Wire tenant label (`"default"` for unlabelled reads).
+    pub name: String,
+    /// Requests written for this tenant.
+    pub sent: u64,
+    /// Unique responses received.
+    pub received: u64,
+    /// Requests with no response.
+    pub lost: u64,
+    /// `ok` responses.
+    pub ok: u64,
+    /// `shed` responses.
+    pub shed: u64,
+    /// `quota` responses.
+    pub quota: u64,
+    /// `deadline` responses.
+    pub deadline: u64,
+    /// `error` responses.
+    pub errors: u64,
+    /// `ok` responses carrying an alignment.
+    pub mapped: u64,
+    /// Client-observed latency for this tenant's `ok` responses.
+    pub latency: LatencySummary,
+}
+
+impl TenantReport {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("name", JsonValue::Str(self.name.clone())),
+            ("sent", JsonValue::Num(self.sent as f64)),
+            ("received", JsonValue::Num(self.received as f64)),
+            ("lost", JsonValue::Num(self.lost as f64)),
+            ("ok", JsonValue::Num(self.ok as f64)),
+            ("shed", JsonValue::Num(self.shed as f64)),
+            ("quota", JsonValue::Num(self.quota as f64)),
+            ("deadline", JsonValue::Num(self.deadline as f64)),
+            ("errors", JsonValue::Num(self.errors as f64)),
+            ("mapped", JsonValue::Num(self.mapped as f64)),
+            ("latency_us", self.latency.to_json()),
+        ])
+    }
+}
+
+/// One read of a multi-tenant mix (see [`run_tenants`]).
+#[derive(Debug, Clone)]
+pub struct TenantRead {
+    /// Wire `tenant` label; `None` omits the field (the server routes to
+    /// its default tenant), reported under the name `"default"`.
+    pub tenant: Option<String>,
+    /// 2-bit read codes.
+    pub codes: Vec<u8>,
+    /// Optional shard-routing region hint.
+    pub region: Option<u64>,
+}
+
 /// The canonical synthetic-reference shape for serving: both the `nvwa
 /// serve` CLI and `nvwa-loadgen` build from `(ref_params(len), ref_seed)`,
 /// so a loadgen pointed at a default server produces reads that map.
@@ -419,6 +494,22 @@ pub fn generate_reads(
     n: usize,
 ) -> Vec<Vec<u8>> {
     let genome = ReferenceGenome::synthesize(params, ref_seed);
+    let mut sim = ReadSimulator::new(&genome, ReadSimParams::illumina_101(), read_seed);
+    sim.simulate_reads(n)
+        .into_iter()
+        .map(|r| r.seq.codes().to_vec())
+        .collect()
+}
+
+/// Synthesizes reads against a registry tenant's species reference (the
+/// server loads the same `Species::synthesize` genome, so reads map).
+pub fn generate_species_reads(
+    species: nvwa_genome::species::Species,
+    scale: f64,
+    read_seed: u64,
+    n: usize,
+) -> Vec<Vec<u8>> {
+    let genome = species.synthesize(scale);
     let mut sim = ReadSimulator::new(&genome, ReadSimParams::illumina_101(), read_seed);
     sim.simulate_reads(n)
         .into_iter()
@@ -449,8 +540,33 @@ impl Prng {
     }
 }
 
-/// Per-connection tally, merged into the final report.
-#[derive(Default)]
+/// One read as sent on the wire: global id plus tenant routing labels.
+struct WireRead<'a> {
+    id: u64,
+    tenant_idx: u32,
+    tenant: Option<&'a str>,
+    region: Option<u64>,
+    codes: &'a [u8],
+}
+
+/// Per-tenant slice of a connection tally.
+#[derive(Default, Clone)]
+struct TenantTally {
+    sent: u64,
+    received: u64,
+    lost: u64,
+    ok: u64,
+    shed: u64,
+    quota: u64,
+    deadline: u64,
+    errors: u64,
+    mapped: u64,
+    latencies_us: Vec<f64>,
+}
+
+/// Per-connection tally, merged into the final report. In-flight requests
+/// are tracked as `id → (send instant, tenant index)` so both the global
+/// and the per-tenant identities stay exact.
 struct ConnTally {
     sent: u64,
     received: u64,
@@ -458,34 +574,90 @@ struct ConnTally {
     duplicates: u64,
     ok: u64,
     shed: u64,
+    quota: u64,
     deadline: u64,
     errors: u64,
     mapped: u64,
     latencies_us: Vec<f64>,
     responses: HashMap<u64, AlignResponse>,
+    tenants: Vec<TenantTally>,
 }
 
 impl ConnTally {
-    fn record(&mut self, doc: &JsonValue, sent_at: &mut HashMap<u64, Instant>, collect: bool) {
+    fn new(n_tenants: usize) -> ConnTally {
+        ConnTally {
+            sent: 0,
+            received: 0,
+            lost: 0,
+            duplicates: 0,
+            ok: 0,
+            shed: 0,
+            quota: 0,
+            deadline: 0,
+            errors: 0,
+            mapped: 0,
+            latencies_us: Vec::new(),
+            responses: HashMap::new(),
+            tenants: vec![TenantTally::default(); n_tenants.max(1)],
+        }
+    }
+
+    fn note_sent(&mut self, tenant_idx: u32) {
+        self.sent += 1;
+        self.tenants[tenant_idx as usize].sent += 1;
+    }
+
+    fn note_lost(&mut self, pending: &HashMap<u64, (Instant, u32)>) {
+        self.lost += pending.len() as u64;
+        for (_, tenant_idx) in pending.values() {
+            self.tenants[*tenant_idx as usize].lost += 1;
+        }
+    }
+
+    fn record(
+        &mut self,
+        doc: &JsonValue,
+        sent_at: &mut HashMap<u64, (Instant, u32)>,
+        collect: bool,
+    ) {
         let Ok(resp) = AlignResponse::decode(doc) else {
             return; // undecodable frame; the request will surface as lost
         };
-        let Some(at) = sent_at.remove(&resp.id) else {
+        let Some((at, tenant_idx)) = sent_at.remove(&resp.id) else {
             self.duplicates += 1;
             return;
         };
         self.received += 1;
+        let t = &mut self.tenants[tenant_idx as usize];
+        t.received += 1;
         match resp.status {
             Status::Ok => {
                 self.ok += 1;
+                t.ok += 1;
                 if resp.alignment.is_some() {
                     self.mapped += 1;
+                    t.mapped += 1;
                 }
-                self.latencies_us.push(at.elapsed().as_secs_f64() * 1e6);
+                let us = at.elapsed().as_secs_f64() * 1e6;
+                self.latencies_us.push(us);
+                t.latencies_us.push(us);
             }
-            Status::Shed => self.shed += 1,
-            Status::Deadline => self.deadline += 1,
-            Status::Error => self.errors += 1,
+            Status::Shed => {
+                self.shed += 1;
+                t.shed += 1;
+            }
+            Status::Quota => {
+                self.quota += 1;
+                t.quota += 1;
+            }
+            Status::Deadline => {
+                self.deadline += 1;
+                t.deadline += 1;
+            }
+            Status::Error => {
+                self.errors += 1;
+                t.errors += 1;
+            }
         }
         if collect {
             self.responses.insert(resp.id, resp);
@@ -506,22 +678,50 @@ impl Scraper {
     }
 }
 
+/// How long the scraper's *first* scrape may retry before a failure is
+/// counted. The first scrape fires the instant the loadgen starts, which
+/// races server warmup (bind returns before the accept loop is hot under
+/// load); a refused connection in that window is not an endpoint failure.
+const SCRAPE_WARMUP: Duration = Duration::from_secs(2);
+
 /// Scrapes `stats` on a side connection: once immediately, then every
 /// `every` until stopped. Snapshots that fail schema validation are
 /// counted, not kept — a live endpoint that emits garbage is a failure.
+/// The immediate first scrape retries with bounded backoff (up to
+/// [`SCRAPE_WARMUP`]) before counting a failure, so a run no longer
+/// reports a phantom `scrape_failures: 1` just because the scraper beat
+/// the server's warmup.
 fn spawn_scraper(addr: String, every: Duration) -> Scraper {
     let stop = Arc::new(AtomicBool::new(false));
     let flag = Arc::clone(&stop);
     let handle = std::thread::spawn(move || {
         let mut snapshots = Vec::new();
         let mut failures = 0u64;
+        let warmup_deadline = Instant::now() + SCRAPE_WARMUP;
+        let mut backoff = Duration::from_millis(10);
         loop {
-            match fetch_stats(&addr) {
+            let ok = match fetch_stats(&addr) {
                 Ok(doc) => match validate_stats_response(&doc) {
-                    Ok(()) => snapshots.push(doc),
-                    Err(_) => failures += 1,
+                    Ok(()) => {
+                        snapshots.push(doc);
+                        true
+                    }
+                    Err(_) => false,
                 },
-                Err(_) => failures += 1,
+                Err(_) => false,
+            };
+            if !ok {
+                if snapshots.is_empty() && Instant::now() < warmup_deadline {
+                    // Still warming up: retry the first scrape instead of
+                    // counting it, unless the run is already over.
+                    if flag.load(Ordering::Relaxed) {
+                        return (snapshots, failures);
+                    }
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(Duration::from_millis(250));
+                    continue;
+                }
+                failures += 1;
             }
             let until = Instant::now() + every;
             while Instant::now() < until {
@@ -542,11 +742,19 @@ fn connect(addr: &str) -> std::io::Result<TcpStream> {
     Ok(stream)
 }
 
-fn align_request(id: u64, codes: &[u8], deadline_ms: Option<u64>) -> JsonValue {
+fn align_request(
+    id: u64,
+    codes: &[u8],
+    deadline_ms: Option<u64>,
+    tenant: Option<&str>,
+    region: Option<u64>,
+) -> JsonValue {
     Request::Align {
         id,
         codes: codes.to_vec(),
         deadline_ms,
+        tenant: tenant.map(str::to_string),
+        region,
     }
     .encode()
 }
@@ -554,22 +762,26 @@ fn align_request(id: u64, codes: &[u8], deadline_ms: Option<u64>) -> JsonValue {
 /// One closed-loop connection: keep `window` requests in flight.
 fn closed_conn(
     addr: &str,
-    reads: &[(u64, &[u8])],
+    reads: &[WireRead<'_>],
+    n_tenants: usize,
     window: usize,
     deadline_ms: Option<u64>,
     collect: bool,
 ) -> std::io::Result<ConnTally> {
     let mut stream = connect(addr)?;
-    let mut tally = ConnTally::default();
-    let mut sent_at: HashMap<u64, Instant> = HashMap::new();
+    let mut tally = ConnTally::new(n_tenants);
+    let mut sent_at: HashMap<u64, (Instant, u32)> = HashMap::new();
     let mut next = 0usize;
     let window = window.max(1);
     while next < reads.len() || !sent_at.is_empty() {
         while next < reads.len() && sent_at.len() < window {
-            let (id, codes) = reads[next];
-            write_frame(&mut stream, &align_request(id, codes, deadline_ms))?;
-            sent_at.insert(id, Instant::now());
-            tally.sent += 1;
+            let r = &reads[next];
+            write_frame(
+                &mut stream,
+                &align_request(r.id, r.codes, deadline_ms, r.tenant, r.region),
+            )?;
+            sent_at.insert(r.id, (Instant::now(), r.tenant_idx));
+            tally.note_sent(r.tenant_idx);
             next += 1;
         }
         match read_frame(&mut stream) {
@@ -578,37 +790,70 @@ fn closed_conn(
             Err(_) => break,
         }
     }
-    tally.lost += sent_at.len() as u64;
+    tally.note_lost(&sent_at);
     Ok(tally)
+}
+
+/// Open-loop injection parameters (bundled to keep `open_conn`'s
+/// signature sane).
+struct OpenLoop {
+    rate_rps: f64,
+    burst: usize,
+    deadline_ms: Option<u64>,
+    seed: u64,
+    collect: bool,
+}
+
+/// The sender thread's owned copy of one wire read (it outlives the
+/// borrowed `WireRead`s).
+struct OwnedRead {
+    id: u64,
+    tenant_idx: u32,
+    tenant: Option<String>,
+    region: Option<u64>,
+    codes: Vec<u8>,
 }
 
 /// One open-loop connection: a sender thread injects on schedule while
 /// this thread drains responses.
 fn open_conn(
     addr: &str,
-    reads: &[(u64, &[u8])],
-    rate_rps: f64,
-    burst: usize,
-    deadline_ms: Option<u64>,
-    seed: u64,
-    collect: bool,
+    reads: &[WireRead<'_>],
+    n_tenants: usize,
+    opts: OpenLoop,
 ) -> std::io::Result<ConnTally> {
+    let OpenLoop {
+        rate_rps,
+        burst,
+        deadline_ms,
+        seed,
+        collect,
+    } = opts;
     let stream = connect(addr)?;
     let mut read_half = stream.try_clone()?;
-    let sent_at: Arc<Mutex<HashMap<u64, Instant>>> = Arc::new(Mutex::new(HashMap::new()));
+    let sent_at: Arc<Mutex<HashMap<u64, (Instant, u32)>>> = Arc::new(Mutex::new(HashMap::new()));
     let sender_done = Arc::new(AtomicBool::new(false));
-    let owned: Vec<(u64, Vec<u8>)> = reads.iter().map(|(id, c)| (*id, c.to_vec())).collect();
+    let owned: Vec<OwnedRead> = reads
+        .iter()
+        .map(|r| OwnedRead {
+            id: r.id,
+            tenant_idx: r.tenant_idx,
+            tenant: r.tenant.map(str::to_string),
+            region: r.region,
+            codes: r.codes.to_vec(),
+        })
+        .collect();
     let sender = {
         let sent_at = Arc::clone(&sent_at);
         let done = Arc::clone(&sender_done);
         let mut write_half = stream;
-        std::thread::spawn(move || -> u64 {
+        std::thread::spawn(move || -> Vec<u64> {
             let mut prng = Prng(seed ^ 0xda7a_5eed);
             let burst = burst.max(1);
             let epoch_rate = (rate_rps / burst as f64).max(1e-6);
             let start = Instant::now();
             let mut at = 0.0f64;
-            let mut sent = 0u64;
+            let mut sent = vec![0u64; n_tenants.max(1)];
             for chunk in owned.chunks(burst) {
                 at += prng.next_exp(epoch_rate);
                 let due = start + Duration::from_secs_f64(at);
@@ -616,16 +861,19 @@ fn open_conn(
                 if due > now {
                     std::thread::sleep(due - now);
                 }
-                for (id, codes) in chunk {
-                    sent_at.lock().unwrap().insert(*id, Instant::now());
-                    if write_frame(&mut write_half, &align_request(*id, codes, deadline_ms))
-                        .is_err()
-                    {
-                        sent_at.lock().unwrap().remove(id);
+                for r in chunk {
+                    sent_at
+                        .lock()
+                        .unwrap()
+                        .insert(r.id, (Instant::now(), r.tenant_idx));
+                    let doc =
+                        align_request(r.id, &r.codes, deadline_ms, r.tenant.as_deref(), r.region);
+                    if write_frame(&mut write_half, &doc).is_err() {
+                        sent_at.lock().unwrap().remove(&r.id);
                         done.store(true, Ordering::SeqCst);
                         return sent;
                     }
-                    sent += 1;
+                    sent[r.tenant_idx as usize] += 1;
                 }
             }
             let _ = write_half.flush();
@@ -633,7 +881,7 @@ fn open_conn(
             sent
         })
     };
-    let mut tally = ConnTally::default();
+    let mut tally = ConnTally::new(n_tenants);
     loop {
         if sender_done.load(Ordering::Relaxed) && sent_at.lock().unwrap().is_empty() {
             break;
@@ -647,30 +895,88 @@ fn open_conn(
             Err(_) => break, // timeout — remainder is lost
         }
     }
-    tally.sent = sender.join().unwrap_or(0);
-    tally.lost += sent_at.lock().unwrap().len() as u64;
+    let sent_per_tenant = sender.join().unwrap_or_default();
+    for (i, n) in sent_per_tenant.iter().enumerate() {
+        tally.sent += n;
+        if let Some(t) = tally.tenants.get_mut(i) {
+            t.sent += n;
+        }
+    }
+    tally.note_lost(&sent_at.lock().unwrap());
     Ok(tally)
 }
 
 /// Runs the load against `addr`. Read `i` of `reads` is request id `i`.
+/// Requests carry no tenant label (the server routes to its default
+/// tenant) and the report's `tenants` array is empty.
 ///
 /// # Errors
 ///
 /// Returns connection errors; per-request failures are tallied, not
 /// returned.
 pub fn run(addr: &str, reads: &[Vec<u8>], config: &LoadgenConfig) -> std::io::Result<LoadReport> {
-    let connections = config.connections.max(1);
-    // Round-robin partition, global ids preserved.
-    let partitions: Vec<Vec<(u64, &[u8])>> = (0..connections)
-        .map(|c| {
-            reads
-                .iter()
-                .enumerate()
-                .skip(c)
-                .step_by(connections)
-                .map(|(i, codes)| (i as u64, codes.as_slice()))
-                .collect()
+    let wire: Vec<WireRead<'_>> = reads
+        .iter()
+        .enumerate()
+        .map(|(i, codes)| WireRead {
+            id: i as u64,
+            tenant_idx: 0,
+            tenant: None,
+            region: None,
+            codes: codes.as_slice(),
         })
+        .collect();
+    run_impl(addr, &wire, &[], config)
+}
+
+/// Runs a multi-tenant mix against `addr`. Read `i` of `reads` is request
+/// id `i`; each read carries its wire `tenant` label. The report gets one
+/// [`TenantReport`] per distinct label (in order of first appearance;
+/// `None` is reported as `"default"`), each proving the conservation
+/// identities for its slice of the traffic.
+///
+/// # Errors
+///
+/// Returns connection errors; per-request failures are tallied, not
+/// returned.
+pub fn run_tenants(
+    addr: &str,
+    reads: &[TenantRead],
+    config: &LoadgenConfig,
+) -> std::io::Result<LoadReport> {
+    let mut labels: Vec<String> = Vec::new();
+    let mut wire: Vec<WireRead<'_>> = Vec::with_capacity(reads.len());
+    for (i, read) in reads.iter().enumerate() {
+        let label = read.tenant.as_deref().unwrap_or("default");
+        let tenant_idx = match labels.iter().position(|l| l == label) {
+            Some(pos) => pos,
+            None => {
+                labels.push(label.to_string());
+                labels.len() - 1
+            }
+        } as u32;
+        wire.push(WireRead {
+            id: i as u64,
+            tenant_idx,
+            tenant: read.tenant.as_deref(),
+            region: read.region,
+            codes: &read.codes,
+        });
+    }
+    run_impl(addr, &wire, &labels, config)
+}
+
+fn run_impl(
+    addr: &str,
+    wire: &[WireRead<'_>],
+    labels: &[String],
+    config: &LoadgenConfig,
+) -> std::io::Result<LoadReport> {
+    let connections = config.connections.max(1);
+    let n_tenants = labels.len().max(1);
+    // Round-robin partition, global ids preserved.
+    let partitions: Vec<Vec<&WireRead<'_>>> = (0..connections)
+        .map(|c| wire.iter().skip(c).step_by(connections).collect())
         .collect();
     let scraper = config
         .scrape_every
@@ -685,12 +991,33 @@ pub fn run(addr: &str, reads: &[Vec<u8>], config: &LoadgenConfig) -> std::io::Re
                 let deadline_ms = config.deadline_ms;
                 let collect = config.collect_responses;
                 let seed = config.arrival_seed.wrapping_add(c as u64);
-                scope.spawn(move || match mode {
-                    ArrivalMode::Closed { window } => {
-                        closed_conn(addr, part, window, deadline_ms, collect)
-                    }
-                    ArrivalMode::Open { rate_rps, burst } => {
-                        open_conn(addr, part, rate_rps, burst, deadline_ms, seed, collect)
+                scope.spawn(move || {
+                    let part: Vec<WireRead<'_>> = part
+                        .iter()
+                        .map(|r| WireRead {
+                            id: r.id,
+                            tenant_idx: r.tenant_idx,
+                            tenant: r.tenant,
+                            region: r.region,
+                            codes: r.codes,
+                        })
+                        .collect();
+                    match mode {
+                        ArrivalMode::Closed { window } => {
+                            closed_conn(addr, &part, n_tenants, window, deadline_ms, collect)
+                        }
+                        ArrivalMode::Open { rate_rps, burst } => open_conn(
+                            addr,
+                            &part,
+                            n_tenants,
+                            OpenLoop {
+                                rate_rps,
+                                burst,
+                                deadline_ms,
+                                seed,
+                                collect,
+                            },
+                        ),
                     }
                 })
             })
@@ -698,7 +1025,7 @@ pub fn run(addr: &str, reads: &[Vec<u8>], config: &LoadgenConfig) -> std::io::Re
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
     let wall_ms = (start.elapsed().as_secs_f64() * 1e3).max(0.001);
-    let mut merged = ConnTally::default();
+    let mut merged = ConnTally::new(n_tenants);
     for tally in tallies {
         let tally = tally?;
         merged.sent += tally.sent;
@@ -707,11 +1034,24 @@ pub fn run(addr: &str, reads: &[Vec<u8>], config: &LoadgenConfig) -> std::io::Re
         merged.duplicates += tally.duplicates;
         merged.ok += tally.ok;
         merged.shed += tally.shed;
+        merged.quota += tally.quota;
         merged.deadline += tally.deadline;
         merged.errors += tally.errors;
         merged.mapped += tally.mapped;
         merged.latencies_us.extend(tally.latencies_us);
         merged.responses.extend(tally.responses);
+        for (into, from) in merged.tenants.iter_mut().zip(tally.tenants) {
+            into.sent += from.sent;
+            into.received += from.received;
+            into.lost += from.lost;
+            into.ok += from.ok;
+            into.shed += from.shed;
+            into.quota += from.quota;
+            into.deadline += from.deadline;
+            into.errors += from.errors;
+            into.mapped += from.mapped;
+            into.latencies_us.extend(from.latencies_us);
+        }
     }
     // The scraper must be down before the drain starts: a scrape racing
     // shutdown would count a refused connection as a failure.
@@ -730,6 +1070,7 @@ pub fn run(addr: &str, reads: &[Vec<u8>], config: &LoadgenConfig) -> std::io::Re
         ("loadgen.duplicates", merged.duplicates),
         ("loadgen.responses_ok", merged.ok),
         ("loadgen.shed", merged.shed),
+        ("loadgen.quota", merged.quota),
         ("loadgen.deadline", merged.deadline),
         ("loadgen.errors", merged.errors),
         ("loadgen.mapped", merged.mapped),
@@ -748,6 +1089,23 @@ pub fn run(addr: &str, reads: &[Vec<u8>], config: &LoadgenConfig) -> std::io::Re
     for v in &merged.latencies_us {
         metrics.observe(lat, *v as u64);
     }
+    let tenants: Vec<TenantReport> = labels
+        .iter()
+        .zip(merged.tenants.iter_mut())
+        .map(|(name, t)| TenantReport {
+            name: name.clone(),
+            sent: t.sent,
+            received: t.received,
+            lost: t.lost,
+            ok: t.ok,
+            shed: t.shed,
+            quota: t.quota,
+            deadline: t.deadline,
+            errors: t.errors,
+            mapped: t.mapped,
+            latency: LatencySummary::from_us(std::mem::take(&mut t.latencies_us)),
+        })
+        .collect();
     let mut report = LoadReport {
         mode: config.mode.as_str(),
         sent: merged.sent,
@@ -756,14 +1114,16 @@ pub fn run(addr: &str, reads: &[Vec<u8>], config: &LoadgenConfig) -> std::io::Re
         duplicates: merged.duplicates,
         ok: merged.ok,
         shed: merged.shed,
+        quota: merged.quota,
         deadline: merged.deadline,
         errors: merged.errors,
         mapped: merged.mapped,
         connections: connections as u64,
-        reads: reads.len() as u64,
+        reads: wire.len() as u64,
         wall_ms,
         throughput_rps,
         latency: LatencySummary::from_us(merged.latencies_us),
+        tenants,
         responses: merged.responses,
         stats_snapshots,
         scrape_failures,
@@ -858,6 +1218,7 @@ mod tests {
             duplicates: 0,
             ok: 0,
             shed: 0,
+            quota: 0,
             deadline: 0,
             errors: 0,
             mapped: 0,
@@ -866,6 +1227,7 @@ mod tests {
             wall_ms: 1.0,
             throughput_rps: 0.0,
             latency: LatencySummary::from_us(Vec::new()),
+            tenants: Vec::new(),
             responses: HashMap::new(),
             stats_snapshots: Vec::new(),
             scrape_failures: 0,
@@ -919,6 +1281,52 @@ mod tests {
         assert!(report.slo[2].pass, "throughput floor: 250 ≥ 200");
         assert!(!report.slo_pass());
         // The report document still validates with the slo/scrapes keys.
+        validate_loadgen_report(&report.to_json()).unwrap();
+    }
+
+    #[test]
+    fn quota_rate_slo_and_tenant_sections_validate() {
+        let mut report = empty_report();
+        report.sent = 100;
+        report.received = 100;
+        report.ok = 80;
+        report.quota = 20;
+        report.mapped = 80;
+        report.tenants = vec![
+            TenantReport {
+                name: "homo_sapiens".to_string(),
+                sent: 50,
+                received: 50,
+                lost: 0,
+                ok: 30,
+                shed: 0,
+                quota: 20,
+                deadline: 0,
+                errors: 0,
+                mapped: 30,
+                latency: LatencySummary::from_us(vec![5.0, 7.0]),
+            },
+            TenantReport {
+                name: "mus_musculus".to_string(),
+                sent: 50,
+                received: 50,
+                lost: 0,
+                ok: 50,
+                shed: 0,
+                quota: 0,
+                deadline: 0,
+                errors: 0,
+                mapped: 50,
+                latency: LatencySummary::from_us(vec![4.0]),
+            },
+        ];
+        let targets = vec![
+            SloTarget::parse("quota_rate=0.25").unwrap(),
+            SloTarget::parse("quota_rate=0.1").unwrap(),
+        ];
+        let checks = evaluate_slo(&report, &targets);
+        assert!(checks[0].pass, "quota rate 0.20 meets the 0.25 bound");
+        assert!(!checks[1].pass, "quota rate 0.20 exceeds 0.10");
         validate_loadgen_report(&report.to_json()).unwrap();
     }
 

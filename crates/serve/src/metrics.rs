@@ -79,6 +79,28 @@ impl ObservabilityConfig {
     }
 }
 
+/// Per-shard outcome counters of one tenant.
+#[derive(Debug, Clone, Copy, Default)]
+struct ShardStats {
+    admitted: u64,
+    ok: u64,
+    shed: u64,
+    deadline: u64,
+    errors: u64,
+    dead: bool,
+}
+
+/// One tenant's rollup: per-shard counters plus a rolling SLO window of
+/// its own (window geometry shared with the global one, single bin).
+struct TenantStats {
+    name: String,
+    shards: Vec<ShardStats>,
+    quota_shed: u64,
+    /// Sheds before a shard was resolved (draining, no live shard).
+    shed_unrouted: u64,
+    slo: SloWindow,
+}
+
 struct Inner {
     registry: MetricsRegistry,
     trace: Option<TraceRecorder>,
@@ -86,8 +108,12 @@ struct Inner {
     span_log: SpanLog,
     shed_storm_threshold: Option<u64>,
     storm_fired: bool,
+    window: WindowConfig,
+    tenants: Vec<TenantStats>,
     admitted: CounterId,
     shed: CounterId,
+    quota: CounterId,
+    shards_killed: CounterId,
     deadline_expired: CounterId,
     responses_ok: CounterId,
     protocol_errors: CounterId,
@@ -152,6 +178,9 @@ impl ServeMetrics {
         let batch_drain = registry.counter("serve.batch_flush_drain");
         let write_errors = registry.counter("serve.write_errors");
         let worker_panics = registry.counter("serve.worker_panics");
+        // Multi-tenant extras (zero and inert on single-tenant servers).
+        let quota = registry.counter("serve.requests_quota");
+        let shards_killed = registry.counter("serve.shards_killed");
         let sim_cycles = registry.counter("serve.sim_cycles_total");
         // Seeding occ-block cache effectiveness (extra counters, not part
         // of the required serve schema).
@@ -183,8 +212,12 @@ impl ServeMetrics {
                 span_log: SpanLog::new(obs.span_log_cap),
                 shed_storm_threshold: obs.shed_storm_threshold,
                 storm_fired: false,
+                window: obs.window_config(),
+                tenants: Vec::new(),
                 admitted,
                 shed,
+                quota,
+                shards_killed,
                 deadline_expired,
                 responses_ok,
                 protocol_errors,
@@ -294,6 +327,150 @@ impl ServeMetrics {
     /// One batch execution panicked (caught; every item answered `error`).
     pub fn worker_panic(&self) {
         self.with(|m| m.registry.inc(m.worker_panics, 1));
+    }
+
+    /// Registers a tenant rollup slot (multi-tenant servers only; the
+    /// slot index is the server's tenant index). Single-tenant servers
+    /// never register, so their stats documents are unchanged.
+    pub fn register_tenant(&self, name: &str, shards: usize) -> usize {
+        let mut inner = self.inner.lock().unwrap();
+        let window = inner.window;
+        inner.tenants.push(TenantStats {
+            name: name.to_string(),
+            shards: vec![ShardStats::default(); shards.max(1)],
+            quota_shed: 0,
+            shed_unrouted: 0,
+            slo: SloWindow::new(window, 1),
+        });
+        inner.tenants.len() - 1
+    }
+
+    /// One request admitted for `(tenant, shard)`.
+    pub fn tenant_admitted(&self, tenant: usize, shard: usize) {
+        let t = self.now_us() as u64;
+        self.with(|m| {
+            if let Some(slot) = m.tenants.get_mut(tenant) {
+                if let Some(s) = slot.shards.get_mut(shard) {
+                    s.admitted += 1;
+                }
+                slot.slo.record_admitted(t, 0);
+            }
+        });
+    }
+
+    /// One request shed for a tenant (`shard` when routing had resolved
+    /// one; `None` for draining / no-live-shard sheds).
+    pub fn tenant_shed(&self, tenant: usize, shard: Option<usize>) {
+        let t = self.now_us() as u64;
+        self.with(|m| {
+            if let Some(slot) = m.tenants.get_mut(tenant) {
+                match shard.and_then(|s| slot.shards.get_mut(s)) {
+                    Some(s) => s.shed += 1,
+                    None => slot.shed_unrouted += 1,
+                }
+                slot.slo.record_shed(t);
+            }
+        });
+    }
+
+    /// One request refused by the tenant's admission quota (also bumps
+    /// the global `serve.requests_quota` counter).
+    pub fn quota_shed(&self, tenant: usize) {
+        self.with(|m| {
+            m.registry.inc(m.quota, 1);
+            if let Some(slot) = m.tenants.get_mut(tenant) {
+                slot.quota_shed += 1;
+            }
+        });
+    }
+
+    /// One request finished on `(tenant, shard)` with `outcome`;
+    /// `done_us`/`e2e_us` feed the tenant's rolling SLO window.
+    pub fn tenant_done(
+        &self,
+        tenant: usize,
+        shard: usize,
+        outcome: Outcome,
+        done_us: u64,
+        e2e_us: u64,
+    ) {
+        self.with(|m| {
+            let Some(slot) = m.tenants.get_mut(tenant) else {
+                return;
+            };
+            match outcome {
+                Outcome::Ok => {
+                    if let Some(s) = slot.shards.get_mut(shard) {
+                        s.ok += 1;
+                    }
+                    slot.slo.record_completed(done_us, 0, e2e_us);
+                }
+                Outcome::Deadline => {
+                    if let Some(s) = slot.shards.get_mut(shard) {
+                        s.deadline += 1;
+                    }
+                    slot.slo.record_deadline_missed(done_us, 1);
+                }
+                Outcome::Error => {
+                    if let Some(s) = slot.shards.get_mut(shard) {
+                        s.errors += 1;
+                    }
+                }
+            }
+        });
+    }
+
+    /// Marks a tenant's shard dead (fault injection) and bumps the
+    /// `serve.shards_killed` counter.
+    pub fn shard_dead(&self, tenant: usize, shard: usize) {
+        self.with(|m| {
+            m.registry.inc(m.shards_killed, 1);
+            if let Some(s) = m
+                .tenants
+                .get_mut(tenant)
+                .and_then(|slot| slot.shards.get_mut(shard))
+            {
+                s.dead = true;
+            }
+        });
+    }
+
+    /// The per-tenant/per-shard rollup document, or `None` when no
+    /// tenants are registered (single-tenant servers).
+    pub fn tenants_json(&self) -> Option<JsonValue> {
+        let now = self.now_us() as u64;
+        let mut inner = self.inner.lock().unwrap();
+        if inner.tenants.is_empty() {
+            return None;
+        }
+        let docs: Vec<JsonValue> = inner
+            .tenants
+            .iter_mut()
+            .map(|slot| {
+                let shards: Vec<JsonValue> = slot
+                    .shards
+                    .iter()
+                    .map(|s| {
+                        JsonValue::obj(vec![
+                            ("admitted", JsonValue::Num(s.admitted as f64)),
+                            ("ok", JsonValue::Num(s.ok as f64)),
+                            ("shed", JsonValue::Num(s.shed as f64)),
+                            ("deadline", JsonValue::Num(s.deadline as f64)),
+                            ("errors", JsonValue::Num(s.errors as f64)),
+                            ("dead", JsonValue::Bool(s.dead)),
+                        ])
+                    })
+                    .collect();
+                JsonValue::obj(vec![
+                    ("name", JsonValue::Str(slot.name.clone())),
+                    ("quota_shed", JsonValue::Num(slot.quota_shed as f64)),
+                    ("shed_unrouted", JsonValue::Num(slot.shed_unrouted as f64)),
+                    ("shards", JsonValue::Arr(shards)),
+                    ("slo", slot.slo.view(now).to_json()),
+                ])
+            })
+            .collect();
+        Some(JsonValue::Arr(docs))
     }
 
     /// A batch shipped from the batcher; `depth` is the admission-queue
@@ -420,6 +597,9 @@ impl ServeMetrics {
         if let JsonValue::Obj(pairs) = &mut doc {
             pairs.push(("slo".to_string(), slo));
             pairs.push(("flight".to_string(), self.flight.summary_json()));
+            if let Some(tenants) = self.tenants_json() {
+                pairs.push(("tenants".to_string(), tenants));
+            }
         }
         doc
     }

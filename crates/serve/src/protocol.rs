@@ -9,16 +9,25 @@
 //! Requests (`kind` selects the operation, defaulting to `"align"`):
 //!
 //! ```json
-//! {"kind": "align", "id": 7, "seq": "ACGTACGT...", "deadline_ms": 50}
+//! {"kind": "align", "id": 7, "seq": "ACGTACGT...", "deadline_ms": 50,
+//!  "tenant": "homo_sapiens", "region": 123456}
 //! {"kind": "stats"}
 //! {"kind": "flight"}
 //! {"kind": "shutdown"}
 //! ```
 //!
+//! `tenant` names the reference to align against on a multi-tenant server
+//! (absent → the server's default tenant, so pre-tenant clients keep
+//! working). `region` is an optional genome-coordinate routing hint; the
+//! server hashes it (or, absent, the read itself) to pick a shard —
+//! deterministic either way.
+//!
 //! Align responses carry a `status` of `"ok"` (aligned; `mapped` tells
 //! whether a best alignment exists), `"shed"` (admission queue full or
 //! server draining — explicit backpressure, the request was *not*
-//! processed), `"deadline"` (expired before a batch formed) or `"error"`
+//! processed), `"quota"` (the tenant's admission quota is exhausted — a
+//! per-tenant shed, distinct so clients can tell global overload from
+//! their own), `"deadline"` (expired before a batch formed) or `"error"`
 //! (malformed request). Alignment fields are bit-identical to the offline
 //! `nvwa-align` output for the same sequence.
 
@@ -86,6 +95,10 @@ pub enum Request {
         codes: Vec<u8>,
         /// Per-request deadline in milliseconds (queueing budget), if any.
         deadline_ms: Option<u64>,
+        /// Tenant (reference) to align against; `None` → server default.
+        tenant: Option<String>,
+        /// Genome-coordinate shard-routing hint, if the client has one.
+        region: Option<u64>,
     },
     /// Return the server's current metrics snapshot.
     Stats,
@@ -131,10 +144,24 @@ impl Request {
                     .and_then(JsonValue::as_num)
                     .filter(|n| *n >= 0.0)
                     .map(|n| n as u64);
+                let tenant = doc
+                    .get("tenant")
+                    .and_then(JsonValue::as_str)
+                    .map(str::to_string);
+                if matches!(&tenant, Some(t) if t.is_empty()) {
+                    return Err("\"tenant\" must be non-empty when present".to_string());
+                }
+                let region = doc
+                    .get("region")
+                    .and_then(JsonValue::as_num)
+                    .filter(|n| *n >= 0.0)
+                    .map(|n| n as u64);
                 Ok(Request::Align {
                     id,
                     codes,
                     deadline_ms,
+                    tenant,
+                    region,
                 })
             }
             "stats" => Ok(Request::Stats),
@@ -151,6 +178,8 @@ impl Request {
                 id,
                 codes,
                 deadline_ms,
+                tenant,
+                region,
             } => {
                 let seq: String = codes
                     .iter()
@@ -163,6 +192,12 @@ impl Request {
                 ];
                 if let Some(ms) = deadline_ms {
                     pairs.push(("deadline_ms", JsonValue::Num(*ms as f64)));
+                }
+                if let Some(t) = tenant {
+                    pairs.push(("tenant", JsonValue::Str(t.clone())));
+                }
+                if let Some(r) = region {
+                    pairs.push(("region", JsonValue::Num(*r as f64)));
                 }
                 JsonValue::obj(pairs)
             }
@@ -182,6 +217,10 @@ pub enum Status {
     Ok,
     /// Rejected by backpressure (queue full or draining); not processed.
     Shed,
+    /// Rejected because the tenant's admission quota is exhausted; not
+    /// processed. A per-tenant shed, kept distinct so one tenant's
+    /// overload is visible as such to its own clients.
+    Quota,
     /// Deadline expired while queued; not processed.
     Deadline,
     /// Malformed request.
@@ -194,6 +233,7 @@ impl Status {
         match self {
             Status::Ok => "ok",
             Status::Shed => "shed",
+            Status::Quota => "quota",
             Status::Deadline => "deadline",
             Status::Error => "error",
         }
@@ -204,6 +244,7 @@ impl Status {
         Some(match s {
             "ok" => Status::Ok,
             "shed" => Status::Shed,
+            "quota" => Status::Quota,
             "deadline" => Status::Deadline,
             "error" => Status::Error,
             _ => return None,
@@ -378,6 +419,8 @@ mod tests {
             id: 42,
             codes: vec![0, 1, 2, 3],
             deadline_ms: Some(50),
+            tenant: None,
+            region: None,
         }
         .encode();
         let mut buf = Vec::new();
@@ -390,8 +433,51 @@ mod tests {
                 id: 42,
                 codes: vec![0, 1, 2, 3],
                 deadline_ms: Some(50),
+                tenant: None,
+                region: None,
             }
         );
+    }
+
+    #[test]
+    fn tenant_and_region_round_trip_and_default_to_none() {
+        let req = Request::Align {
+            id: 7,
+            codes: vec![2, 2, 0, 1],
+            deadline_ms: None,
+            tenant: Some("homo_sapiens".to_string()),
+            region: Some(123_456),
+        };
+        let doc = req.encode();
+        assert_eq!(Request::decode(&doc).unwrap(), req);
+        // A pre-tenant request document decodes with both fields absent —
+        // backward compatible by construction.
+        let legacy = JsonValue::obj(vec![
+            ("id", JsonValue::Num(1.0)),
+            ("seq", JsonValue::Str("ACGT".to_string())),
+        ]);
+        match Request::decode(&legacy).unwrap() {
+            Request::Align { tenant, region, .. } => {
+                assert_eq!(tenant, None);
+                assert_eq!(region, None);
+            }
+            other => panic!("expected align, got {other:?}"),
+        }
+        // An empty tenant string is rejected, not silently defaulted.
+        let empty = JsonValue::obj(vec![
+            ("id", JsonValue::Num(1.0)),
+            ("seq", JsonValue::Str("ACGT".to_string())),
+            ("tenant", JsonValue::Str(String::new())),
+        ]);
+        assert!(Request::decode(&empty).unwrap_err().contains("tenant"));
+    }
+
+    #[test]
+    fn quota_status_round_trips() {
+        assert_eq!(Status::Quota.as_str(), "quota");
+        assert_eq!(Status::from_wire("quota"), Some(Status::Quota));
+        let resp = AlignResponse::failure(11, Status::Quota, "tenant quota exhausted");
+        assert_eq!(AlignResponse::decode(&resp.encode()).unwrap(), resp);
     }
 
     #[test]

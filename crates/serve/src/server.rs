@@ -3,17 +3,30 @@
 //! Thread topology (all std, one `Arc<Shared>` of queues + metrics):
 //!
 //! ```text
-//! acceptor ──▶ reader (per conn) ──▶ admission queue ──▶ batcher ──▶ batch
-//!                   ▲    try_push / shed  (bounded)    fill-or-timeout  queue
-//!                   │                                                    │
-//!                   └───────────── responses (per-conn writer) ◀── workers (pool)
+//! frontend ──▶ route (tenant, shard) ──▶ admission queue ──▶ batcher ──▶ batch
+//!     ▲          try_admit / try_push        (bounded)     fill-or-timeout queue
+//!     │                                                       (per engine)  │
+//!     └───────────────── responses (per-conn sink) ◀────── workers (pool) ◀─┘
 //! ```
 //!
-//! * **Backpressure is explicit and bounded**: the admission queue has a
-//!   hard capacity; when full, the reader answers immediately with a
+//! * **Two frontends, one pipeline**: the thread-per-connection frontend
+//!   (an acceptor plus one reader thread per socket) and the poll-based
+//!   reactor (`reactor.rs`, one thread for every socket) feed the same
+//!   `dispatch_request` → admission → batcher → worker path through the
+//!   [`ResponseSink`] trait, so responses are bit-identical across
+//!   frontends — only the idle-connection cost model differs.
+//! * **Multi-tenant engines**: each (tenant, shard) pair owns an *engine*
+//!   — its own admission queue, batcher and worker pool over a cheap
+//!   `Arc<ReferenceIndex>` clone from the [`crate::registry`]. Requests
+//!   route deterministically by tenant name and region hash; a tenant's
+//!   quota sheds with a distinct `quota` status before any queue is
+//!   touched, and a killed shard degrades only its own traffic (routing
+//!   probes past dead shards).
+//! * **Backpressure is explicit and bounded**: every admission queue has
+//!   a hard capacity; when full, the frontend answers immediately with a
 //!   `shed` response instead of buffering — memory use is bounded by
-//!   `queue_capacity + workers × max_batch` requests no matter how fast
-//!   clients push.
+//!   `engines × (queue_capacity + workers × max_batch)` requests no
+//!   matter how fast clients push.
 //! * **Deadlines** cover the queueing phase: a request that is still
 //!   waiting when its deadline passes is answered `deadline` at batch
 //!   formation and never executed. Once batched, it runs to completion.
@@ -29,6 +42,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use nvwa_align::pipeline::{AlignScratch, AlignerConfig, ReferenceIndex};
+use nvwa_genome::species::Species;
 use nvwa_telemetry::{JsonValue, Outcome, RequestSpans, SnapshotMeta, Stage};
 
 use crate::backend::{execute_batch_with, BackendKind};
@@ -37,18 +51,73 @@ use crate::flight::FlightEventKind;
 use crate::metrics::{ObservabilityConfig, ServeMetrics};
 use crate::protocol::{write_frame, AlignResponse, Request, Status, MAX_FRAME_BYTES};
 use crate::queue::{BoundedQueue, Popped, PushError};
+use crate::registry::{
+    region_hash, route_shard, try_admit_counted, AdmitGuard, IndexRegistry, TenantSpec,
+    DEFAULT_SA_RATE,
+};
 
 /// How often blocked loops re-check the shutdown flags.
 const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// Which connection frontend accepts and reads client sockets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Frontend {
+    /// One reader thread per connection (simple; fine up to ~hundreds).
+    Threads,
+    /// One poll-based reactor thread for every connection
+    /// (`reactor.rs`; 10k+ idle connections cost no extra threads).
+    Reactor,
+}
+
+impl Frontend {
+    /// Parses the CLI name.
+    pub fn parse(s: &str) -> Option<Frontend> {
+        match s {
+            "threads" => Some(Frontend::Threads),
+            "reactor" => Some(Frontend::Reactor),
+            _ => None,
+        }
+    }
+}
+
+/// One tenant of a multi-tenant server (see [`Server::start_multi_tenant`]).
+#[derive(Debug, Clone)]
+pub struct TenantServeSpec {
+    /// Registry/wire name; defaults to [`Species::key`].
+    pub name: String,
+    /// Species profile the reference is synthesized from.
+    pub species: Species,
+    /// Genome scale factor.
+    pub scale: f64,
+    /// Traffic shards (each gets its own engine).
+    pub shards: usize,
+    /// Max concurrently admitted requests; `None` = unlimited.
+    pub quota: Option<u64>,
+}
+
+impl TenantServeSpec {
+    /// A single-shard, unlimited-quota tenant named by the species key.
+    pub fn new(species: Species, scale: f64) -> TenantServeSpec {
+        TenantServeSpec {
+            name: species.key().to_string(),
+            species,
+            scale,
+            shards: 1,
+            quota: None,
+        }
+    }
+}
 
 /// Server parameters.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address (`127.0.0.1:0` picks an ephemeral port).
     pub addr: String,
-    /// Admission-queue capacity — the backpressure bound.
+    /// Connection frontend.
+    pub frontend: Frontend,
+    /// Admission-queue capacity per engine — the backpressure bound.
     pub queue_capacity: usize,
-    /// Worker threads executing batches.
+    /// Worker threads per engine executing batches.
     pub workers: usize,
     /// Batching policy.
     pub batch: BatcherConfig,
@@ -58,6 +127,12 @@ pub struct ServerConfig {
     pub aligner: AlignerConfig,
     /// Deadline applied to requests that do not carry their own.
     pub default_deadline: Option<Duration>,
+    /// Tenants for [`Server::start_multi_tenant`] (ignored by
+    /// [`Server::start`]).
+    pub tenants: Vec<TenantServeSpec>,
+    /// Registry memory budget in bytes for multi-tenant serving;
+    /// `None` = unbounded.
+    pub registry_budget: Option<usize>,
     /// Record a Chrome trace of batch execution and per-request stage
     /// spans.
     pub trace: bool,
@@ -79,12 +154,15 @@ impl Default for ServerConfig {
     fn default() -> ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
+            frontend: Frontend::Threads,
             queue_capacity: 1024,
             workers: nvwa_sim::par::current_threads(),
             batch: BatcherConfig::default(),
             backend: BackendKind::Software,
             aligner: AlignerConfig::default(),
             default_deadline: None,
+            tenants: Vec::new(),
+            registry_budget: None,
             trace: false,
             obs: ObservabilityConfig::default(),
             worker_delay: None,
@@ -93,10 +171,21 @@ impl Default for ServerConfig {
     }
 }
 
+/// The write half of a connection, shared by whatever threads answer on
+/// it. Implemented by the threaded frontend's [`ConnWriter`] (a mutexed
+/// socket) and the reactor's `ReactorConn` (a buffered sink the poll loop
+/// flushes) — the pipeline never knows which.
+pub(crate) trait ResponseSink: Send + Sync {
+    /// Writes one response frame.
+    fn send(&self, doc: &JsonValue) -> std::io::Result<()>;
+    /// Accept-order connection id (span-chain and flight-event operand).
+    fn conn_id(&self) -> u64;
+}
+
 /// A request travelling through the queues: the decoded read plus the
 /// connection to answer on and its tracing identity.
 struct PendingRead {
-    conn: Arc<ConnWriter>,
+    conn: Arc<dyn ResponseSink>,
     id: u64,
     codes: Vec<u8>,
     /// Trace id minted at admission (unique per admitted request).
@@ -107,29 +196,61 @@ struct PendingRead {
     /// When the batcher popped this item off the admission queue (the
     /// queue→fill stage boundary). Always set before a worker sees it.
     picked_at: Option<Instant>,
+    /// Quota slot held until the response is written (RAII, panic-safe).
+    _guard: Option<AdmitGuard>,
 }
 
-/// The write half of a connection, shared by readers, the batcher and the
-/// workers; frames are written under the mutex so responses never
-/// interleave.
+/// The threaded frontend's [`ResponseSink`]: frames are written under the
+/// mutex so responses never interleave.
 struct ConnWriter {
     stream: Mutex<TcpStream>,
-    /// Accept-order connection id (span-chain and flight-event operand).
+    /// Accept-order connection id.
     id: u64,
 }
 
-impl ConnWriter {
+impl ResponseSink for ConnWriter {
     fn send(&self, doc: &JsonValue) -> std::io::Result<()> {
         let mut stream = self.stream.lock().unwrap();
         write_frame(&mut *stream, doc)
     }
+
+    fn conn_id(&self) -> u64 {
+        self.id
+    }
 }
 
-struct Shared {
+/// One (tenant, shard) execution pipeline: admission queue → batcher →
+/// batch queue → workers, all over one shared reference index.
+pub(crate) struct Engine {
+    /// Owning tenant (index into `Shared::tenants`).
+    tenant: usize,
+    /// Shard within the tenant.
+    shard: usize,
     admission: BoundedQueue<BatchItem<PendingRead>>,
     batches: BoundedQueue<Batch<PendingRead>>,
-    metrics: Arc<ServeMetrics>,
     index: Arc<ReferenceIndex>,
+    /// Killed: routing skips it, queued work still completes.
+    dead: AtomicBool,
+}
+
+/// Per-tenant routing state, resolved once per request without touching
+/// the registry lock.
+struct TenantRoute {
+    name: String,
+    /// Engine indices, one per shard.
+    engines: Vec<usize>,
+    quota: Option<u64>,
+    /// Concurrently admitted requests (shared with [`AdmitGuard`]s).
+    in_flight: Arc<AtomicU64>,
+}
+
+pub(crate) struct Shared {
+    engines: Vec<Engine>,
+    tenants: Vec<TenantRoute>,
+    /// Present on multi-tenant servers (stats `registry` section,
+    /// eviction control).
+    registry: Option<IndexRegistry>,
+    pub(crate) metrics: Arc<ServeMetrics>,
     config: ServerConfig,
     /// Global batch sequence number, drawn by workers as they start a
     /// batch (the trigger coordinate of `worker_panic_at_batch`).
@@ -139,11 +260,11 @@ struct Shared {
     /// chains against `serve.requests_admitted`, not id density.
     trace_seq: AtomicU64,
     /// Accept-order connection id mint.
-    conn_seq: AtomicU64,
-    /// Stop admitting: readers shed, the acceptor exits.
-    draining: AtomicBool,
-    /// Everything drained: readers exit.
-    closed: AtomicBool,
+    pub(crate) conn_seq: AtomicU64,
+    /// Stop admitting: frontends shed, the acceptor exits.
+    pub(crate) draining: AtomicBool,
+    /// Everything drained: frontends exit.
+    pub(crate) closed: AtomicBool,
     /// A client sent `shutdown`; the owner should call [`Server::shutdown`].
     shutdown_requested: AtomicBool,
 }
@@ -153,38 +274,132 @@ struct Shared {
 pub struct Server {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
-    acceptor: Option<std::thread::JoinHandle<()>>,
-    batcher: Option<std::thread::JoinHandle<()>>,
+    /// The acceptor (threaded frontend) or the reactor thread.
+    frontend: Option<std::thread::JoinHandle<()>>,
+    batchers: Vec<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
     readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
 }
 
+/// What `launch` needs per tenant, after the indexes exist.
+struct TenantInit {
+    name: String,
+    index: Arc<ReferenceIndex>,
+    shards: usize,
+    quota: Option<u64>,
+}
+
 impl Server {
-    /// Binds and starts all threads.
+    /// Binds and starts a single-tenant server over a prebuilt index
+    /// (tenant name `"default"`; requests without a `tenant` field route
+    /// here, so pre-tenant clients see the exact pre-tenant behavior).
     ///
     /// # Errors
     ///
     /// Returns the bind error.
     pub fn start(index: Arc<ReferenceIndex>, config: ServerConfig) -> std::io::Result<Server> {
+        let tenants = vec![TenantInit {
+            name: "default".to_string(),
+            index,
+            shards: 1,
+            quota: None,
+        }];
+        Server::launch(config, tenants, None, false)
+    }
+
+    /// Binds and starts a multi-tenant server: every
+    /// [`ServerConfig::tenants`] entry is loaded into an
+    /// [`IndexRegistry`] under [`ServerConfig::registry_budget`] and gets
+    /// `shards` engines. The first tenant is the default route for
+    /// requests without a `tenant` field.
+    ///
+    /// # Errors
+    ///
+    /// Returns bind errors, and `InvalidInput` for an empty tenant list
+    /// or a registry refusal (duplicate tenant, budget too small).
+    pub fn start_multi_tenant(config: ServerConfig) -> std::io::Result<Server> {
+        if config.tenants.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "multi-tenant server needs at least one tenant",
+            ));
+        }
+        let registry = IndexRegistry::new(config.registry_budget);
+        let mut tenants = Vec::with_capacity(config.tenants.len());
+        for spec in &config.tenants {
+            let index = registry
+                .load(TenantSpec {
+                    name: spec.name.clone(),
+                    species: spec.species,
+                    scale: spec.scale,
+                    shards: spec.shards.max(1),
+                    quota: spec.quota,
+                    sa_rate: DEFAULT_SA_RATE,
+                })
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+            tenants.push(TenantInit {
+                name: spec.name.clone(),
+                index,
+                shards: spec.shards.max(1),
+                quota: spec.quota,
+            });
+        }
+        Server::launch(config, tenants, Some(registry), true)
+    }
+
+    fn launch(
+        config: ServerConfig,
+        tenants: Vec<TenantInit>,
+        registry: Option<IndexRegistry>,
+        tenant_stats: bool,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
-        let workers = config.workers.max(1);
+        let workers_per_engine = config.workers.max(1);
+        let engine_count: usize = tenants.iter().map(|t| t.shards).sum();
         let metrics = Arc::new(ServeMetrics::new(
             config.queue_capacity,
-            workers,
+            workers_per_engine * engine_count,
             config.batch.bins(),
             config.trace,
             &config.obs,
         ));
+        let mut engines = Vec::with_capacity(engine_count);
+        let mut routes = Vec::with_capacity(tenants.len());
+        for (t, init) in tenants.into_iter().enumerate() {
+            if tenant_stats {
+                metrics.register_tenant(&init.name, init.shards);
+            }
+            let mut engine_ids = Vec::with_capacity(init.shards);
+            for shard in 0..init.shards {
+                engine_ids.push(engines.len());
+                engines.push(Engine {
+                    tenant: t,
+                    shard,
+                    admission: BoundedQueue::new(config.queue_capacity),
+                    // Room for one in-flight batch per worker plus a small
+                    // backlog; when workers fall behind, the batcher blocks
+                    // here, the admission queue fills, and the edge sheds —
+                    // bounded end to end.
+                    batches: BoundedQueue::new(workers_per_engine * 2),
+                    index: Arc::clone(&init.index),
+                    dead: AtomicBool::new(false),
+                });
+            }
+            routes.push(TenantRoute {
+                name: init.name,
+                engines: engine_ids,
+                quota: init.quota,
+                in_flight: Arc::new(AtomicU64::new(0)),
+            });
+        }
+        let frontend_kind = config.frontend;
         let shared = Arc::new(Shared {
-            admission: BoundedQueue::new(config.queue_capacity),
-            // Room for one in-flight batch per worker plus a small backlog;
-            // when workers fall behind, the batcher blocks here, the
-            // admission queue fills, and the edge sheds — bounded end to end.
-            batches: BoundedQueue::new(workers * 2),
+            engines,
+            tenants: routes,
+            registry,
             metrics,
-            index,
             config,
             batch_seq: AtomicU64::new(0),
             trace_seq: AtomicU64::new(0),
@@ -196,27 +411,49 @@ impl Server {
         let readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
             Arc::new(Mutex::new(Vec::new()));
 
-        let acceptor = {
-            let shared = Arc::clone(&shared);
-            let readers = Arc::clone(&readers);
-            std::thread::spawn(move || accept_loop(listener, shared, readers))
-        };
-        let batcher = {
-            let shared = Arc::clone(&shared);
-            std::thread::spawn(move || batcher_loop(shared))
-        };
-        let worker_handles = (0..workers)
-            .map(|i| {
+        let frontend = match frontend_kind {
+            Frontend::Threads => {
                 let shared = Arc::clone(&shared);
-                shared.metrics.name_worker(i);
-                std::thread::spawn(move || worker_loop(shared, i))
+                let readers = Arc::clone(&readers);
+                std::thread::spawn(move || accept_loop(listener, shared, readers))
+            }
+            Frontend::Reactor => {
+                #[cfg(unix)]
+                {
+                    let shared = Arc::clone(&shared);
+                    std::thread::spawn(move || crate::reactor::reactor_loop(listener, shared))
+                }
+                #[cfg(not(unix))]
+                {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::Unsupported,
+                        "the reactor frontend needs poll(2)",
+                    ));
+                }
+            }
+        };
+        let batchers = (0..shared.engines.len())
+            .map(|e| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || batcher_loop(shared, e))
             })
             .collect();
+        let mut worker_handles = Vec::with_capacity(shared.engines.len() * workers_per_engine);
+        let mut worker_id = 0usize;
+        for e in 0..shared.engines.len() {
+            for _ in 0..workers_per_engine {
+                let shared = Arc::clone(&shared);
+                shared.metrics.name_worker(worker_id);
+                let id = worker_id;
+                worker_handles.push(std::thread::spawn(move || worker_loop(shared, e, id)));
+                worker_id += 1;
+            }
+        }
         Ok(Server {
             shared,
             local_addr,
-            acceptor: Some(acceptor),
-            batcher: Some(batcher),
+            frontend: Some(frontend),
+            batchers,
             workers: worker_handles,
             readers,
         })
@@ -232,24 +469,58 @@ impl Server {
         &self.shared.metrics
     }
 
+    /// The index registry, on multi-tenant servers.
+    pub fn registry(&self) -> Option<&IndexRegistry> {
+        self.shared.registry.as_ref()
+    }
+
     /// Whether a client requested shutdown via the protocol.
     pub fn shutdown_requested(&self) -> bool {
         self.shared.shutdown_requested.load(Ordering::Relaxed)
+    }
+
+    /// Kills one shard of a tenant (fault injection): its admission queue
+    /// closes — queued requests still batch, execute and answer — and
+    /// routing immediately steers new requests to the tenant's surviving
+    /// shards (or sheds when none remain). Other tenants are untouched.
+    /// Returns `false` for unknown tenants/shards or a shard already dead.
+    pub fn kill_shard(&self, tenant: &str, shard: usize) -> bool {
+        let Some((t, route)) = self
+            .shared
+            .tenants
+            .iter()
+            .enumerate()
+            .find(|(_, r)| r.name == tenant)
+        else {
+            return false;
+        };
+        let Some(&engine_id) = route.engines.get(shard) else {
+            return false;
+        };
+        let engine = &self.shared.engines[engine_id];
+        if engine.dead.swap(true, Ordering::SeqCst) {
+            return false;
+        }
+        engine.admission.close();
+        self.shared.metrics.shard_dead(t, shard);
+        true
     }
 
     /// Graceful drain: stop admission, flush every bin, execute and answer
     /// every formed batch, join all threads. Returns the metrics hub.
     pub fn shutdown(mut self) -> Arc<ServeMetrics> {
         self.shared.draining.store(true, Ordering::SeqCst);
-        self.shared.admission.close();
-        if let Some(h) = self.batcher.take() {
+        for engine in &self.shared.engines {
+            engine.admission.close();
+        }
+        for h in self.batchers.drain(..) {
             let _ = h.join();
         }
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
         self.shared.closed.store(true, Ordering::SeqCst);
-        if let Some(h) = self.acceptor.take() {
+        if let Some(h) = self.frontend.take() {
             let _ = h.join();
         }
         let readers = std::mem::take(&mut *self.readers.lock().unwrap());
@@ -274,7 +545,7 @@ fn accept_loop(
             Ok((stream, _peer)) => {
                 let _ = stream.set_nodelay(true);
                 let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
-                let writer = match stream.try_clone() {
+                let writer: Arc<dyn ResponseSink> = match stream.try_clone() {
                     Ok(w) => Arc::new(ConnWriter {
                         stream: Mutex::new(w),
                         id: shared.conn_seq.fetch_add(1, Ordering::Relaxed),
@@ -357,7 +628,7 @@ fn read_request_frame(
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
 }
 
-fn reader_loop(shared: Arc<Shared>, mut stream: TcpStream, writer: Arc<ConnWriter>) {
+fn reader_loop(shared: Arc<Shared>, mut stream: TcpStream, writer: Arc<dyn ResponseSink>) {
     loop {
         let doc = match read_request_frame(&mut stream, &shared) {
             Ok(Some(doc)) => doc,
@@ -370,61 +641,152 @@ fn reader_loop(shared: Arc<Shared>, mut stream: TcpStream, writer: Arc<ConnWrite
             }
             Err(_) => return,
         };
-        let request = match Request::decode(&doc) {
-            Ok(r) => r,
-            Err(msg) => {
-                shared.metrics.protocol_error();
-                let id = doc.get("id").and_then(JsonValue::as_num).unwrap_or(0.0) as u64;
-                let resp = AlignResponse::failure(id, Status::Error, &msg);
-                if writer.send(&resp.encode()).is_err() {
-                    shared.metrics.write_error();
-                }
-                continue;
+        dispatch_request(&shared, &writer, &doc);
+    }
+}
+
+/// Decodes and executes one request document — the single entry point
+/// shared by both frontends, so their observable behavior cannot diverge.
+pub(crate) fn dispatch_request(
+    shared: &Arc<Shared>,
+    sink: &Arc<dyn ResponseSink>,
+    doc: &JsonValue,
+) {
+    let request = match Request::decode(doc) {
+        Ok(r) => r,
+        Err(msg) => {
+            shared.metrics.protocol_error();
+            let id = doc.get("id").and_then(JsonValue::as_num).unwrap_or(0.0) as u64;
+            let resp = AlignResponse::failure(id, Status::Error, &msg);
+            if sink.send(&resp.encode()).is_err() {
+                shared.metrics.write_error();
             }
-        };
-        match request {
-            Request::Align {
-                id,
-                codes,
-                deadline_ms,
-            } => handle_align(&shared, &writer, id, codes, deadline_ms),
-            Request::Stats => {
-                let meta = SnapshotMeta::collect(nvwa_sim::par::current_threads());
-                if writer.send(&shared.metrics.stats_response(&meta)).is_err() {
-                    shared.metrics.write_error();
+            return;
+        }
+    };
+    match request {
+        Request::Align {
+            id,
+            codes,
+            deadline_ms,
+            tenant,
+            region,
+        } => handle_align(
+            shared,
+            sink,
+            id,
+            codes,
+            deadline_ms,
+            tenant.as_deref(),
+            region,
+        ),
+        Request::Stats => {
+            let meta = SnapshotMeta::collect(nvwa_sim::par::current_threads());
+            let mut stats = shared.metrics.stats_response(&meta);
+            if let Some(registry) = &shared.registry {
+                if let JsonValue::Obj(pairs) = &mut stats {
+                    pairs.push(("registry".to_string(), registry.summary_json()));
                 }
             }
-            Request::Flight => {
-                let dump = dump_flight(&shared, "explicit");
-                if writer.send(&dump).is_err() {
-                    shared.metrics.write_error();
-                }
+            if sink.send(&stats).is_err() {
+                shared.metrics.write_error();
             }
-            Request::Shutdown => {
-                shared.shutdown_requested.store(true, Ordering::SeqCst);
-                let ack = JsonValue::obj(vec![
-                    ("kind", JsonValue::Str("shutdown".to_string())),
-                    ("ok", JsonValue::Bool(true)),
-                ]);
-                if writer.send(&ack).is_err() {
-                    shared.metrics.write_error();
-                }
+        }
+        Request::Flight => {
+            let dump = dump_flight(shared, "explicit");
+            if sink.send(&dump).is_err() {
+                shared.metrics.write_error();
+            }
+        }
+        Request::Shutdown => {
+            shared.shutdown_requested.store(true, Ordering::SeqCst);
+            let ack = JsonValue::obj(vec![
+                ("kind", JsonValue::Str("shutdown".to_string())),
+                ("ok", JsonValue::Bool(true)),
+            ]);
+            if sink.send(&ack).is_err() {
+                shared.metrics.write_error();
             }
         }
     }
 }
 
 fn handle_align(
-    shared: &Shared,
-    writer: &Arc<ConnWriter>,
+    shared: &Arc<Shared>,
+    sink: &Arc<dyn ResponseSink>,
     id: u64,
     codes: Vec<u8>,
     deadline_ms: Option<u64>,
+    tenant: Option<&str>,
+    region: Option<u64>,
 ) {
     if shared.draining.load(Ordering::Relaxed) {
-        shed(shared, writer, id, "server draining");
+        shed(shared, sink, id, "server draining", None);
         return;
     }
+    // Tenant resolution: absent → the default (first) tenant, so
+    // pre-tenant clients keep working; unknown names are a client error.
+    let tenant_idx = match tenant {
+        None => 0,
+        Some(name) => match shared.tenants.iter().position(|t| t.name == name) {
+            Some(i) => i,
+            None => {
+                shared.metrics.protocol_error();
+                let resp =
+                    AlignResponse::failure(id, Status::Error, &format!("unknown tenant {name:?}"));
+                if sink.send(&resp.encode()).is_err() {
+                    shared.metrics.write_error();
+                }
+                return;
+            }
+        },
+    };
+    let route = &shared.tenants[tenant_idx];
+    // Quota first: a tenant over its admission cap is refused before any
+    // queue is touched, with a status its clients can tell from global
+    // overload. The guard rides in the PendingRead; Drop releases the slot
+    // exactly once on every path (response, deadline, even worker panic).
+    let Some(guard) = try_admit_counted(&route.in_flight, route.quota) else {
+        shared.metrics.quota_shed(tenant_idx);
+        shared.metrics.flight_event(
+            FlightEventKind::Quota,
+            id,
+            sink.conn_id(),
+            route.quota.unwrap_or(0),
+        );
+        let resp = AlignResponse::failure(
+            id,
+            Status::Quota,
+            &format!(
+                "tenant {:?} admission quota ({}) exhausted",
+                route.name,
+                route.quota.unwrap_or(0)
+            ),
+        );
+        if sink.send(&resp.encode()).is_err() {
+            shared.metrics.write_error();
+        }
+        return;
+    };
+    // Deterministic shard routing: the client's region hint (or the read
+    // itself) hashes to a start shard; dead shards are probed past.
+    let hash = region_hash(region, &codes);
+    let live = |s: usize| {
+        !shared.engines[route.engines[s]]
+            .dead
+            .load(Ordering::Relaxed)
+    };
+    let Some(shard) = route_shard(hash, route.engines.len(), live) else {
+        shed(
+            shared,
+            sink,
+            id,
+            &format!("tenant {:?}: no live shard", route.name),
+            Some((tenant_idx, None)),
+        );
+        return;
+    };
+    let engine = &shared.engines[route.engines[shard]];
     let now = Instant::now();
     let t0_ns = shared.metrics.now_ns();
     let trace_id = shared.trace_seq.fetch_add(1, Ordering::Relaxed);
@@ -435,41 +797,70 @@ fn handle_align(
     let len = codes.len();
     let item = BatchItem {
         payload: PendingRead {
-            conn: Arc::clone(writer),
+            conn: Arc::clone(sink),
             id,
             codes,
             trace_id,
             t0_ns,
             picked_at: None,
+            _guard: Some(guard),
         },
         len,
         admitted_at: now,
         deadline,
     };
-    match shared.admission.try_push(item) {
+    match engine.admission.try_push(item) {
         Ok(()) => {
-            let depth = shared.admission.depth();
+            let depth = engine.admission.depth();
             shared.metrics.admitted(depth);
-            shared
-                .metrics
-                .flight_event(FlightEventKind::Admit, trace_id, writer.id, depth as u64);
+            shared.metrics.tenant_admitted(tenant_idx, shard);
+            shared.metrics.flight_event(
+                FlightEventKind::Admit,
+                trace_id,
+                sink.conn_id(),
+                depth as u64,
+            );
         }
-        Err(PushError::Full(_)) => shed(shared, writer, id, "admission queue full"),
-        Err(PushError::Closed(_)) => shed(shared, writer, id, "server draining"),
+        Err(PushError::Full(_)) => shed(
+            shared,
+            sink,
+            id,
+            "admission queue full",
+            Some((tenant_idx, Some(shard))),
+        ),
+        Err(PushError::Closed(_)) => {
+            // The engine was killed between routing and push (or the
+            // server started draining) — same answer either way.
+            let why = if engine.dead.load(Ordering::Relaxed) {
+                format!("tenant {:?}: shard {shard} down", route.name)
+            } else {
+                "server draining".to_string()
+            };
+            shed(shared, sink, id, &why, Some((tenant_idx, Some(shard))));
+        }
     }
 }
 
-fn shed(shared: &Shared, writer: &Arc<ConnWriter>, id: u64, why: &str) {
+fn shed(
+    shared: &Shared,
+    sink: &Arc<dyn ResponseSink>,
+    id: u64,
+    why: &str,
+    tenant_shard: Option<(usize, Option<usize>)>,
+) {
     shared
         .metrics
-        .flight_event(FlightEventKind::Shed, id, writer.id, 0);
+        .flight_event(FlightEventKind::Shed, id, sink.conn_id(), 0);
+    if let Some((tenant, shard)) = tenant_shard {
+        shared.metrics.tenant_shed(tenant, shard);
+    }
     if shared.metrics.shed() {
         // The windowed shed count crossed the storm threshold: freeze the
         // lead-up by dumping the flight recorder (once per server run).
         dump_flight(shared, "shed_storm");
     }
     let resp = AlignResponse::failure(id, Status::Shed, why);
-    if writer.send(&resp.encode()).is_err() {
+    if sink.send(&resp.encode()).is_err() {
         shared.metrics.write_error();
     }
 }
@@ -493,7 +884,8 @@ fn ns_between(a: Instant, b: Instant) -> u64 {
     b.saturating_duration_since(a).as_nanos() as u64
 }
 
-fn batcher_loop(shared: Arc<Shared>) {
+fn batcher_loop(shared: Arc<Shared>, engine_id: usize) {
+    let engine = &shared.engines[engine_id];
     let mut batcher: Batcher<PendingRead> = Batcher::new(shared.config.batch.clone());
     loop {
         let now = Instant::now();
@@ -502,31 +894,31 @@ fn batcher_loop(shared: Arc<Shared>) {
             .map(|at| at.saturating_duration_since(now))
             .unwrap_or(POLL_INTERVAL)
             .min(POLL_INTERVAL);
-        match shared.admission.pop_wait(Some(wait)) {
+        match engine.admission.pop_wait(Some(wait)) {
             Popped::Item(mut item) => {
                 // The queue→fill stage boundary: the item leaves the
                 // admission queue and starts waiting for its bin to fill.
                 item.payload.picked_at = Some(Instant::now());
                 if let Some(batch) = batcher.offer(item, Instant::now()) {
-                    ship(&shared, batch);
+                    ship(&shared, engine, batch);
                 }
             }
             Popped::TimedOut => {}
             Popped::Closed => {
                 for batch in batcher.drain(Instant::now()) {
-                    ship(&shared, batch);
+                    ship(&shared, engine, batch);
                 }
-                shared.batches.close();
+                engine.batches.close();
                 return;
             }
         }
         for batch in batcher.poll(Instant::now()) {
-            ship(&shared, batch);
+            ship(&shared, engine, batch);
         }
     }
 }
 
-fn ship(shared: &Shared, batch: Batch<PendingRead>) {
+fn ship(shared: &Shared, engine: &Engine, batch: Batch<PendingRead>) {
     // Expired requests are answered here and never executed: their span
     // chain is queue → fill → write, with no align stage.
     if !batch.expired.is_empty() {
@@ -549,19 +941,23 @@ fn ship(shared: &Shared, batch: Batch<PendingRead>) {
             }
             let written = Instant::now();
             let picked = item.payload.picked_at.unwrap_or(item.admitted_at);
-            shared.metrics.request_done(RequestSpans::chain(
-                item.payload.trace_id,
-                item.payload.conn.id,
-                item.payload.id,
-                batch.bin,
-                Outcome::Deadline,
-                item.payload.t0_ns,
-                &[
-                    (Stage::Queue, ns_between(item.admitted_at, picked)),
-                    (Stage::Fill, ns_between(picked, fill_end)),
-                    (Stage::Write, ns_between(fill_end, written)),
-                ],
-            ));
+            record_done(
+                shared,
+                engine,
+                RequestSpans::chain(
+                    item.payload.trace_id,
+                    item.payload.conn.conn_id(),
+                    item.payload.id,
+                    batch.bin,
+                    Outcome::Deadline,
+                    item.payload.t0_ns,
+                    &[
+                        (Stage::Queue, ns_between(item.admitted_at, picked)),
+                        (Stage::Fill, ns_between(picked, fill_end)),
+                        (Stage::Write, ns_between(fill_end, written)),
+                    ],
+                ),
+            );
         }
     }
     if batch.items.is_empty() {
@@ -569,31 +965,48 @@ fn ship(shared: &Shared, batch: Batch<PendingRead>) {
     }
     shared
         .metrics
-        .batch_formed(batch.reason, batch.items.len(), shared.admission.depth());
+        .batch_formed(batch.reason, batch.items.len(), engine.admission.depth());
     // push_wait blocks when all workers are busy — backpressure propagates
     // backwards to the admission queue, whose edge sheds. The queue is
     // closed only by this thread (after this loop), so the push succeeds.
-    if shared.batches.push_wait(batch).is_err() {
+    if engine.batches.push_wait(batch).is_err() {
         unreachable!("batch queue closed while the batcher is live");
     }
 }
 
-fn worker_loop(shared: Arc<Shared>, worker: usize) {
+fn worker_loop(shared: Arc<Shared>, engine_id: usize, worker: usize) {
+    let engine = &shared.engines[engine_id];
     // Per-worker alignment scratch: buffers (and the seeding occ-block
     // cache) live for the worker's whole lifetime, so the steady-state
     // batch path allocates nothing per read.
     let mut scratch = AlignScratch::new();
     loop {
-        let batch = match shared.batches.pop_wait(None) {
+        let batch = match engine.batches.pop_wait(None) {
             Popped::Item(b) => b,
             Popped::Closed => return,
             Popped::TimedOut => continue,
         };
-        execute_and_respond(&shared, worker, batch, &mut scratch);
+        execute_and_respond(&shared, engine, worker, batch, &mut scratch);
         let (hits, lookups) = scratch.seed_cache_stats();
         shared.metrics.seed_cache(hits, lookups);
         scratch.reset_seed_cache_stats();
     }
+}
+
+/// Records one finished request: the global span chain plus the owning
+/// tenant/shard rollup (SLO window and outcome counters).
+fn record_done(shared: &Shared, engine: &Engine, chain: RequestSpans) {
+    let e2e_ns = chain.e2e_ns();
+    let done_us = (chain.t0_ns + e2e_ns) / 1_000;
+    let outcome = chain.outcome;
+    shared.metrics.request_done(chain);
+    shared.metrics.tenant_done(
+        engine.tenant,
+        engine.shard,
+        outcome,
+        done_us,
+        e2e_ns / 1_000,
+    );
 }
 
 /// Answers one item and records its complete span chain. Stage durations
@@ -604,6 +1017,7 @@ fn worker_loop(shared: Arc<Shared>, worker: usize) {
 #[allow(clippy::too_many_arguments)]
 fn respond_and_trace(
     shared: &Shared,
+    engine: &Engine,
     item: &BatchItem<PendingRead>,
     bin: usize,
     outcome: Outcome,
@@ -616,24 +1030,29 @@ fn respond_and_trace(
     }
     let written = Instant::now();
     let picked = item.payload.picked_at.unwrap_or(item.admitted_at);
-    shared.metrics.request_done(RequestSpans::chain(
-        item.payload.trace_id,
-        item.payload.conn.id,
-        item.payload.id,
-        bin,
-        outcome,
-        item.payload.t0_ns,
-        &[
-            (Stage::Queue, ns_between(item.admitted_at, picked)),
-            (Stage::Fill, ns_between(picked, exec_start)),
-            (Stage::Align, ns_between(exec_start, exec_done)),
-            (Stage::Write, ns_between(exec_done, written)),
-        ],
-    ));
+    record_done(
+        shared,
+        engine,
+        RequestSpans::chain(
+            item.payload.trace_id,
+            item.payload.conn.conn_id(),
+            item.payload.id,
+            bin,
+            outcome,
+            item.payload.t0_ns,
+            &[
+                (Stage::Queue, ns_between(item.admitted_at, picked)),
+                (Stage::Fill, ns_between(picked, exec_start)),
+                (Stage::Align, ns_between(exec_start, exec_done)),
+                (Stage::Write, ns_between(exec_done, written)),
+            ],
+        ),
+    );
 }
 
 fn execute_and_respond(
     shared: &Shared,
+    engine: &Engine,
     worker: usize,
     batch: Batch<PendingRead>,
     scratch: &mut AlignScratch,
@@ -664,7 +1083,7 @@ fn execute_and_respond(
             panic!("injected fault: worker panic at batch {seq}");
         }
         execute_batch_with(
-            &shared.index,
+            &engine.index,
             &shared.config.aligner,
             &shared.config.backend,
             &pairs,
@@ -688,6 +1107,7 @@ fn execute_and_respond(
                 );
                 respond_and_trace(
                     shared,
+                    engine,
                     item,
                     batch.bin,
                     Outcome::Error,
@@ -718,6 +1138,7 @@ fn execute_and_respond(
         resp.sim_cycles = outcome.sim_cycles;
         respond_and_trace(
             shared,
+            engine,
             item,
             batch.bin,
             Outcome::Ok,

@@ -344,6 +344,7 @@ pub const FLIGHT_EVENT_KINDS: &[&str] = &[
     "batch_start",
     "batch_done",
     "panic",
+    "quota",
 ];
 
 /// Validates a flight-recorder summary (the `flight` section of a `stats`
@@ -425,9 +426,14 @@ pub fn validate_flight_dump(doc: &JsonValue) -> Result<(), String> {
     let events = require(doc, "events", what)?
         .as_arr()
         .ok_or_else(|| format!("{what}: events must be an array"))?;
-    if events.len() as f64 != recorded.min(cap) {
+    // A slot's sequence number is claimed (bumping `recorded`) before its
+    // payload write completes, so a dump frozen mid-run — e.g. at the
+    // moment of a worker panic, while connections keep admitting — may
+    // retain fewer events than `recorded` even below `cap`. It can never
+    // retain more than either bound.
+    if events.len() as f64 > recorded.min(cap) {
         return Err(format!(
-            "{what}: {} events, expected min(recorded {recorded}, cap {cap})",
+            "{what}: {} events exceeds min(recorded {recorded}, cap {cap})",
             events.len()
         ));
     }
@@ -521,8 +527,11 @@ pub fn validate_span_log(doc: &JsonValue) -> Result<(), String> {
 
 /// Validates a loadgen report (`"kind": "nvwa-loadgen"`, schema version 1):
 /// the accounting identities (`sent = received + lost`,
-/// `received = ok + shed + deadline + errors`) and the latency summary,
-/// whose percentiles are null exactly when no latency was sampled.
+/// `received = ok + shed + quota + deadline + errors`; `quota` defaults
+/// to 0 in reports predating multi-tenant serving) and the latency
+/// summary, whose percentiles are null exactly when no latency was
+/// sampled. When a `tenants` array is present, the same identities are
+/// checked per tenant and the per-tenant counts must sum to the totals.
 ///
 /// # Errors
 ///
@@ -556,6 +565,12 @@ pub fn validate_loadgen_report(doc: &JsonValue) -> Result<(), String> {
     let received = count_of("received")?;
     let ok = count_of("ok")?;
     let shed = count_of("shed")?;
+    // `quota` was added with multi-tenant serving; older reports omit it.
+    let quota = if doc.get("quota").is_some() {
+        count_of("quota")?
+    } else {
+        0.0
+    };
     let deadline = count_of("deadline")?;
     let errors = count_of("errors")?;
     let lost = count_of("lost")?;
@@ -567,11 +582,70 @@ pub fn validate_loadgen_report(doc: &JsonValue) -> Result<(), String> {
             "{what}: sent ({sent}) must equal received ({received}) + lost ({lost})"
         ));
     }
-    if received != ok + shed + deadline + errors {
+    if received != ok + shed + quota + deadline + errors {
         return Err(format!(
-            "{what}: received ({received}) must equal ok+shed+deadline+errors \
-             ({ok}+{shed}+{deadline}+{errors})"
+            "{what}: received ({received}) must equal ok+shed+quota+deadline+errors \
+             ({ok}+{shed}+{quota}+{deadline}+{errors})"
         ));
+    }
+    if let Some(tenants) = doc.get("tenants") {
+        let arr = tenants
+            .as_arr()
+            .ok_or_else(|| format!("{what}: tenants must be an array"))?;
+        let mut sums = [0.0f64; 4]; // sent, received, lost, quota
+        for (i, t) in arr.iter().enumerate() {
+            let twhat = format!("loadgen report tenants[{i}]");
+            let name = require(t, "name", &twhat)?;
+            if !matches!(name.as_str(), Some(s) if !s.is_empty()) {
+                return Err(format!("{twhat}: name must be a non-empty string"));
+            }
+            let tcount = |key: &str| -> Result<f64, String> {
+                let v = require_num(t, key, &twhat)?;
+                if v < 0.0 || v.fract() != 0.0 {
+                    return Err(format!("{twhat}: {key} must be a non-negative integer"));
+                }
+                Ok(v)
+            };
+            let t_sent = tcount("sent")?;
+            let t_received = tcount("received")?;
+            let t_lost = tcount("lost")?;
+            let t_ok = tcount("ok")?;
+            let t_shed = tcount("shed")?;
+            let t_quota = tcount("quota")?;
+            let t_deadline = tcount("deadline")?;
+            let t_errors = tcount("errors")?;
+            tcount("mapped")?;
+            if t_sent != t_received + t_lost {
+                return Err(format!(
+                    "{twhat}: sent ({t_sent}) must equal received ({t_received}) + lost ({t_lost})"
+                ));
+            }
+            if t_received != t_ok + t_shed + t_quota + t_deadline + t_errors {
+                return Err(format!(
+                    "{twhat}: received ({t_received}) must equal \
+                     ok+shed+quota+deadline+errors \
+                     ({t_ok}+{t_shed}+{t_quota}+{t_deadline}+{t_errors})"
+                ));
+            }
+            sums[0] += t_sent;
+            sums[1] += t_received;
+            sums[2] += t_lost;
+            sums[3] += t_quota;
+        }
+        if !arr.is_empty() {
+            for (sum, (key, total)) in sums.iter().zip([
+                ("sent", sent),
+                ("received", received),
+                ("lost", lost),
+                ("quota", quota),
+            ]) {
+                if *sum != total {
+                    return Err(format!(
+                        "{what}: per-tenant {key} sums to {sum} but the report total is {total}"
+                    ));
+                }
+            }
+        }
     }
     let wall_ms = require_num(doc, "wall_ms", what)?;
     if wall_ms.is_nan() || wall_ms <= 0.0 {
@@ -634,6 +708,38 @@ pub fn validate_bench_report(doc: &JsonValue) -> Result<(), String> {
         }
     }
     require_numeric_object(doc, "speedups", what)?;
+    // Optional PR8 section: the idle-fleet frontend comparison. Each
+    // entry records one frontend's parked-fleet cost and active p99.
+    if let Some(section) = doc.get("serve_reactor_10k_idle") {
+        let entries = section
+            .as_arr()
+            .ok_or_else(|| format!("{what}: serve_reactor_10k_idle must be an array"))?;
+        if entries.is_empty() {
+            return Err(format!("{what}: serve_reactor_10k_idle must be non-empty"));
+        }
+        for (i, e) in entries.iter().enumerate() {
+            if require(e, "frontend", what)?.as_str().is_none() {
+                return Err(format!(
+                    "{what}: serve_reactor_10k_idle[{i}].frontend must be a string"
+                ));
+            }
+            for key in [
+                "idle_conns",
+                "threads_with_idle",
+                "vm_rss_kb_with_idle",
+                "active_p99_ms",
+                "active_wall_ms",
+            ] {
+                let v = require_num(e, key, what)
+                    .map_err(|err| format!("{err} (serve_reactor_10k_idle[{i}])"))?;
+                if v < 0.0 || v.is_nan() {
+                    return Err(format!(
+                        "{what}: serve_reactor_10k_idle[{i}].{key} must be ≥ 0"
+                    ));
+                }
+            }
+        }
+    }
     Ok(())
 }
 
@@ -812,6 +918,67 @@ mod tests {
     }
 
     #[test]
+    fn loadgen_tenant_sections_are_enforced() {
+        let good = r#"{
+            "kind": "nvwa-loadgen", "schema_version": 1, "mode": "open",
+            "connections": 2, "reads": 100, "sent": 100, "received": 100,
+            "ok": 80, "mapped": 80, "shed": 0, "quota": 20, "deadline": 0,
+            "errors": 0, "lost": 0, "duplicates": 0, "wall_ms": 12.5,
+            "throughput_rps": 8000.0,
+            "latency_us": {"count": 80, "mean": 900.0, "p50": 800.0,
+                           "p90": 1500.0, "p99": 2100.0, "min": 300.0,
+                           "max": 2500.0},
+            "tenants": [
+                {"name": "homo_sapiens", "sent": 60, "received": 60,
+                 "lost": 0, "ok": 40, "shed": 0, "quota": 20,
+                 "deadline": 0, "errors": 0, "mapped": 40,
+                 "latency_us": {"count": 40, "mean": 1.0, "p50": 1.0,
+                                "p90": 1.0, "p99": 1.0, "min": 1.0,
+                                "max": 1.0}},
+                {"name": "mus_musculus", "sent": 40, "received": 40,
+                 "lost": 0, "ok": 40, "shed": 0, "quota": 0,
+                 "deadline": 0, "errors": 0, "mapped": 40,
+                 "latency_us": {"count": 40, "mean": 1.0, "p50": 1.0,
+                                "p90": 1.0, "p99": 1.0, "min": 1.0,
+                                "max": 1.0}}
+            ]
+        }"#;
+        validate_loadgen_report(&JsonValue::parse(good).unwrap()).unwrap();
+
+        // A tenant whose own identity is broken is named in the error.
+        let broken = good.replace(
+            "\"ok\": 40, \"shed\": 0, \"quota\": 20",
+            "\"ok\": 41, \"shed\": 0, \"quota\": 20",
+        );
+        let err = validate_loadgen_report(&JsonValue::parse(&broken).unwrap()).unwrap_err();
+        assert!(err.contains("tenants[0]"), "{err}");
+
+        // Per-tenant counts must sum to the report totals (the tenant
+        // itself stays internally consistent: sent 39 = received 39 =
+        // ok 39, so only the cross-tenant sum breaks).
+        let short = good
+            .replace(
+                "\"name\": \"mus_musculus\", \"sent\": 40, \"received\": 40",
+                "\"name\": \"mus_musculus\", \"sent\": 39, \"received\": 39",
+            )
+            .replace(
+                "\"lost\": 0, \"ok\": 40, \"shed\": 0, \"quota\": 0",
+                "\"lost\": 0, \"ok\": 39, \"shed\": 0, \"quota\": 0",
+            );
+        let err = validate_loadgen_report(&JsonValue::parse(&short).unwrap()).unwrap_err();
+        assert!(err.contains("sums to"), "{err}");
+
+        // Quota without the top-level key: totals treat it as 0, so a
+        // quota-bearing tenant cannot balance.
+        let no_quota = good.replace(
+            "\"shed\": 0, \"quota\": 20, \"deadline\": 0,\n            \"errors\": 0",
+            "\"shed\": 0, \"deadline\": 0,\n            \"errors\": 0",
+        );
+        let parsed = JsonValue::parse(&no_quota).unwrap();
+        assert!(validate_loadgen_report(&parsed).is_err());
+    }
+
+    #[test]
     fn slo_view_validation_checks_rates_and_bins() {
         let good = r#"{
             "now": 5000000, "window": 1000000, "step": 100000,
@@ -858,9 +1025,17 @@ mod tests {
                 {"seq": 2, "t_us": 30, "kind": "panic", "a": 0, "b": 2, "c": 0}
             ],
             "digest": {"admit": 1, "shed": 0, "deadline": 0,
-                       "batch_start": 1, "batch_done": 0, "panic": 1}
+                       "batch_start": 1, "batch_done": 0, "panic": 1,
+                       "quota": 0}
         }"#;
         validate_flight_dump(&JsonValue::parse(dump).unwrap()).unwrap();
+        // A mid-run dump may retain fewer events than `recorded` (slots
+        // claimed but not yet written at snapshot time) — never more.
+        let midrun = dump.replace("\"recorded\": 3", "\"recorded\": 5");
+        validate_flight_dump(&JsonValue::parse(&midrun).unwrap()).unwrap();
+        let inflated = dump.replace("\"recorded\": 3", "\"recorded\": 2");
+        let err = validate_flight_dump(&JsonValue::parse(&inflated).unwrap()).unwrap_err();
+        assert!(err.contains("exceeds"), "{err}");
         // Digest must agree with the event list.
         let lying = dump.replace("\"panic\": 1", "\"panic\": 2");
         let err = validate_flight_dump(&JsonValue::parse(&lying).unwrap()).unwrap_err();

@@ -16,7 +16,7 @@ use nvwa_core::config::NvwaConfig;
 use nvwa_core::system::SimOptions;
 use nvwa_core::units::workload::SyntheticWorkloadParams;
 
-use crate::{diff, faults, invariants};
+use crate::{diff, faults, invariants, tenancy};
 
 /// Which check family to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,15 +30,24 @@ pub enum Family {
     Invariants,
     /// Serve fault-injection plans.
     Faults,
+    /// Multi-tenant index registry: deterministic shard routing,
+    /// per-tenant bit-identity vs the offline aligners, unknown-tenant
+    /// rejection ([`crate::tenancy`]).
+    Registry,
+    /// Poll-reactor frontend differential vs the threaded frontend
+    /// ([`crate::tenancy`]).
+    Reactor,
 }
 
 impl Family {
     /// All families, in report order.
-    pub const ALL: [Family; 4] = [
+    pub const ALL: [Family; 6] = [
         Family::Diff,
         Family::Extension,
         Family::Invariants,
         Family::Faults,
+        Family::Registry,
+        Family::Reactor,
     ];
 
     /// Stable name (CLI `--families` values, report headers).
@@ -48,6 +57,8 @@ impl Family {
             Family::Extension => "extension",
             Family::Invariants => "invariants",
             Family::Faults => "faults",
+            Family::Registry => "registry",
+            Family::Reactor => "reactor",
         }
     }
 
@@ -58,6 +69,8 @@ impl Family {
             "extension" => Some(Family::Extension),
             "invariants" => Some(Family::Invariants),
             "faults" => Some(Family::Faults),
+            "registry" => Some(Family::Registry),
+            "reactor" => Some(Family::Reactor),
             _ => None,
         }
     }
@@ -205,6 +218,10 @@ pub fn run(config: &ConformanceConfig) -> ConformanceReport {
                     .map_err(|d| d.to_string())],
                 Family::Invariants => vec![run_invariant_family(seed)],
                 Family::Faults => vec![faults::run_fault_family(seed)],
+                Family::Registry => {
+                    vec![tenancy::run_registry_family(seed, config.serve_reads / 2)]
+                }
+                Family::Reactor => vec![tenancy::run_reactor_family(seed, config.serve_reads)],
             };
             for result in results {
                 let (line, failed) = record(seed, result);

@@ -963,7 +963,7 @@ pub fn run_pipeline_family(
 /// construction stays cheap in CI, large enough for real SMEM structure).
 pub const SERVE_REF_LEN: usize = 20_000;
 
-fn wire_matches(wire: &Option<WireAlignment>, offline: &Option<Alignment>) -> bool {
+pub(crate) fn wire_matches(wire: &Option<WireAlignment>, offline: &Option<Alignment>) -> bool {
     match (wire, offline) {
         (None, None) => true,
         (Some(w), Some(a)) => {

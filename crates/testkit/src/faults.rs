@@ -155,6 +155,8 @@ fn send_slow_loris(addr: &str, id: u64, codes: &[u8]) -> Result<(), String> {
         id,
         codes: codes.to_vec(),
         deadline_ms: None,
+        tenant: None,
+        region: None,
     };
     let body = req.encode().to_string_compact();
     let mut frame = (body.len() as u32).to_be_bytes().to_vec();
@@ -258,6 +260,8 @@ pub fn run_fault_plan(plan: &FaultPlan) -> Result<String, String> {
                     id: 7,
                     codes: prng.codes(80),
                     deadline_ms: None,
+                    tenant: None,
+                    region: None,
                 };
                 let body = req.encode().to_string_compact();
                 let cut = 1 + prng.below(body.len() as u64 - 1) as usize;
@@ -517,14 +521,180 @@ pub fn worker_panic_digest_matrix(seed: u64) -> Result<String, String> {
     Ok(format!("flight digest invariant at 1/2/8 workers: {first}"))
 }
 
+/// Kills one shard of a two-shard tenant while a mixed closed-loop load
+/// is in flight, then proves graceful degradation ([`Server::kill_shard`]):
+///
+/// 1. **Exactly-once through the kill** — the racing load loses nothing
+///    and every response is a terminal status (conservation holds).
+/// 2. **Blast radius is one shard** — the healthy tenant's slice of the
+///    racing load is 100% `ok`.
+/// 3. **Rerouting** — post-kill traffic to the wounded tenant lands on
+///    the surviving shard and is fully served.
+/// 4. **Full kill sheds explicitly** — with every shard dead the tenant's
+///    requests are answered `shed`, while the healthy tenant still
+///    serves; the server still drains cleanly.
+///
+/// # Errors
+///
+/// Names the violated invariant.
+pub fn run_shard_kill_plan(seed: u64) -> Result<String, String> {
+    use nvwa_genome::species::Species;
+    use nvwa_serve::loadgen::TenantRead;
+    use nvwa_serve::TenantServeSpec;
+
+    const SPECIES_A: Species = Species::HomoSapiens;
+    const SPECIES_B: Species = Species::CaenorhabditisElegans;
+    let mut spec_a = TenantServeSpec::new(SPECIES_A, 0.0);
+    spec_a.shards = 2;
+    let spec_b = TenantServeSpec::new(SPECIES_B, 0.0);
+    let config = ServerConfig {
+        workers: 2,
+        tenants: vec![spec_a, spec_b],
+        // A small per-batch delay keeps requests in flight across the
+        // mid-run kill without slowing the plan meaningfully.
+        worker_delay: Some(Duration::from_micros(500)),
+        ..ServerConfig::default()
+    };
+    let server = Server::start_multi_tenant(config).map_err(|e| format!("start: {e}"))?;
+    let addr = server.local_addr().to_string();
+
+    let mix = |salt: u64, per_tenant: usize| -> Vec<TenantRead> {
+        let reads_a = loadgen::generate_species_reads(SPECIES_A, 0.0, seed ^ salt, per_tenant);
+        let reads_b =
+            loadgen::generate_species_reads(SPECIES_B, 0.0, seed ^ salt ^ 0xB00, per_tenant);
+        let mut mixed = Vec::with_capacity(per_tenant * 2);
+        for (a, b) in reads_a.into_iter().zip(reads_b) {
+            mixed.push(TenantRead {
+                tenant: Some(SPECIES_A.key().to_string()),
+                codes: a,
+                region: None,
+            });
+            mixed.push(TenantRead {
+                tenant: Some(SPECIES_B.key().to_string()),
+                codes: b,
+                region: None,
+            });
+        }
+        mixed
+    };
+    let load = LoadgenConfig {
+        connections: 2,
+        mode: ArrivalMode::Closed { window: 16 },
+        ..LoadgenConfig::default()
+    };
+
+    // Phase 1: the kill races a live mixed load.
+    let racing = mix(0x_5AFE_0001, 80);
+    let report = {
+        let addr = addr.clone();
+        let load = load.clone();
+        let handle = std::thread::spawn(move || loadgen::run_tenants(&addr, &racing, &load));
+        std::thread::sleep(Duration::from_millis(5));
+        if !server.kill_shard(SPECIES_A.key(), 0) {
+            return Err("shard_kill: kill_shard(tenant A, 0) refused".to_string());
+        }
+        handle
+            .join()
+            .map_err(|_| "shard_kill: loadgen thread panicked".to_string())?
+            .map_err(|e| format!("shard_kill: loadgen: {e}"))?
+    };
+    if server.kill_shard(SPECIES_A.key(), 0) {
+        return Err("shard_kill: killing the same shard twice must be refused".to_string());
+    }
+    if server.kill_shard(SPECIES_A.key(), 9) {
+        return Err("shard_kill: out-of-range shard must be refused".to_string());
+    }
+    if !report.is_lossless() || report.received != report.sent {
+        return Err(format!(
+            "shard_kill: exactly-once violated through the kill: sent {} received {} lost {} \
+             duplicates {}",
+            report.sent, report.received, report.lost, report.duplicates
+        ));
+    }
+    let healthy = tenant_section(&report, SPECIES_B.key())?;
+    if healthy.ok != healthy.sent {
+        return Err(format!(
+            "shard_kill: healthy tenant degraded by a neighbor's shard kill: ok {} of {}",
+            healthy.ok, healthy.sent
+        ));
+    }
+
+    // Phase 2: post-kill traffic must reroute to the surviving shard.
+    let rerouted_reads = mix(0x_5AFE_0002, 40);
+    let rerouted = loadgen::run_tenants(&addr, &rerouted_reads, &load)
+        .map_err(|e| format!("shard_kill: post-kill loadgen: {e}"))?;
+    if !rerouted.is_lossless() || rerouted.ok != rerouted.sent {
+        return Err(format!(
+            "shard_kill: rerouting failed: sent {} ok {} shed {} lost {}",
+            rerouted.sent, rerouted.ok, rerouted.shed, rerouted.lost
+        ));
+    }
+
+    // Phase 3: kill the surviving shard — the tenant must shed
+    // explicitly while its neighbor still serves.
+    if !server.kill_shard(SPECIES_A.key(), 1) {
+        return Err("shard_kill: kill_shard(tenant A, 1) refused".to_string());
+    }
+    let dark_reads = mix(0x_5AFE_0003, 20);
+    let dark = loadgen::run_tenants(&addr, &dark_reads, &load)
+        .map_err(|e| format!("shard_kill: full-kill loadgen: {e}"))?;
+    if !dark.is_lossless() {
+        return Err(format!(
+            "shard_kill: full kill lost requests: lost {} duplicates {}",
+            dark.lost, dark.duplicates
+        ));
+    }
+    let wounded = tenant_section(&dark, SPECIES_A.key())?;
+    if wounded.shed != wounded.sent {
+        return Err(format!(
+            "shard_kill: fully-killed tenant must shed all {} requests, shed {}",
+            wounded.sent, wounded.shed
+        ));
+    }
+    let healthy = tenant_section(&dark, SPECIES_B.key())?;
+    if healthy.ok != healthy.sent {
+        return Err(format!(
+            "shard_kill: healthy tenant degraded by a full neighbor kill: ok {} of {}",
+            healthy.ok, healthy.sent
+        ));
+    }
+
+    let metrics = server.shutdown();
+    if metrics.counter("serve.shards_killed") != 2 {
+        return Err(format!(
+            "shard_kill: {} shard kills recorded, want 2",
+            metrics.counter("serve.shards_killed")
+        ));
+    }
+    check_span_accounting(&metrics, "shard_kill")?;
+    Ok(
+        "shard_kill: exactly-once held through a mid-run kill, surviving shard absorbed \
+         rerouted traffic, full kill shed explicitly, neighbor tenant unaffected, clean drain"
+            .to_string(),
+    )
+}
+
+fn tenant_section<'a>(
+    report: &'a loadgen::LoadReport,
+    name: &str,
+) -> Result<&'a loadgen::TenantReport, String> {
+    report
+        .tenants
+        .iter()
+        .find(|t| t.name == name)
+        .ok_or_else(|| format!("shard_kill: report has no tenant section {name:?}"))
+}
+
 /// All plans at one seed; the summary lists each plan's one-liner, plus
-/// the cross-worker flight-digest invariance check.
+/// the cross-worker flight-digest invariance check and the multi-tenant
+/// shard-kill plan.
 pub fn run_fault_family(seed: u64) -> Result<String, String> {
     let mut lines = Vec::new();
     for plan in fault_plans(seed) {
         lines.push(run_fault_plan(&plan)?);
     }
     lines.push(worker_panic_digest_matrix(seed)?);
+    lines.push(run_shard_kill_plan(seed)?);
     Ok(format!(
         "faults: {} plans — {}",
         lines.len(),

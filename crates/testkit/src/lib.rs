@@ -24,6 +24,11 @@
 //!   disconnects, slow-loris dribble, worker panic at batch N,
 //!   queue-full storms) with the invariant that every accepted request
 //!   is answered exactly once and the server drains cleanly.
+//! * [`tenancy`] — **multi-tenant and reactor conformance**: shard-routing
+//!   determinism, two-tenant serving bit-identical to per-species offline
+//!   aligners, unknown-tenant rejection, and the threaded-vs-reactor
+//!   frontend differential (the shard-kill degradation plan lives in
+//!   [`faults`]).
 //! * [`golden`] — the single `NVWA_BLESS=1` blessing flag shared by
 //!   trace, snapshot and reproducer files, with a diff summary on
 //!   unblessed drift.
@@ -39,6 +44,7 @@ pub mod faults;
 pub mod golden;
 pub mod invariants;
 pub mod minimize;
+pub mod tenancy;
 
 /// splitmix64 — the repo's standard zero-dependency PRNG (same stream as
 /// `nvwa_serve::loadgen`), used for all seeded case generation so a seed

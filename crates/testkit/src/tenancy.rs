@@ -1,0 +1,337 @@
+//! Multi-tenant registry and reactor conformance families (DESIGN.md §14).
+//!
+//! * **registry** — deterministic shard routing, a two-tenant serve run
+//!   whose responses are bit-identical to per-species offline aligners,
+//!   per-tenant conservation identities over the wire, and
+//!   unknown-tenant rejection.
+//! * **reactor** — the frontend differential: the same reads through a
+//!   thread-per-connection server and a poll-reactor server must produce
+//!   identical alignment payloads. Batch sizes are *scheduling* and may
+//!   differ; alignment answers are *results* and may not.
+
+use std::collections::HashMap;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use nvwa_align::pipeline::{AlignScratch, AlignerConfig, ReferenceIndex, SoftwareAligner};
+use nvwa_genome::species::Species;
+use nvwa_genome::ReferenceGenome;
+use nvwa_serve::loadgen::{self, ref_params, ArrivalMode, LoadgenConfig, TenantRead};
+use nvwa_serve::protocol::{read_frame, write_frame};
+use nvwa_serve::registry::{region_hash, route_shard};
+use nvwa_serve::{AlignResponse, Frontend, Request, Server, ServerConfig, Status, TenantServeSpec};
+
+use crate::diff::wire_matches;
+use crate::Prng;
+
+/// Reference length for the reactor differential (shared-index servers).
+const REACTOR_REF_LEN: usize = 20_000;
+
+/// The two tenants of the registry family: the largest and the smallest
+/// species profile, so the cross-tenant differential exercises distinct
+/// references. Scale 0.0 clamps both to the 40 kb floor — fast, still
+/// bit-exact.
+const TENANT_A: Species = Species::HomoSapiens;
+const TENANT_B: Species = Species::CaenorhabditisElegans;
+
+fn client_connect(addr: &str) -> Result<TcpStream, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| format!("set timeout: {e}"))?;
+    Ok(stream)
+}
+
+/// Pure routing checks: the hash is a function of its inputs only, the
+/// router is stable, skips dead shards, and returns `None` only when
+/// every shard is dead.
+fn check_routing(seed: u64) -> Result<(), String> {
+    let mut prng = Prng(seed ^ 0x5AAD_0007);
+    for case in 0..16 {
+        let len = 40 + prng.below(80) as usize;
+        let codes = prng.codes(len);
+        let region = if case % 2 == 0 {
+            Some(prng.next_u64())
+        } else {
+            None
+        };
+        let h = region_hash(region, &codes);
+        if h != region_hash(region, &codes) {
+            return Err(format!("region_hash not deterministic (case {case})"));
+        }
+        for shards in [1usize, 2, 5] {
+            let all_live = route_shard(h, shards, |_| true)
+                .ok_or_else(|| format!("route with all shards live returned None (case {case})"))?;
+            if all_live != (h % shards as u64) as usize {
+                return Err(format!(
+                    "route_shard is not hash % shards with all live (case {case})"
+                ));
+            }
+            if all_live != route_shard(h, shards, |_| true).unwrap() {
+                return Err(format!("route_shard not deterministic (case {case})"));
+            }
+            if shards > 1 {
+                let dead = all_live;
+                let rerouted = route_shard(h, shards, |s| s != dead)
+                    .ok_or_else(|| format!("reroute past dead shard failed (case {case})"))?;
+                if rerouted == dead {
+                    return Err(format!("route landed on a dead shard (case {case})"));
+                }
+            }
+            if route_shard(h, shards, |_| false).is_some() {
+                return Err(format!(
+                    "route with all shards dead must be None (case {case})"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The registry family: routing determinism, a two-tenant serve run
+/// bit-identical to per-species offline aligners, and unknown-tenant
+/// rejection.
+///
+/// # Errors
+///
+/// Names the violated invariant (transport failures included).
+pub fn run_registry_family(seed: u64, reads_per_tenant: usize) -> Result<String, String> {
+    check_routing(seed)?;
+
+    let mut tenant_a = TenantServeSpec::new(TENANT_A, 0.0);
+    tenant_a.shards = 2;
+    let tenant_b = TenantServeSpec::new(TENANT_B, 0.0);
+    let config = ServerConfig {
+        workers: 2,
+        tenants: vec![tenant_a, tenant_b],
+        ..ServerConfig::default()
+    };
+    let server = Server::start_multi_tenant(config).map_err(|e| format!("start: {e}"))?;
+    let addr = server.local_addr().to_string();
+
+    // Interleave the two tenants' reads so every connection carries both.
+    let reads_a =
+        loadgen::generate_species_reads(TENANT_A, 0.0, seed ^ 0x7E4A_0001, reads_per_tenant);
+    let reads_b =
+        loadgen::generate_species_reads(TENANT_B, 0.0, seed ^ 0x7E4A_0002, reads_per_tenant);
+    let mut mixed: Vec<TenantRead> = Vec::with_capacity(reads_per_tenant * 2);
+    for (a, b) in reads_a.iter().zip(&reads_b) {
+        mixed.push(TenantRead {
+            tenant: Some(TENANT_A.key().to_string()),
+            codes: a.clone(),
+            region: None,
+        });
+        mixed.push(TenantRead {
+            tenant: Some(TENANT_B.key().to_string()),
+            codes: b.clone(),
+            region: None,
+        });
+    }
+    let report = loadgen::run_tenants(
+        &addr,
+        &mixed,
+        &LoadgenConfig {
+            connections: 2,
+            mode: ArrivalMode::Closed { window: 16 },
+            collect_responses: true,
+            ..LoadgenConfig::default()
+        },
+    )
+    .map_err(|e| format!("loadgen: {e}"))?;
+
+    // Unknown tenant: rejected with a protocol error, never aligned.
+    let mut s = client_connect(&addr)?;
+    let mut prng = Prng(seed ^ 0xBAD_7E4A);
+    write_frame(
+        &mut s,
+        &Request::Align {
+            id: 0,
+            codes: prng.codes(60),
+            deadline_ms: None,
+            tenant: Some("no_such_species".to_string()),
+            region: None,
+        }
+        .encode(),
+    )
+    .map_err(|e| format!("unknown-tenant write: {e}"))?;
+    let doc = read_frame(&mut s)
+        .map_err(|e| format!("unknown-tenant read: {e}"))?
+        .ok_or("unknown-tenant: connection closed without a response")?;
+    let resp = AlignResponse::decode(&doc)?;
+    if resp.status != Status::Error
+        || !resp
+            .error
+            .as_deref()
+            .unwrap_or("")
+            .contains("unknown tenant")
+    {
+        return Err(format!(
+            "unknown tenant must be answered error naming it, got {resp:?}"
+        ));
+    }
+
+    server.shutdown();
+
+    // Conservation, globally and per tenant.
+    if !report.is_lossless() || report.received != report.sent {
+        return Err(format!(
+            "registry: transport not clean: sent {} received {} lost {} duplicates {}",
+            report.sent, report.received, report.lost, report.duplicates
+        ));
+    }
+    if report.ok != report.sent {
+        return Err(format!(
+            "registry: {} of {} requests not ok (shed {} quota {} deadline {} errors {})",
+            report.sent - report.ok,
+            report.sent,
+            report.shed,
+            report.quota,
+            report.deadline,
+            report.errors
+        ));
+    }
+    if report.tenants.len() != 2 {
+        return Err(format!(
+            "registry: want 2 tenant report sections, got {}",
+            report.tenants.len()
+        ));
+    }
+    for t in &report.tenants {
+        if t.sent != reads_per_tenant as u64 || t.ok != t.sent || t.lost != 0 {
+            return Err(format!(
+                "registry: tenant {} accounting broken: sent {} ok {} lost {}",
+                t.name, t.sent, t.ok, t.lost
+            ));
+        }
+    }
+
+    // Bit-identity per tenant against that species' own offline aligner.
+    for (species, offset) in [(TENANT_A, 0u64), (TENANT_B, 1u64)] {
+        let index = ReferenceIndex::build(&species.synthesize(0.0), 32);
+        let aligner = SoftwareAligner::new(&index, AlignerConfig::default());
+        let mut scratch = AlignScratch::new();
+        for pair in 0..reads_per_tenant as u64 {
+            let id = pair * 2 + offset; // interleave order above
+            let resp = report
+                .responses
+                .get(&id)
+                .ok_or_else(|| format!("registry: response {id} missing despite ok count"))?;
+            let codes = &mixed[id as usize].codes;
+            let offline = aligner.align_codes_fast(id, codes, &mut scratch).alignment;
+            if !wire_matches(&resp.alignment, &offline) {
+                return Err(format!(
+                    "registry: tenant {} read {id} diverges from the offline aligner",
+                    species.key()
+                ));
+            }
+        }
+    }
+
+    Ok(format!(
+        "registry: routing deterministic, 2 tenants × {reads_per_tenant} reads bit-identical \
+         to per-species offline aligners, unknown tenant rejected"
+    ))
+}
+
+/// One loadgen round against a server with the given frontend, returning
+/// the decoded responses by id.
+fn frontend_round(
+    index: &Arc<ReferenceIndex>,
+    frontend: Frontend,
+    reads: &[Vec<u8>],
+) -> Result<HashMap<u64, AlignResponse>, String> {
+    let server = Server::start(
+        Arc::clone(index),
+        ServerConfig {
+            workers: 2,
+            frontend,
+            ..ServerConfig::default()
+        },
+    )
+    .map_err(|e| format!("start ({frontend:?}): {e}"))?;
+    let addr = server.local_addr().to_string();
+    let report = loadgen::run(
+        &addr,
+        reads,
+        &LoadgenConfig {
+            connections: 4,
+            mode: ArrivalMode::Closed { window: 16 },
+            collect_responses: true,
+            ..LoadgenConfig::default()
+        },
+    )
+    .map_err(|e| format!("loadgen ({frontend:?}): {e}"))?;
+    server.shutdown();
+    if !report.is_lossless() || report.ok != reads.len() as u64 {
+        return Err(format!(
+            "{frontend:?}: transport not clean: sent {} ok {} lost {} duplicates {}",
+            report.sent, report.ok, report.lost, report.duplicates
+        ));
+    }
+    Ok(report.responses)
+}
+
+/// The reactor family: the poll-based frontend must answer bit-identically
+/// to the thread-per-connection frontend on the same reads and index.
+///
+/// # Errors
+///
+/// Names the first diverging read (or the transport failure).
+pub fn run_reactor_family(seed: u64, reads: usize) -> Result<String, String> {
+    #[cfg(not(unix))]
+    {
+        let _ = (seed, reads);
+        return Ok("reactor: skipped (no poll reactor on this platform)".to_string());
+    }
+    #[cfg(unix)]
+    {
+        let params = ref_params(REACTOR_REF_LEN);
+        let genome = ReferenceGenome::synthesize(&params, seed);
+        let index = Arc::new(ReferenceIndex::build(&genome, 32));
+        let read_list = loadgen::generate_reads(&params, seed, seed ^ 0x52EA_0C70, reads);
+        let threaded = frontend_round(&index, Frontend::Threads, &read_list)?;
+        let reactor = frontend_round(&index, Frontend::Reactor, &read_list)?;
+        for id in 0..read_list.len() as u64 {
+            let a = threaded
+                .get(&id)
+                .ok_or_else(|| format!("threaded response {id} missing"))?;
+            let b = reactor
+                .get(&id)
+                .ok_or_else(|| format!("reactor response {id} missing"))?;
+            // Compare the *answer*: status and alignment payload. The
+            // batch a request landed in is scheduling, not output.
+            if a.status != b.status || a.alignment != b.alignment {
+                return Err(format!(
+                    "read {id}: threaded {:?}/{:?} vs reactor {:?}/{:?}",
+                    a.status, a.alignment, b.status, b.alignment
+                ));
+            }
+        }
+        Ok(format!(
+            "reactor: {reads} reads bit-identical across threaded and reactor frontends"
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_checks_hold() {
+        check_routing(3).expect("routing laws hold");
+    }
+
+    #[test]
+    fn reactor_family_is_bit_identical_on_a_small_run() {
+        let summary = run_reactor_family(11, 24).expect("frontends agree");
+        assert!(summary.contains("reactor"), "{summary}");
+    }
+
+    #[test]
+    fn registry_family_holds_on_a_small_run() {
+        let summary = run_registry_family(11, 12).expect("registry family holds");
+        assert!(summary.contains("bit-identical"), "{summary}");
+    }
+}

@@ -32,6 +32,7 @@ cargo run --release --quiet --bin nvwa -- sim --reads 500 \
     --metrics-out "$artifacts_dir/metrics.json"
 cargo run --release --quiet -p nvwa-bench --bin validate -- \
     BENCH_PR1.json BENCH_PR3.json BENCH_PR4.json BENCH_PR6.json \
+    BENCH_PR8.json \
     "$artifacts_dir/trace.json" "$artifacts_dir/metrics.json"
 
 # Seeding fast-path perf gate: re-measure the seed scenarios and require
@@ -104,12 +105,42 @@ if [ "$scrapes" -lt 2 ]; then
 fi
 echo "serve smoke test: clean drain, zero lost responses, $scrapes stats scrapes"
 
+# Multi-tenant serve smoke (PR 8): two species tenants (one sharded)
+# behind the poll-reactor frontend, >= 100k requests open-loop in a 3:1
+# weighted mix. Asserts exactly-once accounting globally and per tenant
+# (nvwa-loadgen exits non-zero on any lost/duplicated response or
+# violated SLO), then schema-validates the SLO report — including the
+# per-tenant conservation sections — and the server's stats snapshot.
+# The shard-kill degradation plan runs in the conformance faults and
+# registry families below.
+rm -f "$artifacts_dir/serve_mt_addr"
+cargo run --release --quiet --bin nvwa -- serve \
+    --addr 127.0.0.1:0 --addr-file "$artifacts_dir/serve_mt_addr" \
+    --frontend reactor --workers 2 --tenant-scale 0.0 \
+    --tenant homo_sapiens:2 --tenant caenorhabditis_elegans \
+    --metrics-out "$artifacts_dir/serve_mt_metrics.json" &
+serve_mt_pid=$!
+cargo run --release --quiet -p nvwa-serve --bin nvwa-loadgen -- \
+    --addr-file "$artifacts_dir/serve_mt_addr" \
+    --reads 100000 --connections 4 --mode open --rate 12000 --burst 16 \
+    --tenant homo_sapiens:3 --tenant caenorhabditis_elegans:1 \
+    --tenant-scale 0.0 \
+    --slo lost=0 --slo error_rate=0 --slo quota_rate=0 \
+    --out "$artifacts_dir/loadgen_tenants.json" --shutdown
+wait "$serve_mt_pid"
+cargo run --release --quiet -p nvwa-bench --bin validate -- \
+    "$artifacts_dir/loadgen_tenants.json" \
+    "$artifacts_dir/serve_mt_metrics.json"
+echo "multi-tenant smoke: 100k open-loop requests, per-tenant conservation holds"
+
 # Conformance: differential oracles (sw/smem/pipeline/serve-vs-offline
-# plus the bit-parallel extension-kernel family), simulator invariants
-# and the fault-injection matrix, over the CI seed list in both the
-# short and long read profiles. Divergence reproducers land in the
-# artifacts dir (uploaded by CI on failure); the fault family's
-# flight-recorder dumps land next to them for the same upload.
+# plus the bit-parallel extension-kernel family), simulator invariants,
+# the fault-injection matrix (shard-kill degradation included), the
+# multi-tenant registry family and the threaded-vs-reactor frontend
+# differential, over the CI seed list in both the short and long read
+# profiles. Divergence reproducers land in the artifacts dir (uploaded
+# by CI on failure); the fault family's flight-recorder dumps land next
+# to them for the same upload.
 NVWA_FLIGHT_DIR="$artifacts_dir/flight" \
     cargo run --release --quiet --bin nvwa -- conformance \
     --seed-from-ci --repro-dir "$artifacts_dir/repro"

@@ -10,9 +10,11 @@
 //!                 [--ref-len N] [--ref-seed S] [--queue-cap N] [--workers N]
 //!                 [--batch-max N] [--batch-wait-us U] [--deadline-ms D]
 //!                 [--backend sw|hil] [--metrics-out m.json] [--trace-out t.json]
+//!                 [--frontend threads|reactor] [--tenant KEY[:SHARDS[:QUOTA]]]...
+//!                 [--tenant-scale F] [--registry-budget BYTES]
 //! nvwa conformance [--seed S]... [--seed-from-ci] [--cases N] [--serve-reads N]
-//!                 [--families diff,extension,invariants,faults] [--family NAME]
-//!                 [--repro-dir DIR] [--threads N]
+//!                 [--families diff,extension,invariants,faults,registry,reactor]
+//!                 [--family NAME] [--repro-dir DIR] [--threads N]
 //! ```
 //!
 //! `conformance` runs the repo's cross-layer correctness checks
@@ -81,9 +83,11 @@ fn usage() -> ExitCode {
     eprintln!("                   [--backend sw|hil] [--metrics-out m.json] [--trace-out t.json]");
     eprintln!("                   [--span-log-out s.json] [--flight-dump DIR] [--flight-cap N]");
     eprintln!("                   [--slo-window-ms W] [--slo-step-ms S] [--shed-storm N]");
+    eprintln!("                   [--frontend threads|reactor] [--tenant KEY[:SHARDS[:QUOTA]]]...");
+    eprintln!("                   [--tenant-scale F] [--registry-budget BYTES]");
     eprintln!("  nvwa conformance [--seed S]... [--seed-from-ci] [--cases N] [--serve-reads N]");
-    eprintln!("                   [--families diff,extension,invariants,faults] [--family NAME]");
-    eprintln!("                   [--repro-dir DIR]");
+    eprintln!("                   [--families diff,extension,invariants,faults,registry,reactor]");
+    eprintln!("                   [--family NAME] [--repro-dir DIR]");
     ExitCode::FAILURE
 }
 
@@ -297,7 +301,8 @@ fn conformance(args: &[String]) -> ExitCode {
                 Some(f) => families.push(f),
                 None => {
                     eprintln!(
-                        "nvwa: unknown family {item:?} (want diff, extension, invariants, faults)"
+                        "nvwa: unknown family {item:?} (want diff, extension, invariants, \
+                         faults, registry, reactor)"
                     );
                     return usage();
                 }
@@ -308,7 +313,9 @@ fn conformance(args: &[String]) -> ExitCode {
         match args.get(i + 1).and_then(|v| Family::parse(v)) {
             Some(f) => families.push(f),
             None => {
-                eprintln!("nvwa: --family wants diff, extension, invariants or faults");
+                eprintln!(
+                    "nvwa: --family wants diff, extension, invariants, faults, registry or reactor"
+                );
                 return usage();
             }
         }
@@ -356,27 +363,81 @@ fn conformance(args: &[String]) -> ExitCode {
     }
 }
 
+/// Parses a `--tenant` spec: `species_key[:shards[:quota]]`, e.g.
+/// `homo_sapiens:4:256`.
+fn parse_tenant_spec(spec: &str, scale: f64) -> Result<nvwa::serve::TenantServeSpec, String> {
+    use nvwa::genome::species::{Species, ALL_SPECIES};
+    let mut parts = spec.split(':');
+    let key = parts.next().unwrap_or("");
+    let species = Species::from_key(key).ok_or_else(|| {
+        format!(
+            "unknown species key {key:?} (want one of: {})",
+            ALL_SPECIES.map(Species::key).join(", ")
+        )
+    })?;
+    let mut tenant = nvwa::serve::TenantServeSpec::new(species, scale);
+    if let Some(shards) = parts.next() {
+        tenant.shards = shards
+            .parse()
+            .ok()
+            .filter(|n| *n >= 1)
+            .ok_or_else(|| format!("bad shard count {shards:?} in {spec:?}"))?;
+    }
+    if let Some(quota) = parts.next() {
+        tenant.quota = Some(
+            quota
+                .parse()
+                .map_err(|_| format!("bad quota {quota:?} in {spec:?}"))?,
+        );
+    }
+    Ok(tenant)
+}
+
 fn serve(args: &[String]) -> ExitCode {
     use nvwa::serve::loadgen::ref_params;
     use nvwa::serve::{
-        signal, BackendKind, BatcherConfig, ObservabilityConfig, Server, ServerConfig,
+        signal, BackendKind, BatcherConfig, Frontend, ObservabilityConfig, Server, ServerConfig,
     };
     use std::sync::Arc;
     use std::time::Duration;
 
-    let genome = if let Some(ref_path) = flag_value(args, "--ref") {
-        match load_genome(&ref_path) {
-            Ok(g) => g,
-            Err(code) => return code,
-        }
-    } else {
-        let len = flag_u64(args, "--ref-len", 100_000) as usize;
-        let seed = flag_u64(args, "--ref-seed", 5);
-        eprintln!("synthesizing {len} bp reference (seed {seed}) ...");
-        ReferenceGenome::synthesize(&ref_params(len), seed)
+    let frontend = match flag_value(args, "--frontend").as_deref() {
+        None => Frontend::Threads,
+        Some(name) => match Frontend::parse(name) {
+            Some(f) => f,
+            None => {
+                eprintln!("nvwa: unknown frontend {name:?} (want threads or reactor)");
+                return usage();
+            }
+        },
     };
-    eprintln!("indexing {} bp ...", genome.total_len());
-    let index = Arc::new(ReferenceIndex::build(&genome, 32));
+    // `--tenant KEY[:SHARDS[:QUOTA]]` (repeatable) switches to the
+    // multi-tenant registry: each tenant's reference is synthesized from
+    // its species profile at `--tenant-scale` and `--ref*` flags are
+    // ignored.
+    let tenant_scale = flag_value(args, "--tenant-scale")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.05f64);
+    let mut tenants = Vec::new();
+    let tenant_flags: Vec<usize> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--tenant")
+        .map(|(i, _)| i)
+        .collect();
+    for i in tenant_flags {
+        let Some(spec) = args.get(i + 1) else {
+            eprintln!("nvwa: --tenant wants species_key[:shards[:quota]]");
+            return usage();
+        };
+        match parse_tenant_spec(spec, tenant_scale) {
+            Ok(t) => tenants.push(t),
+            Err(e) => {
+                eprintln!("nvwa: {e}");
+                return usage();
+            }
+        }
+    }
 
     let backend = match flag_value(args, "--backend").as_deref().unwrap_or("sw") {
         "sw" => BackendKind::Software,
@@ -388,6 +449,9 @@ fn serve(args: &[String]) -> ExitCode {
     };
     let config = ServerConfig {
         addr: flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:0".to_string()),
+        frontend,
+        tenants: tenants.clone(),
+        registry_budget: flag_value(args, "--registry-budget").and_then(|v| v.parse().ok()),
         queue_capacity: flag_u64(args, "--queue-cap", 1024) as usize,
         workers: flag_value(args, "--workers")
             .and_then(|v| v.parse().ok())
@@ -422,7 +486,31 @@ fn serve(args: &[String]) -> ExitCode {
             .and_then(|v| v.parse().ok()),
     };
     signal::install();
-    let server = match Server::start(index, config) {
+    let started = if tenants.is_empty() {
+        // Single-tenant: one reference (from --ref or synthesized), one
+        // engine pool.
+        let genome = if let Some(ref_path) = flag_value(args, "--ref") {
+            match load_genome(&ref_path) {
+                Ok(g) => g,
+                Err(code) => return code,
+            }
+        } else {
+            let len = flag_u64(args, "--ref-len", 100_000) as usize;
+            let seed = flag_u64(args, "--ref-seed", 5);
+            eprintln!("synthesizing {len} bp reference (seed {seed}) ...");
+            ReferenceGenome::synthesize(&ref_params(len), seed)
+        };
+        eprintln!("indexing {} bp ...", genome.total_len());
+        let index = Arc::new(ReferenceIndex::build(&genome, 32));
+        Server::start(index, config)
+    } else {
+        eprintln!(
+            "loading {} tenant(s) at scale {tenant_scale} into the index registry ...",
+            tenants.len()
+        );
+        Server::start_multi_tenant(config)
+    };
+    let server = match started {
         Ok(s) => s,
         Err(e) => {
             eprintln!("nvwa: cannot start server: {e}");

@@ -52,8 +52,8 @@ fn healthy_tree_passes_every_family() {
         report.text()
     );
     // Every family contributed: 4 diff checks + extension + invariants
-    // + faults.
-    assert_eq!(report.checks, 7, "{}", report.text());
+    // + faults + registry + reactor.
+    assert_eq!(report.checks, 9, "{}", report.text());
     let text = report.text();
     for needle in [
         "sw:",
@@ -63,6 +63,8 @@ fn healthy_tree_passes_every_family() {
         "extension:",
         "invariants:",
         "faults:",
+        "registry:",
+        "reactor:",
     ] {
         assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
     }

@@ -51,6 +51,8 @@ fn align_round_trip(server: &Server, id: u64) {
         id,
         codes,
         deadline_ms: None,
+        tenant: None,
+        region: None,
     };
     write_frame(&mut stream, &request.encode()).expect("write align");
     let doc = read_frame(&mut stream)

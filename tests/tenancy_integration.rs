@@ -1,0 +1,295 @@
+//! End-to-end tests of the multi-tenant registry and the poll-reactor
+//! frontend over real sockets (ISSUE PR8).
+//!
+//! The acceptance bar: the reactor answers a ≥10k-read closed-loop run
+//! bit-identically to the thread-per-connection frontend; hundreds of
+//! idle connections do not grow the thread count; a tenant's admission
+//! quota sheds with the distinct `quota` status at exactly the limit,
+//! with exactly-once accounting that survives the storm; and killing a
+//! shard degrades only the tenant that owned it.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use nvwa::align::pipeline::ReferenceIndex;
+use nvwa::genome::species::Species;
+use nvwa::genome::ReferenceGenome;
+use nvwa::serve::loadgen::{self, ref_params, ArrivalMode, LoadgenConfig, TenantRead};
+use nvwa::serve::{Frontend, Server, ServerConfig, TenantServeSpec};
+use nvwa::telemetry::snapshot::validate_loadgen_report;
+
+const REF_LEN: usize = 20_000;
+const REF_SEED: u64 = 5;
+
+fn shared_index() -> Arc<ReferenceIndex> {
+    let genome = ReferenceGenome::synthesize(&ref_params(REF_LEN), REF_SEED);
+    Arc::new(ReferenceIndex::build(&genome, 32))
+}
+
+/// The tentpole differential at acceptance scale: 10k reads closed-loop
+/// through both frontends; every (status, alignment) pair must match.
+/// Batch sizes are scheduling and deliberately excluded.
+#[test]
+fn reactor_answers_10k_reads_bit_identically_to_threads() {
+    if !cfg!(unix) {
+        return; // the poll reactor is unix-only
+    }
+    let index = shared_index();
+    let reads = loadgen::generate_reads(&ref_params(REF_LEN), REF_SEED, 23, 10_000);
+    let mut rounds = Vec::new();
+    for frontend in [Frontend::Threads, Frontend::Reactor] {
+        let server = Server::start(
+            Arc::clone(&index),
+            ServerConfig {
+                workers: 2,
+                frontend,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("server start");
+        let addr = server.local_addr().to_string();
+        let report = loadgen::run(
+            &addr,
+            &reads,
+            &LoadgenConfig {
+                connections: 8,
+                mode: ArrivalMode::Closed { window: 32 },
+                collect_responses: true,
+                ..LoadgenConfig::default()
+            },
+        )
+        .expect("loadgen");
+        server.shutdown();
+        assert!(
+            report.is_lossless(),
+            "{frontend:?} lost/duplicated responses"
+        );
+        assert_eq!(report.ok, reads.len() as u64, "{frontend:?} not all ok");
+        rounds.push(report.responses);
+    }
+    let (threaded, reactor) = (&rounds[0], &rounds[1]);
+    for id in 0..reads.len() as u64 {
+        let a = threaded.get(&id).expect("threaded response");
+        let b = reactor.get(&id).expect("reactor response");
+        assert_eq!(a.status, b.status, "read {id} status");
+        assert_eq!(a.alignment, b.alignment, "read {id} alignment");
+    }
+}
+
+fn current_thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("Threads:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Idle connections on the reactor cost a registered pollfd, not a
+/// thread: parking hundreds of silent sockets must not grow the process
+/// thread count, and the server must keep answering around them.
+#[test]
+fn reactor_parks_idle_connections_without_thread_growth() {
+    if !cfg!(unix) {
+        return;
+    }
+    let Some(before) = current_thread_count() else {
+        return; // no /proc: nothing to measure
+    };
+    let index = shared_index();
+    let server = Server::start(
+        Arc::clone(&index),
+        ServerConfig {
+            workers: 2,
+            frontend: Frontend::Reactor,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server start");
+    let addr = server.local_addr().to_string();
+
+    let idle: Vec<std::net::TcpStream> = (0..400)
+        .map(|i| {
+            std::net::TcpStream::connect(&addr).unwrap_or_else(|e| panic!("idle connect {i}: {e}"))
+        })
+        .collect();
+    // Give the reactor a beat to accept and register everything.
+    std::thread::sleep(Duration::from_millis(200));
+    let during = current_thread_count().expect("/proc readable");
+    // Thread-per-connection would add ~400 here; the reactor adds none.
+    // Loadgen below and test-harness noise get a generous allowance.
+    assert!(
+        during <= before + 16,
+        "thread count grew {before} -> {during} with 400 idle connections"
+    );
+
+    // The server still answers fresh traffic around the parked sockets.
+    let reads = loadgen::generate_reads(&ref_params(REF_LEN), REF_SEED, 29, 200);
+    let report = loadgen::run(
+        &addr,
+        &reads,
+        &LoadgenConfig {
+            connections: 4,
+            mode: ArrivalMode::Closed { window: 16 },
+            ..LoadgenConfig::default()
+        },
+    )
+    .expect("loadgen");
+    assert!(report.is_lossless());
+    assert_eq!(report.ok, 200);
+    drop(idle);
+    let metrics = server.shutdown();
+    assert!(
+        metrics.counter("serve.connections_accepted") >= 404,
+        "reactor accepted the idle sockets"
+    );
+}
+
+/// Over-the-wire quota boundary: a tenant with quota Q under a slow
+/// worker and an open-loop storm sheds with the `quota` status, every
+/// request is answered exactly once, and the guard release keeps the
+/// registry's in-flight gauge at zero after the drain.
+#[test]
+fn quota_storm_sheds_with_quota_status_and_exactly_once_accounting() {
+    let species = Species::CaenorhabditisElegans;
+    let mut tenant = TenantServeSpec::new(species, 0.0);
+    tenant.quota = Some(2);
+    let server = Server::start_multi_tenant(ServerConfig {
+        workers: 2,
+        tenants: vec![tenant],
+        // Each batch holds its admission guards for 2 ms, so an open-loop
+        // storm overruns a quota of 2 by construction.
+        worker_delay: Some(Duration::from_millis(2)),
+        ..ServerConfig::default()
+    })
+    .expect("server start");
+    let addr = server.local_addr().to_string();
+
+    let reads = loadgen::generate_species_reads(species, 0.0, 31, 400);
+    let mixed: Vec<TenantRead> = reads
+        .into_iter()
+        .map(|codes| TenantRead {
+            tenant: Some(species.key().to_string()),
+            codes,
+            region: None,
+        })
+        .collect();
+    let report = loadgen::run_tenants(
+        &addr,
+        &mixed,
+        &LoadgenConfig {
+            connections: 4,
+            mode: ArrivalMode::Open {
+                rate_rps: 20_000.0,
+                burst: 16,
+            },
+            ..LoadgenConfig::default()
+        },
+    )
+    .expect("loadgen");
+    let metrics = server.shutdown();
+
+    // Exactly-once: conservation holds globally and per tenant even
+    // under the storm, and nothing is counted twice.
+    assert!(
+        report.is_lossless(),
+        "lost {} dup {}",
+        report.lost,
+        report.duplicates
+    );
+    assert_eq!(report.received, report.sent);
+    assert_eq!(
+        report.ok + report.shed + report.quota + report.deadline + report.errors,
+        report.received
+    );
+    assert!(
+        report.quota > 0,
+        "a 20k rps storm against quota 2 must shed some requests"
+    );
+    assert!(report.ok > 0, "admitted requests still complete");
+    assert_eq!(report.tenants.len(), 1);
+    assert_eq!(report.tenants[0].quota, report.quota);
+    assert_eq!(report.tenants[0].sent, report.sent);
+
+    // The server counted the same sheds the client saw, and every
+    // admission guard was released (gauge back to zero at drain).
+    assert_eq!(metrics.counter("serve.requests_quota"), report.quota);
+    assert_eq!(
+        metrics.counter("serve.responses_ok"),
+        report.ok,
+        "server ok count matches the client's"
+    );
+
+    // The report document passes the schema validator, tenant section
+    // identities included.
+    validate_loadgen_report(&report.to_json()).expect("report validates");
+}
+
+/// Killing one shard of a two-shard tenant reroutes traffic to the live
+/// shard: the wounded tenant keeps answering, the other tenant never
+/// notices, and `kill_shard` is idempotent.
+#[test]
+fn shard_kill_degrades_only_the_killed_shard() {
+    let wounded = Species::HomoSapiens;
+    let healthy = Species::ZapusHudsonius;
+    let mut spec_a = TenantServeSpec::new(wounded, 0.0);
+    spec_a.shards = 2;
+    let spec_b = TenantServeSpec::new(healthy, 0.0);
+    let server = Server::start_multi_tenant(ServerConfig {
+        workers: 2,
+        tenants: vec![spec_a, spec_b],
+        ..ServerConfig::default()
+    })
+    .expect("server start");
+    let addr = server.local_addr().to_string();
+
+    assert!(server.kill_shard(wounded.key(), 0), "first kill succeeds");
+    assert!(
+        !server.kill_shard(wounded.key(), 0),
+        "second kill is a no-op"
+    );
+    assert!(!server.kill_shard(wounded.key(), 9), "bogus shard refused");
+    assert!(
+        !server.kill_shard("no_such_species", 0),
+        "bogus tenant refused"
+    );
+
+    let mut mixed = Vec::new();
+    for (i, codes) in loadgen::generate_species_reads(wounded, 0.0, 37, 60)
+        .into_iter()
+        .enumerate()
+    {
+        mixed.push(TenantRead {
+            tenant: Some(wounded.key().to_string()),
+            codes,
+            // Half the traffic names the dead shard's region explicitly:
+            // routing must probe past it.
+            region: Some(i as u64),
+        });
+    }
+    for codes in loadgen::generate_species_reads(healthy, 0.0, 41, 60) {
+        mixed.push(TenantRead {
+            tenant: Some(healthy.key().to_string()),
+            codes,
+            region: None,
+        });
+    }
+    let report = loadgen::run_tenants(
+        &addr,
+        &mixed,
+        &LoadgenConfig {
+            connections: 2,
+            mode: ArrivalMode::Closed { window: 16 },
+            ..LoadgenConfig::default()
+        },
+    )
+    .expect("loadgen");
+    let metrics = server.shutdown();
+
+    assert!(report.is_lossless());
+    assert_eq!(report.ok, 120, "both tenants fully served after the kill");
+    for t in &report.tenants {
+        assert_eq!(t.ok, t.sent, "tenant {} degraded", t.name);
+    }
+    assert_eq!(metrics.counter("serve.shards_killed"), 1);
+}
